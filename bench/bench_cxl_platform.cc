@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Repo extra: how much does tensor-level management matter as the
+ * slow tier improves?  Re-runs the Fig. 7 core comparison with the
+ * slow tier swapped from Optane PMM to CXL-attached DDR (a faster,
+ * lower-latency technology that postdates the paper).
+ *
+ * Expected shape: the fast/slow gap narrows, every policy improves,
+ * and Sentinel's edge over unmanaged placement shrinks but stays
+ * positive — HM management pays in proportion to the tier gap.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/ial.hh"
+#include "baselines/reference.hh"
+#include "bench_util.hh"
+#include "core/sentinel_policy.hh"
+#include "profile/profiler.hh"
+
+using namespace sentinel;
+
+namespace {
+
+struct Row {
+    double slow_only = 0.0;
+    double numa = 0.0;
+    double ial = 0.0;
+    double sentinel = 0.0;
+    double fast_only = 0.0;
+};
+
+double
+steadyMs(const df::Graph &g, const core::RuntimeConfig &cfg,
+         df::MemoryPolicy &policy)
+{
+    mem::HeterogeneousMemory hm(cfg.fast, cfg.slow, cfg.migration);
+    df::Executor ex(g, hm, cfg.exec, policy);
+    return toMillis(ex.run(9).back().step_time);
+}
+
+Row
+runPlatform(const df::Graph &g, core::RuntimeConfig cfg,
+            std::uint64_t fast20, std::uint64_t fast_all)
+{
+    Row r;
+    cfg.fast.capacity = fast20;
+
+    mem::HeterogeneousMemory prof_hm(cfg.fast, cfg.slow, cfg.migration);
+    prof::Profiler profiler(cfg.profiler);
+    auto profile = profiler.profile(g, prof_hm, cfg.exec);
+
+    auto slow = baselines::makeSlowOnly();
+    r.slow_only = steadyMs(g, cfg, *slow);
+    auto numa = baselines::makeFirstTouchNuma();
+    r.numa = steadyMs(g, cfg, *numa);
+    baselines::IalPolicy ial;
+    r.ial = steadyMs(g, cfg, ial);
+    core::SentinelPolicy sentinel(profile.db);
+    r.sentinel = steadyMs(g, cfg, sentinel);
+
+    cfg.fast.capacity = fast_all;
+    auto fast = baselines::makeFastOnly();
+    r.fast_only = steadyMs(g, cfg, *fast);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model = argc > 1 ? argv[1] : "resnet32";
+    bench::banner("Slow-tier technology study: Optane PMM vs CXL DDR",
+                  "repo extra; cf. Sec. I's motivation");
+
+    df::Graph g =
+        models::makeModel(model, models::modelSpec(model).small_batch);
+    std::uint64_t fast20 =
+        mem::roundUpToPages(g.peakMemoryBytes() / 5);
+    std::uint64_t fast_all =
+        mem::roundUpToPages(g.peakMemoryBytes() * 2);
+
+    Row optane = runPlatform(g, core::RuntimeConfig::optane(fast20),
+                             fast20, fast_all);
+    Row cxl =
+        runPlatform(g, core::RuntimeConfig::cxl(fast20), fast20,
+                    fast_all);
+
+    Table t("Step time (ms), fast tier at 20% of peak (" + model + ")",
+            { "slow tier", "slow-only", "first-touch", "IAL",
+              "Sentinel", "fast-only", "fast/slow gap",
+              "Sentinel vs NUMA" });
+    auto emit = [&t](const char *name, const Row &r) {
+        t.row()
+            .cell(name)
+            .cell(r.slow_only, 2)
+            .cell(r.numa, 2)
+            .cell(r.ial, 2)
+            .cell(r.sentinel, 2)
+            .cell(r.fast_only, 2)
+            .cell(strprintf("%.2fx", r.slow_only / r.fast_only))
+            .cell(strprintf("%.2fx", r.numa / r.sentinel));
+    };
+    emit("Optane PMM", optane);
+    emit("CXL DDR", cxl);
+    t.printWithCsv(std::cout);
+
+    std::cout << "\nAs the slow tier approaches DRAM, unmanaged "
+                 "placement catches up and the value\nof tensor-level "
+                 "migration shrinks proportionally to the tier gap — "
+                 "but remains\npositive while any gap exists.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 10: sensitivity of Sentinel to the fast-memory size — step
+ * time at 20/30/40/60/100% of each model's peak memory, relative to
+ * fast-memory-only.
+ *
+ * Paper anchors: at 60% there is no loss vs fast-only; between 20%
+ * and 40% the variance is at most ~17%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace sentinel;
+
+int
+main(int argc, char **argv)
+{
+    std::string only = argc > 1 ? argv[1] : "";
+    bench::banner("Fig. 10 - sensitivity to fast memory size",
+                  "Fig. 10, Sec. VII-B");
+
+    const double fractions[] = { 0.2, 0.3, 0.4, 0.6, 1.0 };
+
+    Table t("Fig. 10: Sentinel step time relative to fast-only",
+            { "model", "20%", "30%", "40%", "60%", "100%" });
+
+    for (const auto &model : bench::evaluationModels()) {
+        if (!only.empty() && model != only)
+            continue;
+        harness::ExperimentConfig cfg;
+        cfg.model = model;
+        cfg.batch = models::modelSpec(model).small_batch;
+        double fast_ms =
+            harness::runExperiment(cfg, "fast-only").step_time_ms;
+
+        auto &row = t.row().cell(model);
+        for (double f : fractions) {
+            cfg.fast_fraction = f;
+            harness::Metrics m = harness::runExperiment(cfg, "sentinel");
+            row.cell(m.step_time_ms / fast_ms, 3);
+        }
+    }
+    t.printWithCsv(std::cout);
+
+    std::cout << "\nValues are Sentinel's step time divided by the "
+                 "fast-only step time (1.0 = parity).\nPaper anchors: "
+                 "parity at 60% of peak; at most ~17% variance between "
+                 "20%% and 40%%.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 12: GPU training throughput for UM, vDNN, AutoTM, SwapAdvisor,
+ * Capuchin, and Sentinel-GPU at three batch sizes per model,
+ * normalized to Unified Memory.
+ *
+ * Paper anchors: Sentinel-GPU reaches 1.1x-7.8x over UM, ~2x over
+ * vDNN, +65% over SwapAdvisor, +17% over AutoTM, +16% over Capuchin.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace sentinel;
+
+int
+main(int argc, char **argv)
+{
+    std::string only = argc > 1 ? argv[1] : "";
+    bench::banner("Fig. 12 - GPU training throughput (normalized to UM)",
+                  "Fig. 12, Sec. VII-C");
+
+    Table t("Fig. 12: throughput normalized to Unified Memory",
+            { "model", "batch", "UM", "vDNN", "AutoTM", "SwapAdvisor",
+              "Capuchin", "Sentinel" });
+
+    for (const auto &model : bench::evaluationModels()) {
+        if (!only.empty() && model != only)
+            continue;
+        const auto &spec = models::modelSpec(model);
+        df::Graph probe = models::makeModel(model, spec.small_batch);
+        std::uint64_t dev =
+            mem::roundUpToPages(probe.peakMemoryBytes() * 3 / 5);
+
+        int batches[3] = { spec.small_batch, spec.small_batch * 3 / 2,
+                           spec.small_batch * 2 };
+        for (int batch : batches) {
+            harness::ExperimentConfig cfg;
+            cfg.model = model;
+            cfg.batch = batch;
+            cfg.platform = harness::Platform::Gpu;
+            cfg.fast_bytes = dev;
+
+            auto um = harness::runExperiment(cfg, "um");
+            auto &row =
+                t.row().cell(model).cell(batch).cell(1.0, 2);
+            for (const char *p : { "vdnn", "autotm", "swapadvisor",
+                                   "capuchin", "sentinel" }) {
+                auto m = harness::runExperiment(cfg, p);
+                if (!m.supported || !m.feasible)
+                    row.cell("X");
+                else
+                    row.cell(m.throughput / um.throughput, 2);
+            }
+        }
+    }
+    t.printWithCsv(std::cout);
+
+    std::cout << "\n'X' = unsupported graph (vDNN on LSTM/BERT) or "
+                 "batch beyond the policy's\ndevice-memory reach.  "
+                 "Paper anchors in the file header.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 8: large-batch training with first-touch NUMA, Memory Mode,
+ * AutoTM, and Sentinel, normalized to first-touch NUMA.  Fast memory
+ * stays at 20% of each model's (large-batch) peak.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace sentinel;
+
+int
+main(int argc, char **argv)
+{
+    std::string only = argc > 1 ? argv[1] : "";
+    bench::banner("Fig. 8 - large-batch training on Optane HM",
+                  "Fig. 8, Sec. VII-B");
+
+    Table t("Fig. 8: throughput normalized to first-touch NUMA "
+            "(large batches)",
+            { "model", "batch", "NUMA", "Memory Mode", "AutoTM",
+              "Sentinel" });
+
+    double sent_over_numa = 0.0;
+    double sent_over_mm = 0.0;
+    double sent_over_autotm = 0.0;
+    int n = 0;
+    for (const auto &model : bench::evaluationModels()) {
+        if (!only.empty() && model != only)
+            continue;
+        harness::ExperimentConfig cfg;
+        cfg.model = model;
+        cfg.batch = models::modelSpec(model).large_batch;
+
+        auto numa = harness::runExperiment(cfg, "numa");
+        auto mm = harness::runExperiment(cfg, "memory-mode");
+        auto autotm = harness::runExperiment(cfg, "autotm");
+        auto sentinel = harness::runExperiment(cfg, "sentinel");
+
+        t.row()
+            .cell(model)
+            .cell(cfg.batch)
+            .cell(1.0, 2)
+            .cell(numa.step_time_ms / mm.step_time_ms, 2)
+            .cell(numa.step_time_ms / autotm.step_time_ms, 2)
+            .cell(numa.step_time_ms / sentinel.step_time_ms, 2);
+
+        sent_over_numa += numa.step_time_ms / sentinel.step_time_ms;
+        sent_over_mm += mm.step_time_ms / sentinel.step_time_ms;
+        sent_over_autotm += autotm.step_time_ms / sentinel.step_time_ms;
+        ++n;
+    }
+    t.printWithCsv(std::cout);
+
+    if (n > 0) {
+        std::cout << strprintf(
+            "\nSentinel vs NUMA %.2fx, vs Memory Mode %.2fx, vs AutoTM "
+            "%.2fx (averages).\nPaper anchors: 1.7x, 1.2x and 1.1x "
+            "respectively for models whose peak exceeds\nfast memory "
+            "(Sec. VII-B).\n",
+            sent_over_numa / n, sent_over_mm / n, sent_over_autotm / n);
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate itself:
+ * the page table, migration engine, allocator, profiler, and executor.
+ *
+ * These are engineering benchmarks (how fast is the reproduction), not
+ * paper results — they keep the simulator's own costs visible so the
+ * table/figure benches stay quick to iterate on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/arena.hh"
+#include "baselines/reference.hh"
+#include "core/sentinel_policy.hh"
+#include "dataflow/executor.hh"
+#include "mem/hm.hh"
+#include "models/registry.hh"
+#include "profile/profiler.hh"
+
+using namespace sentinel;
+
+namespace {
+
+mem::HeterogeneousMemory
+makeHm(std::uint64_t fast_bytes)
+{
+    mem::TierParams fast{ "dram", fast_bytes, 76e9, 50e9, 85, 90 };
+    mem::TierParams slow{ "pmm", 64ull << 30, 30e9, 10e9, 300, 120 };
+    return mem::HeterogeneousMemory(fast, slow, { 8e9, 6e9, 2000 });
+}
+
+void
+BM_ArenaAllocFree(benchmark::State &state)
+{
+    alloc::VirtualArena arena(0);
+    for (auto _ : state) {
+        auto a = arena.allocate(1024, 64);
+        auto b = arena.allocate(64 * 1024, 64);
+        arena.free(a, 1024);
+        arena.free(b, 64 * 1024);
+    }
+}
+BENCHMARK(BM_ArenaAllocFree);
+
+void
+BM_PageMapUnmap(benchmark::State &state)
+{
+    auto hm = makeHm(1ull << 30);
+    mem::PageId next = 0;
+    for (auto _ : state) {
+        hm.tryMapPage(next, mem::Tier::Fast);
+        hm.unmapPage(next, 0);
+        ++next;
+    }
+}
+BENCHMARK(BM_PageMapUnmap);
+
+void
+BM_MigrateBatch(benchmark::State &state)
+{
+    auto hm = makeHm(4ull << 30);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<mem::PageId> pages(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pages[i] = i;
+        hm.tryMapPage(i, mem::Tier::Slow);
+    }
+    Tick now = 0;
+    for (auto _ : state) {
+        hm.migratePages(pages, mem::Tier::Fast, now);
+        now += kSec;
+        hm.commitUpTo(now);
+        hm.migratePages(pages, mem::Tier::Slow, now);
+        now += kSec;
+        hm.commitUpTo(now);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_MigrateBatch)->Arg(64)->Arg(1024);
+
+void
+BM_GraphBuildResnet32(benchmark::State &state)
+{
+    for (auto _ : state) {
+        df::Graph g = models::makeModel("resnet32", 32);
+        benchmark::DoNotOptimize(g.numOps());
+    }
+}
+BENCHMARK(BM_GraphBuildResnet32);
+
+void
+BM_ExecutorStepFastOnly(benchmark::State &state)
+{
+    df::Graph g = models::makeModel("resnet20", 8);
+    auto hm = makeHm(2ull << 30);
+    auto policy = baselines::makeFastOnly();
+    df::Executor ex(g, hm, df::ExecParams{}, *policy);
+    ex.runStep();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.runStep().step_time);
+}
+BENCHMARK(BM_ExecutorStepFastOnly);
+
+void
+BM_ProfilingStep(benchmark::State &state)
+{
+    df::Graph g = models::makeModel("resnet20", 8);
+    for (auto _ : state) {
+        auto hm = makeHm(2ull << 30);
+        prof::Profiler profiler;
+        auto r = profiler.profile(g, hm, df::ExecParams{});
+        benchmark::DoNotOptimize(r.db.numTensors());
+    }
+}
+BENCHMARK(BM_ProfilingStep);
+
+void
+BM_SentinelSteadyStep(benchmark::State &state)
+{
+    df::Graph g = models::makeModel("resnet20", 8);
+    std::uint64_t fast = mem::roundUpToPages(g.peakMemoryBytes() / 5);
+    auto prof_hm = makeHm(fast);
+    prof::Profiler profiler;
+    auto profile = profiler.profile(g, prof_hm, df::ExecParams{});
+
+    auto hm = makeHm(fast);
+    core::SentinelPolicy policy(profile.db);
+    df::Executor ex(g, hm, df::ExecParams{}, policy);
+    ex.run(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.runStep().step_time);
+}
+BENCHMARK(BM_SentinelSteadyStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table IV: total migrated data per training step for IAL, AutoTM and
+ * Sentinel (standalone version; bench_fig7_small_batch prints it from
+ * the same runs as Fig. 7).
+ *
+ * Paper anchors: Sentinel migrates 85% more than IAL and 32% more
+ * than AutoTM — and hides it under training.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace sentinel;
+
+int
+main(int argc, char **argv)
+{
+    std::string only = argc > 1 ? argv[1] : "";
+    bench::banner("Table IV - migrated data per training step",
+                  "Table IV, Sec. VII-B");
+
+    Table t("Table IV: migrated MB per step (fast mem = 20% of peak)",
+            { "model", "IAL", "AutoTM", "Sentinel",
+              "Sentinel vs IAL", "Sentinel vs AutoTM" });
+
+    for (const auto &model : bench::evaluationModels()) {
+        if (!only.empty() && model != only)
+            continue;
+        harness::ExperimentConfig cfg;
+        cfg.model = model;
+        cfg.batch = models::modelSpec(model).small_batch;
+
+        auto ial = harness::runExperiment(cfg, "ial");
+        auto autotm = harness::runExperiment(cfg, "autotm");
+        auto sentinel = harness::runExperiment(cfg, "sentinel");
+
+        auto ratio = [](double a, double b) {
+            return b > 0.0 ? strprintf("%.2fx", a / b)
+                           : std::string("-");
+        };
+        t.row()
+            .cell(model)
+            .cell(ial.migrated_mb(), 1)
+            .cell(autotm.migrated_mb(), 1)
+            .cell(sentinel.migrated_mb(), 1)
+            .cell(ratio(sentinel.migrated_mb(), ial.migrated_mb()))
+            .cell(ratio(sentinel.migrated_mb(), autotm.migrated_mb()));
+    }
+    t.printWithCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ *
+ * Every binary prints (a) a human-readable table matching the paper's
+ * rows/series and (b) the same data as CSV, so plots can be
+ * regenerated offline.
+ */
+
+#ifndef SENTINEL_BENCH_BENCH_UTIL_HH
+#define SENTINEL_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "models/registry.hh"
+
+namespace sentinel::bench {
+
+/** The five evaluation models, in the paper's presentation order. */
+inline std::vector<std::string>
+evaluationModels()
+{
+    return { "resnet32", "resnet200", "bert_large",
+             "lstm",     "mobilenet", "dcgan" };
+}
+
+inline double
+speedupOver(double baseline_ms, double policy_ms)
+{
+    return policy_ms > 0.0 ? baseline_ms / policy_ms : 0.0;
+}
+
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "\n=================================================="
+              << "\n Sentinel reproduction - " << what << "\n (paper: "
+              << paper_ref << ")"
+              << "\n==================================================\n";
+}
+
+} // namespace sentinel::bench
+
+#endif // SENTINEL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,116 @@
+#include "alloc/arena.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::alloc {
+
+namespace {
+
+constexpr mem::VirtAddr
+alignUp(mem::VirtAddr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+VirtualArena::VirtualArena(mem::VirtAddr base, std::uint64_t capacity)
+    : base_(base), capacity_(capacity), bump_(base), high_water_(base)
+{
+}
+
+mem::VirtAddr
+VirtualArena::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    mem::VirtAddr addr = tryAllocate(bytes, align);
+    SENTINEL_ASSERT(addr != kInvalidAddr,
+                    "arena exhausted: need %llu bytes",
+                    static_cast<unsigned long long>(bytes));
+    return addr;
+}
+
+mem::VirtAddr
+VirtualArena::tryAllocate(std::uint64_t bytes, std::uint64_t align)
+{
+    SENTINEL_ASSERT(bytes > 0, "zero-byte allocation");
+    SENTINEL_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                    "alignment %llu is not a power of two",
+                    static_cast<unsigned long long>(align));
+
+    // First fit over the free list.
+    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+        mem::VirtAddr block = it->first;
+        std::uint64_t size = it->second;
+        mem::VirtAddr aligned = alignUp(block, align);
+        if (aligned + bytes > block + size)
+            continue;
+
+        free_list_.erase(it);
+        if (aligned > block)
+            insertFree(block, aligned - block);
+        std::uint64_t tail = (block + size) - (aligned + bytes);
+        if (tail > 0)
+            insertFree(aligned + bytes, tail);
+        in_use_ += bytes;
+        return aligned;
+    }
+
+    // Bump allocation.
+    mem::VirtAddr aligned = alignUp(bump_, align);
+    if (aligned + bytes > base_ + capacity_)
+        return kInvalidAddr;
+    if (aligned > bump_)
+        insertFree(bump_, aligned - bump_);
+    bump_ = aligned + bytes;
+    high_water_ = std::max(high_water_, bump_);
+    in_use_ += bytes;
+    return aligned;
+}
+
+void
+VirtualArena::reset()
+{
+    SENTINEL_ASSERT(in_use_ == 0, "reset() with %llu bytes still in use",
+                    static_cast<unsigned long long>(in_use_));
+    bump_ = base_;
+    free_list_.clear();
+}
+
+void
+VirtualArena::insertFree(mem::VirtAddr addr, std::uint64_t bytes)
+{
+    auto [it, inserted] = free_list_.emplace(addr, bytes);
+    SENTINEL_ASSERT(inserted, "double free at %llu",
+                    static_cast<unsigned long long>(addr));
+
+    // Coalesce with successor.
+    auto next = std::next(it);
+    if (next != free_list_.end() &&
+        it->first + it->second == next->first) {
+        it->second += next->second;
+        free_list_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != free_list_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_list_.erase(it);
+        }
+    }
+}
+
+void
+VirtualArena::free(mem::VirtAddr addr, std::uint64_t bytes)
+{
+    SENTINEL_ASSERT(bytes > 0, "zero-byte free");
+    SENTINEL_ASSERT(addr >= base_ && addr + bytes <= bump_,
+                    "free of range outside arena");
+    SENTINEL_ASSERT(bytes <= in_use_, "arena free underflow");
+    insertFree(addr, bytes);
+    in_use_ -= bytes;
+}
+
+} // namespace sentinel::alloc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Virtual address allocation.
+ *
+ * The arena hands out address ranges in a simulated virtual address
+ * space.  It is deliberately a *packing* allocator with a first-fit
+ * free list: freed ranges are recycled, so short-lived temporaries
+ * reuse addresses next to long-lived activations — which is precisely
+ * how TensorFlow's BFC allocator creates the page-level false sharing
+ * the paper measures (Observation 3).
+ *
+ * Sentinel's data reorganization is expressed *through* this class by
+ * using multiple arenas (one per co-allocation class) and page
+ * alignment, rather than by a different allocator.
+ */
+
+#ifndef SENTINEL_ALLOC_ARENA_HH
+#define SENTINEL_ALLOC_ARENA_HH
+
+#include <cstdint>
+#include <map>
+
+#include "mem/page.hh"
+
+namespace sentinel::alloc {
+
+class VirtualArena
+{
+  public:
+    /**
+     * @param base start of this arena's address region.  Distinct
+     *        arenas must use disjoint regions; the conventional layout
+     *        is `index << 44`.
+     * @param capacity size of the region.
+     */
+    explicit VirtualArena(mem::VirtAddr base,
+                          std::uint64_t capacity = 1ull << 44);
+
+    /**
+     * Allocate @p bytes aligned to @p align (power of two).
+     * First-fit over the free list, then bump allocation.
+     * Panics if the arena region is exhausted.
+     */
+    mem::VirtAddr allocate(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /** Like allocate(), but returns kInvalidAddr when out of space. */
+    mem::VirtAddr tryAllocate(std::uint64_t bytes,
+                              std::uint64_t align = 64);
+
+    /** Forget all allocations (callers must know nothing is live). */
+    void reset();
+
+    static constexpr mem::VirtAddr kInvalidAddr = ~0ull;
+
+    /** Return a range previously handed out by allocate(). */
+    void free(mem::VirtAddr addr, std::uint64_t bytes);
+
+    std::uint64_t bytesInUse() const { return in_use_; }
+    /** High-water mark of address-space consumption (footprint). */
+    std::uint64_t highWater() const { return high_water_ - base_; }
+    mem::VirtAddr base() const { return base_; }
+
+    /** Number of blocks currently on the free list (for tests). */
+    std::size_t freeBlocks() const { return free_list_.size(); }
+
+  private:
+    /** Insert a free range, coalescing with adjacent free blocks. */
+    void insertFree(mem::VirtAddr addr, std::uint64_t bytes);
+
+    mem::VirtAddr base_;
+    std::uint64_t capacity_;
+    mem::VirtAddr bump_;       ///< first never-allocated address
+    mem::VirtAddr high_water_;
+    std::uint64_t in_use_ = 0;
+
+    /** addr -> size, coalesced on free. */
+    std::map<mem::VirtAddr, std::uint64_t> free_list_;
+};
+
+} // namespace sentinel::alloc
+
+#endif // SENTINEL_ALLOC_ARENA_HH

@@ -1,0 +1,60 @@
+#include "alloc/reserved_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::alloc {
+
+ReservedPool::ReservedPool(mem::VirtAddr base, std::uint64_t capacity)
+    // The address region is twice the byte capacity: canFit() bounds
+    // *bytes in use*, but first-fit fragmentation can push the bump
+    // pointer past the ideal packing.  Extra address space absorbs
+    // that; occupancy accounting still limits the pool to `capacity`.
+    : capacity_(capacity), arena_(base, 2 * capacity)
+{
+    SENTINEL_ASSERT(base % mem::kPageSize == 0,
+                    "pool base must be page-aligned");
+    SENTINEL_ASSERT(capacity % mem::kPageSize == 0,
+                    "pool capacity must be page-aligned");
+}
+
+bool
+ReservedPool::canFit(std::uint64_t bytes) const
+{
+    return arena_.bytesInUse() + bytes <= capacity_;
+}
+
+mem::VirtAddr
+ReservedPool::allocate(std::uint64_t bytes)
+{
+    if (!canFit(bytes))
+        return kInvalidAddr;
+    mem::VirtAddr addr = arena_.tryAllocate(bytes, 64);
+    if (addr == alloc::VirtualArena::kInvalidAddr)
+        return kInvalidAddr;
+    peak_use_ = std::max(peak_use_, arena_.bytesInUse());
+    return addr;
+}
+
+void
+ReservedPool::free(mem::VirtAddr addr, std::uint64_t bytes)
+{
+    arena_.free(addr, bytes);
+    // The pool drains completely between bursts of short-lived
+    // tensors; resetting then bounds fragmentation drift, keeping the
+    // region reusable forever ("the space is reused throughout the
+    // training", Sec. IV-C).
+    if (arena_.bytesInUse() == 0)
+        arena_.reset();
+}
+
+bool
+ReservedPool::containsPage(mem::PageId page) const
+{
+    mem::PageId first = mem::pageOf(arena_.base());
+    mem::PageId end = mem::pageCeil(arena_.base() + 2 * capacity_);
+    return page >= first && page < end;
+}
+
+} // namespace sentinel::alloc

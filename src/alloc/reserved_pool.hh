@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sentinel's reserved fast-memory space for short-lived tensors.
+ *
+ * Short-lived tensors are allocated in a contiguous region of fast
+ * memory, never migrated, and the region is reused as tensors are
+ * allocated and freed throughout training (Sec. IV-C).  The pool's
+ * capacity is RS — the peak short-lived consumption per migration
+ * interval determined from the profile — and the interval planner's
+ * space constraint (Eq. 1) budgets prefetching against S - RS.
+ */
+
+#ifndef SENTINEL_ALLOC_RESERVED_POOL_HH
+#define SENTINEL_ALLOC_RESERVED_POOL_HH
+
+#include <cstdint>
+
+#include "alloc/arena.hh"
+#include "mem/page.hh"
+
+namespace sentinel::alloc {
+
+class ReservedPool
+{
+  public:
+    /**
+     * @param base address-region start (disjoint from other arenas).
+     * @param capacity RS — the reserved fast-memory bytes.
+     */
+    ReservedPool(mem::VirtAddr base, std::uint64_t capacity);
+
+    /** True if @p bytes can currently be placed in the pool. */
+    bool canFit(std::uint64_t bytes) const;
+
+    /**
+     * Allocate from the reserved region.
+     *
+     * @return kInvalidAddr if the request does not fit (caller falls
+     *         back to the overflow path) — either the byte budget or
+     *         the address region (fragmentation) is exhausted.
+     */
+    mem::VirtAddr allocate(std::uint64_t bytes);
+
+    static constexpr mem::VirtAddr kInvalidAddr = ~0ull;
+
+    void free(mem::VirtAddr addr, std::uint64_t bytes);
+
+    /** True if @p page belongs to the pool's address region. */
+    bool containsPage(mem::PageId page) const;
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t bytesInUse() const { return arena_.bytesInUse(); }
+    std::uint64_t peakUse() const { return peak_use_; }
+
+  private:
+    std::uint64_t capacity_;
+    VirtualArena arena_;
+    std::uint64_t peak_use_ = 0;
+};
+
+} // namespace sentinel::alloc
+
+#endif // SENTINEL_ALLOC_RESERVED_POOL_HH

@@ -1,0 +1,124 @@
+#include "baselines/autotm.hh"
+
+#include <algorithm>
+
+namespace sentinel::baselines {
+
+std::vector<std::pair<int, int>>
+useEpisodes(const std::vector<int> &access_layers)
+{
+    std::vector<std::pair<int, int>> episodes;
+    for (int l : access_layers) {
+        if (!episodes.empty() && l <= episodes.back().second + 1)
+            episodes.back().second = l;
+        else
+            episodes.emplace_back(l, l);
+    }
+    return episodes;
+}
+
+std::vector<std::uint64_t>
+transientLedger(const prof::ProfileDatabase &db)
+{
+    std::vector<std::uint64_t> ledger(
+        static_cast<std::size_t>(db.numLayers()), 0);
+    for (const auto &t : db.tensors()) {
+        if (t.preallocated || t.lifetimeLayers() > 2)
+            continue;
+        for (int l = t.first_layer; l <= t.last_layer; ++l)
+            ledger[static_cast<std::size_t>(l)] += t.bytes;
+    }
+    return ledger;
+}
+
+void
+AutoTmPolicy::buildSchedule(df::Executor &ex)
+{
+    std::uint64_t S = ex.hm().tier(mem::Tier::Fast).capacity();
+    int L = db_.numLayers();
+    std::vector<std::uint64_t> ledger = transientLedger(db_);
+
+    // Hotness-density order — the ILP's objective rewards exactly the
+    // tensors whose placement saves the most slow-memory traffic.
+    std::vector<df::TensorId> order;
+    order.reserve(db_.numTensors());
+    for (const auto &t : db_.tensors())
+        order.push_back(t.id);
+    std::sort(order.begin(), order.end(),
+              [this](df::TensorId a, df::TensorId b) {
+                  double ha = db_.tensor(a).accesses_per_page;
+                  double hb = db_.tensor(b).accesses_per_page;
+                  if (ha != hb)
+                      return ha > hb;
+                  return a < b;
+              });
+
+    auto fits = [&](int begin, int end, std::uint64_t bytes) {
+        for (int l = begin; l <= end; ++l)
+            if (ledger[static_cast<std::size_t>(l)] + bytes > S)
+                return false;
+        return true;
+    };
+    auto claim = [&](int begin, int end, std::uint64_t bytes) {
+        for (int l = begin; l <= end; ++l)
+            ledger[static_cast<std::size_t>(l)] += bytes;
+    };
+
+    for (df::TensorId id : order) {
+        const prof::TensorProfile &t = db_.tensor(id);
+        if (t.access_layers.empty())
+            continue;
+        if (!t.preallocated && t.lifetimeLayers() <= 2) {
+            // Transient: lives on the device for its moment (already
+            // accounted in the ledger seed).
+            placement_[id] = Placement::PinFast;
+            continue;
+        }
+
+        auto episodes = useEpisodes(t.access_layers);
+        int episode_layers = 0;
+        for (const auto &e : episodes)
+            episode_layers += e.second - e.first + 1;
+        int span = t.last_layer - t.first_layer + 1;
+
+        auto try_swap = [&]() {
+            bool ok = true;
+            for (const auto &e : episodes)
+                ok = ok && fits(e.first, e.second, t.bytes);
+            if (!ok && !gpu_strict_)
+                return false;
+            placement_[id] = Placement::Swap;
+            for (const auto &e : episodes) {
+                claim(e.first, e.second, t.bytes);
+                swap_in_at_[static_cast<std::size_t>(e.first)]
+                    .push_back(id);
+                swap_out_at_[static_cast<std::size_t>(e.second)]
+                    .push_back(id);
+            }
+            return true;
+        };
+        auto try_pin = [&]() {
+            if (!fits(t.first_layer, t.last_layer, t.bytes))
+                return false;
+            placement_[id] = Placement::PinFast;
+            claim(t.first_layer, t.last_layer, t.bytes);
+            return true;
+        };
+
+        // The ILP's answer for a tensor idle most of its lifetime is
+        // to move it out between episodes: swapping frees capacity
+        // worth span-episode_layers layers at the price of the
+        // (synchronous) moves.  Pin only when mostly busy.
+        bool prefer_swap = span > 2 * episode_layers;
+        if (prefer_swap) {
+            if (try_swap() || try_pin())
+                continue;
+        } else {
+            if (try_pin() || try_swap())
+                continue;
+        }
+        placement_[id] = Placement::Slow;
+    }
+}
+
+} // namespace sentinel::baselines

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * AutoTM — static-profile, ILP-style placement with synchronous moves.
+ *
+ * AutoTM [7] formulates tensor placement/movement on DRAM+PMM as an
+ * integer linear program over a static profile.  We reproduce its
+ * defining behaviour with an optimal-order greedy over the same
+ * objective the ILP encodes (hotness-density first, capacity ledger
+ * per layer):
+ *
+ *  - tensors are pinned in fast memory for their whole span when they
+ *    fit, swapped around their use episodes when only that fits,
+ *    otherwise left in slow memory;
+ *  - every swap-in is *synchronous* — the paper observes that all of
+ *    AutoTM's tensor movement is exposed on the critical path, which
+ *    is exactly why Sentinel beats it by ~17%.
+ *
+ * The ILP solve happens offline (compile time in nGraph), so no
+ * decision overhead is charged to training.
+ */
+
+#ifndef SENTINEL_BASELINES_AUTOTM_HH
+#define SENTINEL_BASELINES_AUTOTM_HH
+
+#include "baselines/swap_schedule.hh"
+#include "profile/profile_db.hh"
+
+namespace sentinel::baselines {
+
+class AutoTmPolicy : public ScheduledSwapPolicy
+{
+  public:
+    /**
+     * @param gpu_strict GPU variant: tensors must reside in device
+     *        memory when used, so nothing may be planned "Slow".
+     */
+    explicit AutoTmPolicy(const prof::ProfileDatabase &db,
+                          bool gpu_strict = false)
+        : ScheduledSwapPolicy(gpu_strict ? "autotm-gpu" : "autotm",
+                              /*sync_moves=*/true),
+          db_(db), gpu_strict_(gpu_strict)
+    {
+    }
+
+  protected:
+    void buildSchedule(df::Executor &ex) override;
+
+  private:
+    const prof::ProfileDatabase &db_;
+    bool gpu_strict_;
+};
+
+/**
+ * Group a sorted list of access layers into contiguous use episodes
+ * (gap <= 1 keeps layers in the same episode).  Shared by the
+ * schedule-driven baselines.
+ */
+std::vector<std::pair<int, int>>
+useEpisodes(const std::vector<int> &access_layers);
+
+/**
+ * Per-layer fast-memory footprint of transient tensors (lifetime of at
+ * most two layers): gradients, temps and other tensors that are simply
+ * born, used, and freed on the device.  Solvers seed their capacity
+ * ledgers with this so placed tensors leave room for them — exactly
+ * what the real ILP/GA formulations do by modeling every tensor.
+ */
+std::vector<std::uint64_t>
+transientLedger(const prof::ProfileDatabase &db);
+
+} // namespace sentinel::baselines
+
+#endif // SENTINEL_BASELINES_AUTOTM_HH

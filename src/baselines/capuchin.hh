@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Capuchin — dynamic-profile swapping with recomputation fallback.
+ *
+ * Capuchin [9] profiles the first iterations at tensor granularity and
+ * then, per tensor, chooses between *swapping* (evict after the
+ * forward use, prefetch before the backward use — overlapped) and
+ * *recomputation* (discard after the forward use, replay the producing
+ * operation at backward time) based on which costs less; swaps that
+ * cannot be hidden under the fwd->bwd gap become recomputations.
+ *
+ * Against Sentinel-GPU the paper finds: recomputation burns ~11% of
+ * the step, and the tensor-level decisions still ride on a packed
+ * allocator, so page-level false sharing persists — worth 11-21%.
+ */
+
+#ifndef SENTINEL_BASELINES_CAPUCHIN_HH
+#define SENTINEL_BASELINES_CAPUCHIN_HH
+
+#include <unordered_set>
+
+#include "baselines/swap_schedule.hh"
+#include "profile/profile_db.hh"
+
+namespace sentinel::baselines {
+
+class CapuchinPolicy : public ScheduledSwapPolicy
+{
+  public:
+    CapuchinPolicy(const prof::ProfileDatabase &db,
+                   bool gpu_strict = false)
+        : ScheduledSwapPolicy(gpu_strict ? "capuchin-gpu" : "capuchin",
+                              /*sync_moves=*/false),
+          db_(db), gpu_strict_(gpu_strict)
+    {
+    }
+
+    void onLayerBegin(df::Executor &ex, int layer) override;
+    void onLayerEnd(df::Executor &ex, int layer) override;
+
+    /** Number of tensors resolved to recomputation. */
+    std::size_t recomputeCount() const { return recompute_count_; }
+
+  protected:
+    void buildSchedule(df::Executor &ex) override;
+
+  private:
+    struct RecomputeEntry {
+        df::TensorId id;
+        Tick cost; ///< replaying the producing op
+    };
+
+    const prof::ProfileDatabase &db_;
+    bool gpu_strict_;
+    std::size_t recompute_count_ = 0;
+
+    void teleportTensor(df::Executor &ex, df::TensorId id,
+                        mem::Tier dst);
+
+    /** recompute_at_[l]: tensors rematerialized at layer l's start. */
+    std::vector<std::vector<RecomputeEntry>> recompute_at_;
+
+    /** discard_at_[l]: tensors dropped (no transfer) after layer l. */
+    std::vector<std::vector<df::TensorId>> discard_at_;
+};
+
+} // namespace sentinel::baselines
+
+#endif // SENTINEL_BASELINES_CAPUCHIN_HH

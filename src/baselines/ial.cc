@@ -1,0 +1,110 @@
+#include "baselines/ial.hh"
+
+#include <array>
+#include <vector>
+
+namespace sentinel::baselines {
+
+df::AllocDecision
+IalPolicy::allocate(df::Executor &ex, const df::TensorDesc &tensor)
+{
+    // First-touch placement prefers fast memory; make room FIFO-style
+    // if it is full (the kernel reclaims from the active list's tail).
+    std::uint64_t need = mem::roundUpToPages(tensor.bytes);
+    if (ex.hm().tier(mem::Tier::Fast).free() < need)
+        evictForSpace(ex, need);
+    return { arena_.allocate(tensor.bytes, 64), mem::Tier::Fast };
+}
+
+void
+IalPolicy::noteFastPage(mem::PageId page)
+{
+    if (in_fifo_.insert(page).second)
+        fifo_.push_back(page);
+}
+
+void
+IalPolicy::onTensorAllocated(df::Executor &ex, df::TensorId,
+                             const df::TensorPlacement &pl)
+{
+    Tick now = ex.now();
+    for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+        if (ex.hm().residentTier(p, now) == mem::Tier::Fast)
+            noteFastPage(p);
+    }
+}
+
+void
+IalPolicy::onTensorFreed(df::Executor &, df::TensorId,
+                         const df::TensorPlacement &pl)
+{
+    arena_.free(pl.addr, pl.bytes);
+}
+
+void
+IalPolicy::onPageUnmapped(df::Executor &, mem::PageId page)
+{
+    // Lazy removal: dead pages are skipped when popped.
+    in_fifo_.erase(page);
+    slow_touches_.erase(page);
+}
+
+void
+IalPolicy::evictForSpace(df::Executor &ex, std::uint64_t bytes_needed)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+
+    std::vector<mem::PageId> victims;
+    std::uint64_t reclaimed = 0;
+    while (reclaimed < bytes_needed && !fifo_.empty()) {
+        mem::PageId head = fifo_.front();
+        fifo_.pop_front();
+        if (in_fifo_.erase(head) == 0)
+            continue; // page died earlier
+        if (!hm.isMapped(head) ||
+            hm.residentTier(head, now) != mem::Tier::Fast ||
+            hm.inFlight(head, now))
+            continue;
+        victims.push_back(head);
+        reclaimed += mem::kPageSize;
+    }
+    // Background demotion: space becomes free when transfers land.
+    hm.migratePages(victims, mem::Tier::Slow, now);
+}
+
+df::PageAccessResult
+IalPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    if (hm.residentTier(page, now) != mem::Tier::Slow ||
+        hm.inFlight(page, now))
+        return {};
+
+    // Count page heat through NUMA-style hint faults (each sampled
+    // access pays the fault).  Every tensor sharing this page heats
+    // it — page-level false sharing at work.
+    int touches = ++slow_touches_[page];
+    df::PageAccessResult out;
+    out.extra = hint_fault_cost_;
+    if (touches < threshold_)
+        return out;
+
+    if (hm.tier(mem::Tier::Fast).free() < mem::kPageSize)
+        evictForSpace(ex, 16 * mem::kPageSize);
+
+    std::array<mem::PageId, 1> one{ page };
+    if (hm.migratePages(one, mem::Tier::Fast, now) == 1) {
+        ++promotions_;
+        slow_touches_.erase(page);
+        noteFastPage(page);
+        // Fault-driven promotion: the faulting access pays the
+        // in-kernel page copy + remap, then proceeds on the fast copy.
+        out.extra += promote_service_;
+        out.effective = mem::Tier::Fast;
+    }
+    return out;
+}
+
+} // namespace sentinel::baselines

@@ -1,0 +1,29 @@
+#include "baselines/memory_mode.hh"
+
+namespace sentinel::baselines {
+
+df::PageAccessResult
+MemoryModePolicy::onPageAccess(df::Executor &ex, mem::PageId page,
+                               bool is_write)
+{
+    const mem::TierParams &slow =
+        ex.hm().tierParams(mem::Tier::Slow);
+    mem::DramCacheResult r = cache_.access(page, is_write);
+
+    df::PageAccessResult out;
+    // After a (possible) fill, the access is served at DRAM speed.
+    out.effective = mem::Tier::Fast;
+    if (!r.hit) {
+        // Fill from PMM, plus the victim writeback if dirty; both sit
+        // on the access's critical path in Memory Mode.
+        out.extra = transferTime(r.fill_bytes, slow.read_bw) +
+                    slow.read_latency;
+        if (r.writeback_bytes > 0) {
+            out.extra +=
+                transferTime(r.writeback_bytes, slow.write_bw);
+        }
+    }
+    return out;
+}
+
+} // namespace sentinel::baselines

@@ -1,0 +1,26 @@
+#include "baselines/reference.hh"
+
+namespace sentinel::baselines {
+
+std::unique_ptr<df::MemoryPolicy>
+makeFastOnly()
+{
+    return std::make_unique<PackedReferencePolicy>("fast-only",
+                                                   mem::Tier::Fast);
+}
+
+std::unique_ptr<df::MemoryPolicy>
+makeSlowOnly()
+{
+    return std::make_unique<PackedReferencePolicy>("slow-only",
+                                                   mem::Tier::Slow);
+}
+
+std::unique_ptr<df::MemoryPolicy>
+makeFirstTouchNuma()
+{
+    return std::make_unique<PackedReferencePolicy>("first-touch-numa",
+                                                   mem::Tier::Fast);
+}
+
+} // namespace sentinel::baselines

@@ -1,0 +1,66 @@
+#include "baselines/vdnn.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::baselines {
+
+bool
+VdnnPolicy::supports(const df::Graph &graph)
+{
+    for (const auto &op : graph.ops())
+        if (op.type == df::OpType::Conv2d)
+            return true;
+    return false;
+}
+
+void
+VdnnPolicy::buildSchedule(df::Executor &ex)
+{
+    const df::Graph &graph = ex.graph();
+    SENTINEL_ASSERT(supports(graph),
+                    "vDNN cannot handle '%s': no convolution layers "
+                    "(recursive structures are unsupported)",
+                    graph.name().c_str());
+
+    // Default: everything device-resident.
+    for (auto &p : placement_)
+        p = Placement::PinFast;
+
+    // Conv layers (the lowering/padding ops inside them included).
+    std::vector<bool> conv_layer(
+        static_cast<std::size_t>(graph.numLayers()), false);
+    for (const auto &op : graph.ops())
+        if (op.type == df::OpType::Conv2d)
+            conv_layer[static_cast<std::size_t>(op.layer)] = true;
+
+    // Offload candidates: the input activations of convolution layers
+    // — tensors produced earlier, read inside a conv layer, and
+    // re-read later (by the backward pass).
+    for (const auto &op : graph.ops()) {
+        if (!conv_layer[static_cast<std::size_t>(op.layer)])
+            continue;
+        for (const auto &use : op.uses) {
+            if (use.is_write)
+                continue;
+            const df::TensorDesc &t = graph.tensor(use.tensor);
+            bool offloadable = (t.kind == df::TensorKind::Activation ||
+                                t.kind == df::TensorKind::Input) &&
+                               t.first_layer < op.layer &&
+                               t.last_layer > op.layer;
+            if (!offloadable || placement_[t.id] == Placement::Swap)
+                continue;
+
+            placement_[t.id] = Placement::Swap;
+            // Offload after the forward conv layer, prefetch one layer
+            // ahead of the backward use (fixed single-layer lead).
+            swap_out_at_[static_cast<std::size_t>(op.layer)]
+                .push_back(t.id);
+            int back = std::max(op.layer + 1, t.last_layer - 1);
+            swap_in_at_[static_cast<std::size_t>(back)].push_back(t.id);
+        }
+    }
+}
+
+} // namespace sentinel::baselines

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * vDNN — convolution-input offloading for GPU training.
+ *
+ * vDNN [6] keeps everything in device memory except the *input
+ * activations of convolution layers*: those are offloaded to the host
+ * after their forward use and prefetched one layer ahead of their
+ * backward use, overlapped with the neighboring layer's compute.
+ *
+ * Two defining limits (both measured in the paper):
+ *  - it only works for feed-forward CNNs — recursive structures (LSTM,
+ *    BERT) have no convolution backbone to key the schedule off, so
+ *    the harness reports it unsupported for those models;
+ *  - it ignores per-layer time variance, so a transfer longer than the
+ *    single overlapped layer stalls the pipeline (3x more exposed
+ *    migration than Sentinel-GPU, Fig. 13).
+ */
+
+#ifndef SENTINEL_BASELINES_VDNN_HH
+#define SENTINEL_BASELINES_VDNN_HH
+
+#include "baselines/swap_schedule.hh"
+
+namespace sentinel::baselines {
+
+class VdnnPolicy : public ScheduledSwapPolicy
+{
+  public:
+    VdnnPolicy() : ScheduledSwapPolicy("vdnn", /*sync_moves=*/false) {}
+
+    /** vDNN only handles graphs with convolution layers. */
+    static bool supports(const df::Graph &graph);
+
+  protected:
+    void buildSchedule(df::Executor &ex) override;
+};
+
+} // namespace sentinel::baselines
+
+#endif // SENTINEL_BASELINES_VDNN_HH

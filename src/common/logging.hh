@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * Two classes of errors are distinguished (deliberately, per the gem5
+ * style guide):
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does, i.e. a bug in this library.  Aborts.
+ *  - fatal():  the simulation cannot continue due to a user-level problem
+ *              (bad configuration, impossible experiment parameters).
+ *              Exits with an error code.
+ *
+ * In addition, warn() and inform() print non-fatal status messages.
+ */
+
+#ifndef SENTINEL_COMMON_LOGGING_HH
+#define SENTINEL_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace sentinel {
+
+/** Severity levels used by the message sink. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Formats a printf-style message into a std::string.
+ *
+ * @param fmt printf-style format string.
+ * @return the formatted message.
+ */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Controls whether inform() messages are printed.  Benchmarks silence
+ * them to keep their table output clean.
+ */
+void setVerbose(bool verbose);
+
+/** @return true if inform() messages are currently printed. */
+bool verbose();
+
+} // namespace sentinel
+
+/** Report an internal invariant violation and abort. */
+#define SENTINEL_PANIC(...)                                                   \
+    ::sentinel::detail::panicImpl(__FILE__, __LINE__,                         \
+                                  ::sentinel::strprintf(__VA_ARGS__))
+
+/** Report an unrecoverable user-level error and exit(1). */
+#define SENTINEL_FATAL(...)                                                   \
+    ::sentinel::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                  ::sentinel::strprintf(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define SENTINEL_WARN(...)                                                    \
+    ::sentinel::detail::warnImpl(::sentinel::strprintf(__VA_ARGS__))
+
+/** Report normal operating status (silenced unless verbose). */
+#define SENTINEL_INFORM(...)                                                  \
+    ::sentinel::detail::informImpl(::sentinel::strprintf(__VA_ARGS__))
+
+/**
+ * Internal assertion: like assert(), but active in all build types and
+ * routed through panic() so the message carries context.
+ */
+#define SENTINEL_ASSERT(cond, ...)                                            \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            SENTINEL_PANIC("assertion '%s' failed: %s", #cond,                \
+                           ::sentinel::strprintf(__VA_ARGS__).c_str());       \
+        }                                                                     \
+    } while (0)
+
+#endif // SENTINEL_COMMON_LOGGING_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component takes an explicit Rng (or a seed) so that
+ * experiments are bit-for-bit reproducible.  Wall-clock seeding is
+ * deliberately not provided.
+ */
+
+#ifndef SENTINEL_COMMON_RNG_HH
+#define SENTINEL_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace sentinel {
+
+/** A small convenience wrapper around std::mt19937_64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5e97195eull) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    bernoulli(double p)
+    {
+        std::bernoulli_distribution dist(p);
+        return dist(engine_);
+    }
+
+    /** Normal draw. */
+    double
+    normal(double mean, double stddev)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine_);
+    }
+
+    /** Underlying engine, for std::shuffle and friends. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace sentinel
+
+#endif // SENTINEL_COMMON_RNG_HH

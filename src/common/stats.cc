@@ -1,0 +1,128 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sentinel {
+
+void
+Summary::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sumsq_ += x * x;
+}
+
+double
+Summary::min() const
+{
+    SENTINEL_ASSERT(count_ > 0, "min() of empty Summary");
+    return min_;
+}
+
+double
+Summary::max() const
+{
+    SENTINEL_ASSERT(count_ > 0, "max() of empty Summary");
+    return max_;
+}
+
+double
+Summary::mean() const
+{
+    SENTINEL_ASSERT(count_ > 0, "mean() of empty Summary");
+    return sum_ / static_cast<double>(count_);
+}
+
+double
+Summary::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double var = (sumsq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    SENTINEL_ASSERT(!bounds_.empty(), "Histogram needs at least one bound");
+    SENTINEL_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "Histogram bounds must be sorted");
+    counts_.assign(bounds_.size() + 1, 0);
+    weights_.assign(bounds_.size() + 1, 0.0);
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+    counts_[idx] += 1;
+    weights_[idx] += weight;
+}
+
+std::string
+Histogram::bucketLabel(std::size_t i) const
+{
+    SENTINEL_ASSERT(i < counts_.size(), "bucket index out of range");
+    if (i == 0)
+        return strprintf("<= %g", bounds_[0]);
+    if (i == bounds_.size())
+        return strprintf("> %g", bounds_.back());
+    return strprintf("(%g, %g]", bounds_[i - 1], bounds_[i]);
+}
+
+std::uint64_t
+Histogram::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (auto c : counts_)
+        total += c;
+    return total;
+}
+
+double
+Histogram::totalWeight() const
+{
+    double total = 0.0;
+    for (auto w : weights_)
+        total += w;
+    return total;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *suffix[] = { "B", "KiB", "MiB", "GiB", "TiB" };
+    int idx = 0;
+    double v = bytes;
+    while (std::abs(v) >= 1024.0 && idx < 4) {
+        v /= 1024.0;
+        ++idx;
+    }
+    return strprintf("%.2f %s", v, suffix[idx]);
+}
+
+std::string
+formatTime(double ns)
+{
+    if (std::abs(ns) < 1e3)
+        return strprintf("%.0f ns", ns);
+    if (std::abs(ns) < 1e6)
+        return strprintf("%.2f us", ns / 1e3);
+    if (std::abs(ns) < 1e9)
+        return strprintf("%.2f ms", ns / 1e6);
+    return strprintf("%.3f s", ns / 1e9);
+}
+
+} // namespace sentinel

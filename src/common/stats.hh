@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small statistics helpers: running summaries and bucketed histograms.
+ *
+ * Used by the characterization study (Sec. III of the paper) to report
+ * tensor size / lifetime / access-count distributions, and by the
+ * benchmark harness to summarize per-step timings.
+ */
+
+#ifndef SENTINEL_COMMON_STATS_HH
+#define SENTINEL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sentinel {
+
+/** Running min/max/mean/stddev over a stream of samples. */
+class Summary
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Sample standard deviation (0 with fewer than two samples). */
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A histogram over caller-supplied bucket upper bounds.
+ *
+ * Bucket i holds samples x with bounds[i-1] < x <= bounds[i]; one final
+ * overflow bucket holds everything above the last bound.  Each sample
+ * can carry a weight (e.g. tensor bytes) so the same structure reports
+ * both "number of tensors per access-count bucket" and "bytes per
+ * access-count bucket" — exactly the two views Observation 2 uses.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void add(double x, double weight = 1.0);
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    double bucketWeight(std::size_t i) const { return weights_.at(i); }
+    /** Human-readable label for bucket @p i, e.g. "(10, 100]". */
+    std::string bucketLabel(std::size_t i) const;
+
+    std::uint64_t totalCount() const;
+    double totalWeight() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<double> weights_;
+};
+
+/** Format a byte count as a short human-readable string ("1.5 GiB"). */
+std::string formatBytes(double bytes);
+
+/** Format a Tick (ns) as a short human-readable string ("2.34 ms"). */
+std::string formatTime(double ns);
+
+} // namespace sentinel
+
+#endif // SENTINEL_COMMON_STATS_HH

@@ -1,0 +1,132 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace sentinel {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    SENTINEL_ASSERT(!headers_.empty(), "Table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    if (!rows_.empty()) {
+        SENTINEL_ASSERT(rows_.back().size() == headers_.size(),
+                        "previous row has %zu cells, expected %zu",
+                        rows_.back().size(), headers_.size());
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    SENTINEL_ASSERT(!rows_.empty(), "cell() before row()");
+    SENTINEL_ASSERT(rows_.back().size() < headers_.size(),
+                    "too many cells in row");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(strprintf("%.*f", precision, value));
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    return cell(strprintf("%lld", static_cast<long long>(value)));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(strprintf("%llu", static_cast<unsigned long long>(value)));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(static_cast<std::int64_t>(value));
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    SENTINEL_ASSERT(row < rows_.size() && col < rows_[row].size(),
+                    "Table::at(%zu, %zu) out of range", row, col);
+    return rows_[row][col];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+
+    os << "\n== " << title_ << " ==\n";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << headers_[c];
+    os << "\n" << std::string(total, '-') << "\n";
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << r[c];
+        os << "\n";
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing commas.
+            if (cells[c].find(',') != std::string::npos)
+                os << '"' << cells[c] << '"';
+            else
+                os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+Table::printWithCsv(std::ostream &os) const
+{
+    print(os);
+    os << "\n--- csv: " << title_ << " ---\n";
+    printCsv(os);
+    os << "--- end csv ---\n";
+}
+
+} // namespace sentinel

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-width text tables and CSV emission.
+ *
+ * Every benchmark binary regenerates one table or figure of the paper;
+ * they all print through this class so the output format is uniform and
+ * machine-parseable (a CSV block follows each rendered table).
+ */
+
+#ifndef SENTINEL_COMMON_TABLE_HH
+#define SENTINEL_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sentinel {
+
+/** A simple column-aligned table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title, std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    Table &cell(const std::string &value);
+    Table &cell(const char *value);
+    Table &cell(double value, int precision = 2);
+    Table &cell(std::int64_t value);
+    Table &cell(std::uint64_t value);
+    Table &cell(int value);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+    /** Raw cell text (for tests). */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render the aligned table. */
+    void print(std::ostream &os) const;
+    /** Emit the same data as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+    /** print() followed by printCsv() inside a marker block. */
+    void printWithCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sentinel
+
+#endif // SENTINEL_COMMON_TABLE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Migration-interval planning (Sec. IV-D of the paper).
+ *
+ * A training step is partitioned into equal-length intervals of MIL
+ * layers.  At each interval's start Sentinel prefetches the long-lived
+ * tensors the *next* interval needs.  The planner picks MIL from the
+ * profile alone (no extra training steps):
+ *
+ *   Eq. 1 (space):  Tensor(MIL) < S - RS(MIL)
+ *   Eq. 2 (time):   argmin_MIL ((S - RS(MIL)) / BW - T(MIL))
+ *
+ * We evaluate both, plus a per-interval refinement of Eq. 2 — the
+ * estimated migration time actually exposed beyond each interval's
+ * compute — which is what produces the interior optimum the paper
+ * measures in Fig. 5.
+ */
+
+#ifndef SENTINEL_CORE_INTERVAL_PLANNER_HH
+#define SENTINEL_CORE_INTERVAL_PLANNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "profile/profile_db.hh"
+
+namespace sentinel::core {
+
+struct PlannerInputs {
+    const prof::ProfileDatabase *db = nullptr;
+
+    /** S: fast memory capacity in bytes. */
+    std::uint64_t fast_capacity = 0;
+
+    /** BW: slow -> fast migration bandwidth, bytes/second. */
+    double promote_bw = 0.0;
+
+    /** Bandwidths used to project profiled (slow-tier) layer times
+     *  onto the steady state where hot data sits in fast memory. */
+    double fast_read_bw = 1.0;
+    double slow_read_bw = 1.0;
+};
+
+/** Diagnostics for one candidate MIL (one point of Fig. 5). */
+struct IntervalChoice {
+    int mil = 1;
+    bool feasible = false;          ///< Eq. 1 holds for every interval
+    std::uint64_t max_prefetch = 0; ///< Tensor(MIL): worst interval
+    std::uint64_t max_working_set = 0; ///< worst per-interval occupancy
+    Tick est_exposed = 0;           ///< estimated exposed migration/step
+    Tick overlap_margin = 0;        ///< min_k (T_k - migration_k)
+    double eq2_objective = 0.0;     ///< literal Eq. 2 value (seconds)
+};
+
+struct PlannerResult {
+    IntervalChoice best;
+    std::vector<IntervalChoice> candidates; ///< one per MIL examined
+    std::uint64_t rs_bytes = 0;             ///< chosen reservation (RS)
+};
+
+class IntervalPlanner
+{
+  public:
+    explicit IntervalPlanner(PlannerInputs in);
+
+    /**
+     * Evaluate candidate MILs (1 .. num_layers) and pick the best.
+     *
+     * @param rs_cap upper bound on the reservation; the pool is capped
+     *        so prefetching keeps at least some fast memory (the paper
+     *        assumes S > RS; below its lower bound we degrade
+     *        gracefully rather than fail).
+     */
+    PlannerResult plan(std::uint64_t rs_cap) const;
+
+    /** Bytes to prefetch at the start of interval @p k for k+1. */
+    std::uint64_t prefetchBytes(int mil, int interval) const;
+
+    /**
+     * Long-lived bytes that must be resident during interval @p k:
+     * what k touches plus what is being prefetched for k+1.  This is
+     * the occupancy Eq. 1 compares against S - RS.
+     */
+    std::uint64_t workingSetBytes(int mil, int interval) const;
+
+    /** Estimated steady-state duration of interval @p k. */
+    Tick intervalTime(int mil, int interval) const;
+
+    /**
+     * Interval boundaries for the dynamic-length alternative of
+     * Sec. IV-E: intervals grow until the bytes arriving for the next
+     * window approach the space budget (Eq. 1 applied per interval
+     * rather than globally).  The paper argues this buys little over
+     * one well-chosen MIL; the ablation bench measures exactly that.
+     */
+    std::vector<int> dynamicBoundaries(std::uint64_t rs_bytes) const;
+
+    static int
+    numIntervals(int num_layers, int mil)
+    {
+        return (num_layers + mil - 1) / mil;
+    }
+
+  private:
+    Tick estimatedLayerTime(int layer) const;
+
+    PlannerInputs in_;
+};
+
+} // namespace sentinel::core
+
+#endif // SENTINEL_CORE_INTERVAL_PLANNER_HH

@@ -1,0 +1,105 @@
+#include "core/migration_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::core {
+
+MigrationPlan
+buildMigrationPlan(const prof::ProfileDatabase &db,
+                   std::vector<int> starts)
+{
+    int L = db.numLayers();
+    SENTINEL_ASSERT(!starts.empty() && starts.front() == 0,
+                    "interval starts must begin with layer 0");
+    for (std::size_t i = 1; i < starts.size(); ++i)
+        SENTINEL_ASSERT(starts[i] > starts[i - 1] && starts[i] < L,
+                        "interval starts must be ascending within the "
+                        "step");
+
+    MigrationPlan plan;
+    plan.num_intervals = static_cast<int>(starts.size());
+    plan.starts = std::move(starts);
+    plan.mil = plan.num_intervals > 1 ? plan.starts[1] : L;
+    plan.interval_of.assign(static_cast<std::size_t>(L), 0);
+    for (int k = 0; k < plan.num_intervals; ++k)
+        for (int l = plan.starts[static_cast<std::size_t>(k)];
+             l < plan.intervalEnd(k); ++l)
+            plan.interval_of[static_cast<std::size_t>(l)] = k;
+
+    plan.prefetch_at.resize(static_cast<std::size_t>(plan.num_intervals));
+    plan.demote_at_layer.resize(static_cast<std::size_t>(L));
+
+    // Prefetch lists: at the start of interval k, fetch what interval
+    // k+1 (cyclically) touches.
+    for (int k = 0; k < plan.num_intervals; ++k) {
+        int kn = (k + 1) % plan.num_intervals;
+        int next_begin = plan.starts[static_cast<std::size_t>(kn)];
+        int next_end = plan.intervalEnd(kn);
+
+        for (df::TensorId id :
+             db.longLivedAccessedIn(next_begin, next_end)) {
+            const prof::TensorProfile &t = db.tensor(id);
+            // Tensors born inside the next interval cannot be
+            // prefetched (they do not exist yet).  Everything else is
+            // listed; at runtime pages already resident in fast memory
+            // are skipped, so tensors kept hot across intervals cost
+            // nothing here.
+            if (!t.preallocated && t.first_layer >= next_begin &&
+                t.first_layer < next_end)
+                continue;
+            plan.prefetch_at[static_cast<std::size_t>(k)].push_back(id);
+        }
+        // longLivedAccessedIn already returns hotness-descending order.
+    }
+
+    // Demotion lists: for each consecutive pair of access layers
+    // (a, b) of a long-lived tensor — cyclically, so the last access
+    // of the step pairs with the first access of the next step — the
+    // tensor is dead weight in fast memory after layer a if b lies
+    // beyond the *next* interval's end.  (Anything needed by the next
+    // interval must stay: it was prefetched during this one; evicting
+    // it at the boundary would just churn the migration channels.)
+    for (const prof::TensorProfile &t : db.tensors()) {
+        if (t.short_lived || t.access_layers.empty())
+            continue;
+        std::size_t n = t.access_layers.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            int a = t.access_layers[i];
+            int ka = plan.intervalOfLayer(a);
+            int keep_until = ka + 1 < plan.num_intervals
+                                 ? plan.intervalEnd(ka + 1)
+                                 : L + plan.intervalEnd(0);
+            int next_access;
+            if (i + 1 < n) {
+                next_access = t.access_layers[i + 1];
+            } else if (t.preallocated) {
+                // Wraps to the next training step.
+                next_access = t.access_layers[0] + L;
+            } else {
+                continue; // freed after this access anyway
+            }
+            if (next_access >= keep_until)
+                plan.demote_at_layer[static_cast<std::size_t>(a)]
+                    .push_back(t.id);
+        }
+    }
+
+    return plan;
+}
+
+MigrationPlan
+buildMigrationPlan(const prof::ProfileDatabase &db, int mil)
+{
+    SENTINEL_ASSERT(mil >= 1, "MIL must be at least 1");
+    int L = db.numLayers();
+    std::vector<int> starts;
+    for (int l = 0; l < L; l += mil)
+        starts.push_back(l);
+    MigrationPlan plan = buildMigrationPlan(db, std::move(starts));
+    plan.mil = mil;
+    return plan;
+}
+
+} // namespace sentinel::core

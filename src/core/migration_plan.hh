@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The concrete per-step migration schedule derived from the profile.
+ *
+ * For a chosen MIL the plan precomputes, once:
+ *
+ *  - prefetch_at[k]: long-lived tensors to start migrating into fast
+ *    memory at the beginning of interval k (they are needed by
+ *    interval k+1, cyclically), sorted by access count descending so
+ *    the hottest tensors migrate first (Sec. IV-D);
+ *
+ *  - demote_at_layer[l]: long-lived tensors whose access at layer l is
+ *    their last use in l's interval — they are moved out of fast
+ *    memory "in the middle of the interval" to make room, which is
+ *    what prevents Case 2.
+ *
+ * Training repeats the same step, so the schedule is computed once and
+ * reused for every step.
+ */
+
+#ifndef SENTINEL_CORE_MIGRATION_PLAN_HH
+#define SENTINEL_CORE_MIGRATION_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/profile_db.hh"
+
+namespace sentinel::core {
+
+struct MigrationPlan {
+    int mil = 1; ///< nominal length (0-th interval's) for reporting
+    int num_intervals = 0;
+
+    /** Start layer of each interval, ascending; starts[0] == 0. */
+    std::vector<int> starts;
+
+    /** interval_of[l]: index of the interval containing layer l. */
+    std::vector<int> interval_of;
+
+    /** prefetch_at[k]: tensor ids, hottest first. */
+    std::vector<std::vector<df::TensorId>> prefetch_at;
+
+    /** demote_at_layer[l]: tensor ids to evict after layer l. */
+    std::vector<std::vector<df::TensorId>> demote_at_layer;
+
+    int
+    intervalOfLayer(int layer) const
+    {
+        return interval_of[static_cast<std::size_t>(layer)];
+    }
+
+    bool
+    isIntervalStart(int layer) const
+    {
+        int k = intervalOfLayer(layer);
+        return starts[static_cast<std::size_t>(k)] == layer;
+    }
+
+    /** One past the last layer of interval @p k. */
+    int
+    intervalEnd(int k) const
+    {
+        return k + 1 < num_intervals
+                   ? starts[static_cast<std::size_t>(k) + 1]
+                   : static_cast<int>(interval_of.size());
+    }
+};
+
+/** Build the schedule for a fixed @p mil from the profile. */
+MigrationPlan buildMigrationPlan(const prof::ProfileDatabase &db, int mil);
+
+/**
+ * Build a schedule over explicit interval boundaries (the dynamic
+ * interval-length alternative of Sec. IV-E).  @p starts must begin
+ * with 0 and be strictly ascending within [0, num layers).
+ */
+MigrationPlan buildMigrationPlan(const prof::ProfileDatabase &db,
+                                 std::vector<int> starts);
+
+} // namespace sentinel::core
+
+#endif // SENTINEL_CORE_MIGRATION_PLAN_HH

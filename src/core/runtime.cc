@@ -1,0 +1,108 @@
+#include "core/runtime.hh"
+
+#include "common/logging.hh"
+
+namespace sentinel::core {
+
+RuntimeConfig
+RuntimeConfig::optane(std::uint64_t fast_bytes)
+{
+    RuntimeConfig cfg;
+    // DDR4-2666, 6 channels per socket.
+    cfg.fast = { "dram", fast_bytes, 76e9, 50e9, 85, 90 };
+    // Optane DC PMM, 6 DIMMs, App-Direct mode.
+    cfg.slow = { "pmm", 512ull << 30, 30e9, 10e9, 300, 120 };
+    // move_pages() through two helper threads.
+    cfg.migration = { 8.0e9, 6.0e9, 2 * kUsec };
+    // Dual-socket Cascade Lake; sustained FP32 throughput of TF CPU
+    // training kernels (far below peak AVX-512).
+    cfg.exec = { 0.6e12, 2 * kUsec };
+    cfg.profiler = {};
+    cfg.sentinel = {};
+    return cfg;
+}
+
+RuntimeConfig
+RuntimeConfig::cxl(std::uint64_t fast_bytes)
+{
+    RuntimeConfig cfg = optane(fast_bytes);
+    // CXL 2.0 attached DDR: near-DRAM bandwidth, ~2-3x the latency.
+    cfg.slow = { "cxl", 512ull << 30, 48e9, 40e9, 210, 180 };
+    cfg.migration = { 12.0e9, 10.0e9, 2 * kUsec };
+    return cfg;
+}
+
+RuntimeConfig
+RuntimeConfig::gpu(std::uint64_t hbm_bytes)
+{
+    RuntimeConfig cfg;
+    // V100: HBM2.
+    cfg.fast = { "hbm", hbm_bytes, 800e9, 750e9, 300, 300 };
+    // Host memory reached from the GPU over PCIe 3.0 x16.
+    cfg.slow = { "host", 512ull << 30, 11e9, 11e9, 1 * kUsec, 1 * kUsec };
+    // cudaMemPrefetchAsync over PCIe, one channel per direction.
+    cfg.migration = { 11e9, 11e9, 10 * kUsec };
+    // Sustained FP32 throughput + kernel-launch overhead.
+    cfg.exec = { 10.0e12, 8 * kUsec };
+    cfg.profiler.gpu_pinned = true;
+    cfg.profiler.gpu_link_bw = 11e9;
+    cfg.sentinel.gpu_mode = true;
+    return cfg;
+}
+
+Runtime::Runtime(df::Graph graph, RuntimeConfig cfg)
+    : graph_(std::move(graph)), cfg_(std::move(cfg))
+{
+    SENTINEL_ASSERT(graph_.finalized(), "graph must be finalized");
+    hm_ = std::make_unique<mem::HeterogeneousMemory>(cfg_.fast, cfg_.slow,
+                                                     cfg_.migration);
+}
+
+void
+Runtime::ensureProfiled()
+{
+    if (profile_)
+        return;
+    // Profiling runs on its own memory system snapshot: the real
+    // implementation profiles the 11th step in place, but the page-
+    // aligned profiling allocation must not linger in the training HM.
+    mem::HeterogeneousMemory profiling_hm(cfg_.fast, cfg_.slow,
+                                          cfg_.migration);
+    prof::Profiler profiler(cfg_.profiler);
+    profile_ = profiler.profile(graph_, profiling_hm, cfg_.exec);
+}
+
+void
+Runtime::ensureExecutor()
+{
+    ensureProfiled();
+    if (executor_)
+        return;
+    policy_ = std::make_unique<SentinelPolicy>(profile_->db,
+                                               cfg_.sentinel);
+    executor_ = std::make_unique<df::Executor>(graph_, *hm_, cfg_.exec,
+                                               *policy_);
+}
+
+const prof::ProfileResult &
+Runtime::profileResult()
+{
+    ensureProfiled();
+    return *profile_;
+}
+
+std::vector<df::StepStats>
+Runtime::train(int steps)
+{
+    ensureExecutor();
+    return executor_->run(steps);
+}
+
+const SentinelPolicy &
+Runtime::policy() const
+{
+    SENTINEL_ASSERT(policy_ != nullptr, "train() has not run yet");
+    return *policy_;
+}
+
+} // namespace sentinel::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The public entry point: profile a model once, then train it under
+ * Sentinel on a heterogeneous memory system.
+ *
+ * Mirrors the paper's usage: the user wraps training with
+ * start_profile()/end_profile() and annotates layers with add_layer();
+ * here the Graph already carries layer annotations, so the facade
+ * reduces to "construct, train".
+ *
+ *     auto graph = models::makeModel("resnet32", 32);
+ *     core::Runtime rt(std::move(graph), core::RuntimeConfig::optane());
+ *     auto stats = rt.train(20);
+ */
+
+#ifndef SENTINEL_CORE_RUNTIME_HH
+#define SENTINEL_CORE_RUNTIME_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/sentinel_policy.hh"
+#include "dataflow/executor.hh"
+#include "dataflow/graph.hh"
+#include "mem/hm.hh"
+#include "profile/profiler.hh"
+
+namespace sentinel::core {
+
+struct RuntimeConfig {
+    mem::TierParams fast;
+    mem::TierParams slow;
+    mem::MigrationParams migration;
+    df::ExecParams exec;
+    prof::ProfilerOptions profiler;
+    SentinelOptions sentinel;
+
+    /**
+     * DDR4 + Optane DC PMM preset (the paper's Table II CPU platform),
+     * with the fast tier sized to @p fast_bytes.
+     */
+    static RuntimeConfig optane(std::uint64_t fast_bytes);
+
+    /** V100 HBM + host-DRAM-over-PCIe preset (GPU platform). */
+    static RuntimeConfig gpu(std::uint64_t hbm_bytes);
+
+    /**
+     * DDR4 + CXL-attached-memory preset: a faster, lower-latency slow
+     * tier than Optane.  Not in the paper (CXL postdates it) — kept to
+     * study how Sentinel's advantage scales as the tier gap narrows,
+     * the question the paper's introduction raises about future
+     * memory technologies.
+     */
+    static RuntimeConfig cxl(std::uint64_t fast_bytes);
+};
+
+class Runtime
+{
+  public:
+    Runtime(df::Graph graph, RuntimeConfig cfg);
+
+    /** The one-step profiling phase (run lazily before training). */
+    const prof::ProfileResult &profileResult();
+
+    /**
+     * Run @p steps training steps under Sentinel (profiling first if
+     * not done yet).  Subsequent calls continue training.
+     */
+    std::vector<df::StepStats> train(int steps);
+
+    const df::Graph &graph() const { return graph_; }
+    mem::HeterogeneousMemory &hm() { return *hm_; }
+    /** Valid after the first train() call. */
+    const SentinelPolicy &policy() const;
+
+  private:
+    void ensureProfiled();
+    void ensureExecutor();
+
+    df::Graph graph_;
+    RuntimeConfig cfg_;
+    std::optional<prof::ProfileResult> profile_;
+    std::unique_ptr<mem::HeterogeneousMemory> hm_;
+    std::unique_ptr<SentinelPolicy> policy_;
+    std::unique_ptr<df::Executor> executor_;
+};
+
+} // namespace sentinel::core
+
+#endif // SENTINEL_CORE_RUNTIME_HH

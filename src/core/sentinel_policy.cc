@@ -1,0 +1,444 @@
+#include "core/sentinel_policy.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace sentinel::core {
+
+SentinelPolicy::SentinelPolicy(const prof::ProfileDatabase &db,
+                               SentinelOptions opts)
+    : db_(db), opts_(opts), packed_(kPackedBase)
+{
+}
+
+std::string
+SentinelPolicy::name() const
+{
+    return opts_.gpu_mode ? "sentinel-gpu" : "sentinel";
+}
+
+std::uint64_t
+SentinelPolicy::reservedPoolBytes() const
+{
+    return pool_ ? pool_->capacity() : 0;
+}
+
+std::uint64_t
+SentinelPolicy::reservedPoolPeak() const
+{
+    return pool_ ? pool_->peakUse() : 0;
+}
+
+mem::VirtAddr
+SentinelPolicy::staticAddress(df::TensorId id) const
+{
+    SENTINEL_ASSERT(id < static_addr_.size(), "bad tensor id %u", id);
+    return static_addr_[id];
+}
+
+bool
+SentinelPolicy::isPoolPage(mem::PageId page) const
+{
+    return pool_ && pool_->containsPage(page);
+}
+
+void
+SentinelPolicy::buildStaticLayout(const df::Graph &graph)
+{
+    static_addr_.assign(graph.numTensors(), kInvalidAddr);
+
+    // Rule: preallocated tensors never share pages (they cannot be
+    // reorganized mid-training; exclusive pages at least stop false
+    // sharing).
+    alloc::VirtualArena prealloc_arena(kPreallocBase);
+    for (df::TensorId id : graph.preallocatedTensors()) {
+        const df::TensorDesc &t = graph.tensor(id);
+        static_addr_[id] =
+            prealloc_arena.allocate(t.pageAlignedBytes(), mem::kPageSize);
+    }
+
+    if (!opts_.use_coalloc)
+        return; // everything else goes through the packed arena
+
+    // Rules 2+3: long-lived tensors residing in exactly the same layers
+    // share pages, laid out in descending access count; different spans
+    // never share.  Each span class gets a page-aligned region.
+    std::map<std::pair<int, int>, std::vector<df::TensorId>> classes;
+    for (const auto &t : graph.tensors()) {
+        if (t.preallocated || t.shortLived())
+            continue;
+        classes[{ t.first_layer, t.last_layer }].push_back(t.id);
+    }
+
+    alloc::VirtualArena coalloc_arena(kCoallocBase);
+    for (auto &kv : classes) {
+        auto &ids = kv.second;
+        std::sort(ids.begin(), ids.end(),
+                  [this](df::TensorId a, df::TensorId b) {
+                      double ha = db_.tensor(a).accesses_per_page;
+                      double hb = db_.tensor(b).accesses_per_page;
+                      if (ha != hb)
+                          return ha > hb;
+                      return a < b;
+                  });
+        std::uint64_t total = 0;
+        for (df::TensorId id : ids)
+            total += graph.tensor(id).bytes;
+        // Reserve the class region page-aligned, then pack members.
+        mem::VirtAddr base = coalloc_arena.allocate(
+            mem::roundUpToPages(total), mem::kPageSize);
+        mem::VirtAddr cursor = base;
+        for (df::TensorId id : ids) {
+            static_addr_[id] = cursor;
+            cursor += graph.tensor(id).bytes;
+            cursor = (cursor + 63) & ~63ull;
+        }
+    }
+}
+
+void
+SentinelPolicy::onTrainingStart(df::Executor &ex)
+{
+    const df::Graph &graph = ex.graph();
+    mem::HeterogeneousMemory &hm = ex.hm();
+    std::uint64_t S = hm.tier(mem::Tier::Fast).capacity();
+
+    std::uint64_t rs_cap = static_cast<std::uint64_t>(
+        static_cast<double>(S) * opts_.rs_cap_fraction);
+    rs_cap = mem::roundUpToPages(rs_cap);
+
+    PlannerInputs in;
+    in.db = &db_;
+    in.fast_capacity = S;
+    in.promote_bw = hm.promoteChannel().bandwidth();
+    in.fast_read_bw = hm.tierParams(mem::Tier::Fast).read_bw;
+    in.slow_read_bw = hm.tierParams(mem::Tier::Slow).read_bw;
+    IntervalPlanner planner(in);
+    planner_result_ = planner.plan(rs_cap);
+
+    if (opts_.use_dynamic_intervals) {
+        plan_ = buildMigrationPlan(
+            db_, planner.dynamicBoundaries(planner_result_.rs_bytes));
+    } else {
+        int mil =
+            opts_.use_interval_planner ? planner_result_.best.mil : 1;
+        if (opts_.forced_mil > 0)
+            mil = opts_.forced_mil;
+        plan_ = buildMigrationPlan(db_, mil);
+    }
+    planned_ = true;
+
+    if (opts_.use_reserved_pool && planner_result_.rs_bytes > 0) {
+        pool_ = std::make_unique<alloc::ReservedPool>(
+            kPoolBase, mem::roundUpToPages(planner_result_.rs_bytes));
+    }
+
+    buildStaticLayout(graph);
+
+    // One-time planning cost (the "quick exploration" of Sec. IV-D).
+    ex.chargePolicy(opts_.planner_overhead);
+
+    if (opts_.gpu_mode) {
+        mode_stall_ = true;
+        trial_ = TrialState::Decided;
+    }
+}
+
+df::AllocDecision
+SentinelPolicy::allocate(df::Executor &ex, const df::TensorDesc &tensor)
+{
+    SENTINEL_ASSERT(planned_, "allocate() before onTrainingStart()");
+
+    // GPU mode: when device memory cannot host a new tensor, evict
+    // what the plan was about to demote anyway and wait for the
+    // transfers (host fallback is not an option for compute).  On the
+    // CPU platform the slow tier is directly usable, so overflow
+    // simply lands there and the test-and-trial economics apply.
+    if (opts_.gpu_mode && !tensor.preallocated) {
+        mem::HeterogeneousMemory &hm = ex.hm();
+        std::uint64_t need = mem::roundUpToPages(tensor.bytes);
+        if (hm.tier(mem::Tier::Fast).free() < need) {
+            evictForSpace(ex, need);
+            if (hm.demoteBusyUntil() > ex.now() &&
+                hm.tier(mem::Tier::Fast).free() < need) {
+                ex.stallUntil(hm.demoteBusyUntil());
+            }
+        }
+    }
+
+    if (tensor.preallocated) {
+        // Before training everything starts in slow memory (Sec. VI);
+        // the plan prefetches the hot ones immediately.
+        return { static_addr_[tensor.id], mem::Tier::Slow };
+    }
+
+    if (tensor.shortLived() && pool_) {
+        mem::VirtAddr addr = pool_->allocate(tensor.bytes);
+        if (addr != alloc::ReservedPool::kInvalidAddr) {
+            pool_allocs_[tensor.id] = addr;
+            return { addr, mem::Tier::Fast };
+        }
+        // Pool exhausted: fall through to the overflow path below.
+    }
+
+    if (opts_.use_coalloc && !tensor.shortLived()) {
+        SENTINEL_ASSERT(static_addr_[tensor.id] != kInvalidAddr,
+                        "no static address for tensor %u", tensor.id);
+        // Long-lived intermediates are born hot: produce them in fast
+        // memory; the plan demotes them once their interval is done.
+        return { static_addr_[tensor.id], mem::Tier::Fast };
+    }
+
+    // Packed fallback: short-lived overflow (pool exhausted/disabled)
+    // or the no-coalloc ablation.
+    mem::VirtAddr addr = packed_.allocate(tensor.bytes, 64);
+    packed_allocs_[tensor.id] = addr;
+    return { addr, mem::Tier::Fast };
+}
+
+void
+SentinelPolicy::onTensorFreed(df::Executor &, df::TensorId id,
+                              const df::TensorPlacement &pl)
+{
+    auto pit = pool_allocs_.find(id);
+    if (pit != pool_allocs_.end()) {
+        pool_->free(pit->second, pl.bytes);
+        pool_allocs_.erase(pit);
+        return;
+    }
+    auto kit = packed_allocs_.find(id);
+    if (kit != packed_allocs_.end()) {
+        packed_.free(kit->second, pl.bytes);
+        packed_allocs_.erase(kit);
+    }
+    // Static (co-allocated) addresses are fixed for the whole training:
+    // the same tensor reuses the same range every step.
+}
+
+void
+SentinelPolicy::issuePrefetch(df::Executor &ex, int interval)
+{
+    // Targets not promoted by the previous interval's end are stale:
+    // drop them (their accesses will read slow memory) and queue the
+    // new interval's list, hottest first.
+    pending_prefetch_.clear();
+    const auto &list =
+        plan_.prefetch_at[static_cast<std::size_t>(interval)];
+    pending_prefetch_.assign(list.begin(), list.end());
+    drainPrefetchQueue(ex);
+}
+
+void
+SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+
+    // Each entry is visited at most once per drain; tensors that are
+    // not allocated yet (born later in the interval, e.g. activations
+    // a long interval will demote and re-need) rotate to the back and
+    // are retried at the next layer boundary.
+    std::size_t visits = pending_prefetch_.size();
+    while (visits-- > 0 && !pending_prefetch_.empty()) {
+        df::TensorId id = pending_prefetch_.front();
+        if (!ex.isAllocated(id)) {
+            pending_prefetch_.pop_front();
+            pending_prefetch_.push_back(id);
+            continue;
+        }
+        const df::TensorPlacement &pl = ex.placementOf(id);
+        std::vector<mem::PageId> batch;
+        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+            if (isPoolPage(p))
+                continue;
+            if (hm.residentTier(p, now) == mem::Tier::Fast ||
+                hm.inFlight(p, now))
+                continue;
+            batch.push_back(p);
+        }
+        // One move_pages() call per tensor: the setup cost is paid
+        // once and the pages stream back-to-back.
+        if (hm.migratePages(batch, mem::Tier::Fast, now) < batch.size()) {
+            // Fast memory is full right now; in-flight demotions will
+            // free space — retry at the next layer boundary (hotter
+            // tensors stay at the queue's front).
+            return;
+        }
+        pending_prefetch_.pop_front();
+    }
+}
+
+void
+SentinelPolicy::evictForSpace(df::Executor &ex,
+                              std::uint64_t bytes_needed)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    int L = static_cast<int>(plan_.demote_at_layer.size());
+    std::uint64_t reclaimed = 0;
+
+    // Walk the demotion schedule backward from the current layer:
+    // tensors whose demote point just passed have no access until at
+    // least the next interval — if any are still resident (e.g.
+    // re-promoted early by an aggressive prefetch), they are the
+    // safest victims.
+    for (int d = 1; d <= L && reclaimed < bytes_needed; ++d) {
+        int l = (current_layer_ - d + L) % L;
+        for (df::TensorId id :
+             plan_.demote_at_layer[static_cast<std::size_t>(l)]) {
+            if (reclaimed >= bytes_needed)
+                break;
+            if (!ex.isAllocated(id))
+                continue;
+            const df::TensorPlacement &pl = ex.placementOf(id);
+            std::vector<mem::PageId> batch;
+            for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+                if (isPoolPage(p))
+                    continue;
+                if (hm.residentTier(p, now) != mem::Tier::Fast ||
+                    hm.inFlight(p, now))
+                    continue;
+                batch.push_back(p);
+            }
+            reclaimed +=
+                hm.migratePages(batch, mem::Tier::Slow, now) *
+                mem::kPageSize;
+        }
+    }
+}
+
+void
+SentinelPolicy::issueDemotions(df::Executor &ex, int layer)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    for (df::TensorId id :
+         plan_.demote_at_layer[static_cast<std::size_t>(layer)]) {
+        if (!ex.isAllocated(id))
+            continue;
+        const df::TensorPlacement &pl = ex.placementOf(id);
+        std::vector<mem::PageId> batch;
+        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+            if (isPoolPage(p))
+                continue;
+            if (hm.residentTier(p, now) != mem::Tier::Fast ||
+                hm.inFlight(p, now))
+                continue;
+            batch.push_back(p);
+        }
+        hm.migratePages(batch, mem::Tier::Slow, now);
+    }
+}
+
+void
+SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
+{
+    current_layer_ = layer;
+    if (!plan_.isIntervalStart(layer)) {
+        drainPrefetchQueue(ex);
+        return;
+    }
+    int interval = plan_.intervalOfLayer(layer);
+
+    // Case-3 detection: the prefetch issued for *this* interval (at the
+    // start of the previous one) has not finished.  Ignore the first
+    // steps, whose cold start always has migrations outstanding (the
+    // real system skips TensorFlow's hardware-detection steps plus the
+    // profiling step before reacting, Sec. VI).
+    if (ex.currentStep() >= 3 &&
+        ex.hm().promoteBusyUntil() > ex.now()) {
+        ++case3_events_;
+        if (!opts_.gpu_mode && trial_ == TrialState::Idle)
+            trial_ = TrialState::Pending;
+    }
+
+    issuePrefetch(ex, interval);
+}
+
+void
+SentinelPolicy::onLayerEnd(df::Executor &ex, int layer)
+{
+    issueDemotions(ex, layer);
+}
+
+void
+SentinelPolicy::onStepBegin(df::Executor &ex, int)
+{
+    step_begin_ = ex.now();
+    switch (trial_) {
+      case TrialState::Pending:
+        trial_ = TrialState::TrialStall;
+        mode_stall_ = true;
+        ++trial_steps_;
+        break;
+      case TrialState::TrialLeave:
+        mode_stall_ = false;
+        ++trial_steps_;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+SentinelPolicy::onStepEnd(df::Executor &ex, int)
+{
+    Tick step_time = ex.now() - step_begin_;
+    if (trial_ == TrialState::TrialStall) {
+        trial_stall_time_ = step_time;
+        trial_ = TrialState::TrialLeave;
+    } else if (trial_ == TrialState::TrialLeave) {
+        // Adopt whichever variant was faster (Sec. IV-D).
+        mode_stall_ = trial_stall_time_ <= step_time;
+        trial_ = TrialState::Decided;
+    }
+}
+
+df::PageAccessResult
+SentinelPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
+{
+    // GPU mode only: the device cannot compute out of host memory, so
+    // a page that slipped to the host (born when the device was full)
+    // is faulted back on first touch — a rare, fully exposed path that
+    // keeps large batches *correct*; the plan keeps it infrequent.
+    if (!opts_.gpu_mode)
+        return {};
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    if (hm.residentTier(page, now) != mem::Tier::Slow ||
+        hm.inFlight(page, now))
+        return {};
+
+    if (hm.tier(mem::Tier::Fast).free() < mem::kPageSize)
+        evictForSpace(ex, 64 * mem::kPageSize);
+
+    std::array<mem::PageId, 1> one{ page };
+    df::PageAccessResult out;
+    if (hm.migratePages(one, mem::Tier::Fast, now) == 1) {
+        out.extra = hm.arrivalTime(page) - now;
+        out.effective = mem::Tier::Fast;
+    } else if (hm.demoteBusyUntil() > now) {
+        // Wait for evictions, then pull the page across.
+        out.extra = hm.demoteBusyUntil() - now;
+        hm.commitUpTo(hm.demoteBusyUntil());
+        if (hm.migratePages(one, mem::Tier::Fast,
+                            hm.demoteBusyUntil()) == 1) {
+            out.extra += hm.arrivalTime(page) - hm.demoteBusyUntil();
+            out.effective = mem::Tier::Fast;
+        }
+    }
+    return out;
+}
+
+bool
+SentinelPolicy::stallForInflight(df::Executor &, mem::PageId page)
+{
+    if (isPoolPage(page))
+        return false; // pool pages are never migrated
+    return mode_stall_;
+}
+
+} // namespace sentinel::core

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The Sentinel runtime policy (Sec. IV of the paper).
+ *
+ * Combines every mechanism of the paper:
+ *
+ *  1. profile-driven data reorganization (Sec. IV-B): preallocated
+ *     tensors get exclusive pages; long-lived tensors living in
+ *     exactly the same layer span are co-allocated contiguously in
+ *     descending access-count order; tensors of different classes
+ *     never share a page — page-level false sharing is gone;
+ *  2. a reserved fast-memory pool for short-lived tensors
+ *     (Sec. IV-C): allocated there, pinned, never migrated;
+ *  3. adaptive layer-based migration (Sec. IV-D): the interval planner
+ *     picks MIL; prefetches are issued at interval starts (hottest
+ *     first) and overlap with training; tensors are demoted
+ *     mid-interval as soon as the rest of the interval no longer needs
+ *     them (avoiding Case 2); Case 3 (migration unfinished in time) is
+ *     resolved by a test-and-trial between stalling and reading from
+ *     slow memory;
+ *  4. Sentinel-GPU (Sec. V): identical, except Case 3 must always
+ *     stall — the GPU cannot compute out of host memory.
+ *
+ * The ablation flags reproduce Fig. 13's breakdown: "direct migration"
+ * (no interval planning, no reservation), "w/ det. MI" (planning but
+ * no reservation), "w/ all".
+ */
+
+#ifndef SENTINEL_CORE_SENTINEL_POLICY_HH
+#define SENTINEL_CORE_SENTINEL_POLICY_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/arena.hh"
+#include "alloc/reserved_pool.hh"
+#include "core/interval_planner.hh"
+#include "core/migration_plan.hh"
+#include "dataflow/executor.hh"
+#include "dataflow/policy.hh"
+#include "profile/profile_db.hh"
+
+namespace sentinel::core {
+
+struct SentinelOptions {
+    /** Use the Eq. 1/Eq. 2 planner; off = per-layer "direct" migration. */
+    bool use_interval_planner = true;
+
+    /**
+     * Experimental (Sec. IV-E): per-interval dynamic lengths instead
+     * of one global MIL.  The paper rejects this for its search cost
+     * and minimal benefit; kept here to measure that trade-off.
+     */
+    bool use_dynamic_intervals = false;
+
+    /** Reserve fast memory for short-lived tensors. */
+    bool use_reserved_pool = true;
+
+    /** Apply the co-allocation rules (off = packed TF-style layout). */
+    bool use_coalloc = true;
+
+    /** GPU mode: Case 3 always stalls; no test-and-trial. */
+    bool gpu_mode = false;
+
+    /**
+     * Force a specific migration interval length (0 = let the planner
+     * choose).  Used by the Fig. 5 sweep.
+     */
+    int forced_mil = 0;
+
+    /** One-time planning cost charged to the first step. */
+    Tick planner_overhead = 100 * kUsec;
+
+    /** Fraction of fast memory the reservation may occupy at most. */
+    double rs_cap_fraction = 0.6;
+};
+
+class SentinelPolicy : public df::MemoryPolicy
+{
+  public:
+    SentinelPolicy(const prof::ProfileDatabase &db,
+                   SentinelOptions opts = {});
+
+    std::string name() const override;
+
+    // --- MemoryPolicy ------------------------------------------------------
+
+    void onTrainingStart(df::Executor &ex) override;
+    void onStepBegin(df::Executor &ex, int step) override;
+    void onStepEnd(df::Executor &ex, int step) override;
+    void onLayerBegin(df::Executor &ex, int layer) override;
+    void onLayerEnd(df::Executor &ex, int layer) override;
+
+    df::AllocDecision allocate(df::Executor &ex,
+                               const df::TensorDesc &tensor) override;
+    void onTensorFreed(df::Executor &ex, df::TensorId id,
+                       const df::TensorPlacement &pl) override;
+    df::PageAccessResult onPageAccess(df::Executor &ex, mem::PageId page,
+                                      bool is_write) override;
+    bool stallForInflight(df::Executor &ex, mem::PageId page) override;
+
+    // --- Introspection (Table III, Fig. 13, tests) --------------------------
+
+    const PlannerResult &plannerResult() const { return planner_result_; }
+    const MigrationPlan &migrationPlan() const { return plan_; }
+    int case3Events() const { return case3_events_; }
+    int trialStepsUsed() const { return trial_steps_; }
+    /** Resolved Case-3 handling after test-and-trial. */
+    bool stallModeChosen() const { return mode_stall_; }
+    std::uint64_t reservedPoolBytes() const;
+    std::uint64_t reservedPoolPeak() const;
+
+    /**
+     * Static (co-allocation) address assigned to @p id, or ~0 if the
+     * tensor is dynamically placed (pool / packed overflow).  Valid
+     * after training start; exposed for tests and introspection.
+     */
+    mem::VirtAddr staticAddress(df::TensorId id) const;
+
+  private:
+    enum class TrialState {
+        Idle,       ///< no Case 3 seen yet
+        Pending,    ///< Case 3 seen; trials start next step
+        TrialStall, ///< measuring the stall variant
+        TrialLeave, ///< measuring the leave-in-slow variant
+        Decided,
+    };
+
+    void buildStaticLayout(const df::Graph &graph);
+    void issuePrefetch(df::Executor &ex, int interval);
+    /**
+     * Plan-guided demand eviction: when an allocation cannot fit,
+     * demote tensors the plan would evict soon anyway (they are the
+     * ones with the most distant next use).  Returns after scheduling;
+     * space frees as the transfers land.
+     */
+    void evictForSpace(df::Executor &ex, std::uint64_t bytes_needed);
+    /** Retry queued prefetches (space frees as demotions complete). */
+    void drainPrefetchQueue(df::Executor &ex);
+    void issueDemotions(df::Executor &ex, int layer);
+    bool isPoolPage(mem::PageId page) const;
+
+    const prof::ProfileDatabase &db_;
+    SentinelOptions opts_;
+
+    PlannerResult planner_result_;
+    MigrationPlan plan_;
+    bool planned_ = false;
+
+    // Layout state.
+    static constexpr mem::VirtAddr kPreallocBase = 0;
+    static constexpr mem::VirtAddr kCoallocBase = 1ull << 44;
+    static constexpr mem::VirtAddr kPoolBase = 2ull << 44;
+    static constexpr mem::VirtAddr kPackedBase = 3ull << 44;
+
+    std::vector<mem::VirtAddr> static_addr_; ///< per tensor, or kInvalid
+    std::unique_ptr<alloc::ReservedPool> pool_;
+    alloc::VirtualArena packed_;
+    std::unordered_map<df::TensorId, mem::VirtAddr> pool_allocs_;
+    std::unordered_map<df::TensorId, mem::VirtAddr> packed_allocs_;
+
+    // Runtime state.
+    std::deque<df::TensorId> pending_prefetch_;
+    int current_layer_ = 0;
+    bool mode_stall_ = true;
+    TrialState trial_ = TrialState::Idle;
+    Tick step_begin_ = 0;
+    Tick trial_stall_time_ = 0;
+    int case3_events_ = 0;
+    int trial_steps_ = 0;
+
+    static constexpr mem::VirtAddr kInvalidAddr = ~0ull;
+};
+
+} // namespace sentinel::core
+
+#endif // SENTINEL_CORE_SENTINEL_POLICY_HH

@@ -1,0 +1,46 @@
+#include "dataflow/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sentinel::df {
+
+Tick
+computeTime(const Operation &op, const ExecParams &params)
+{
+    SENTINEL_ASSERT(params.compute_flops > 0.0, "non-positive FLOP rate");
+    double ns = op.flops * 1e9 / params.compute_flops;
+    return static_cast<Tick>(ns);
+}
+
+Tick
+memoryTime(std::uint64_t bytes, double episodes, bool is_write,
+           const mem::TierParams &tier)
+{
+    double bw = is_write ? tier.write_bw : tier.read_bw;
+    Tick bandwidth_term = transferTime(bytes, bw);
+    Tick lat = is_write ? tier.write_latency : tier.read_latency;
+    // Each counted episode is a serialized round-trip to the tier.
+    Tick latency_term =
+        static_cast<Tick>(std::ceil(episodes) * static_cast<double>(lat));
+    return bandwidth_term + latency_term;
+}
+
+Tick
+opTime(Tick compute, Tick memory, const ExecParams &params)
+{
+    return std::max(compute, memory) + params.op_overhead;
+}
+
+Tick
+recomputeTime(const Operation &op, const ExecParams &params)
+{
+    // Recomputation replays the op's compute with warm inputs; the
+    // paper reports it at ~11% of Capuchin's step time.  We charge the
+    // compute component plus dispatch.
+    return computeTime(op, params) + params.op_overhead;
+}
+
+} // namespace sentinel::df

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Timing model for operation execution.
+ *
+ * Per-op time is `max(compute, memory) + dispatch overhead`: the
+ * compute pipeline and the memory system overlap, so an op is bound by
+ * whichever is slower.  The memory component depends on *where each
+ * accessed page resides* — that is the entire lever every policy in
+ * this reproduction pulls.
+ */
+
+#ifndef SENTINEL_DATAFLOW_COST_MODEL_HH
+#define SENTINEL_DATAFLOW_COST_MODEL_HH
+
+#include "common/units.hh"
+#include "dataflow/op.hh"
+#include "mem/tier.hh"
+
+namespace sentinel::df {
+
+/** Compute-device description. */
+struct ExecParams {
+    /** Sustained FLOP/s of the training device. */
+    double compute_flops = 1.0e12;
+
+    /** Per-operation dispatch overhead (framework + kernel launch). */
+    Tick op_overhead = 2 * kUsec;
+};
+
+/** The compute component of one op. */
+Tick computeTime(const Operation &op, const ExecParams &params);
+
+/**
+ * The memory component of moving @p bytes to/from a tier, given the
+ * per-page episode count @p episodes (episodes pay the tier's access
+ * latency on top of bandwidth; this is what makes slow memory hurt
+ * hot, latency-bound tensors more than streamed ones).
+ */
+Tick memoryTime(std::uint64_t bytes, double episodes, bool is_write,
+                const mem::TierParams &tier);
+
+/** Combine compute and memory components into op time. */
+Tick opTime(Tick compute, Tick memory, const ExecParams &params);
+
+/** Time to recompute @p op (Capuchin's alternative to swapping). */
+Tick recomputeTime(const Operation &op, const ExecParams &params);
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_COST_MODEL_HH

@@ -1,0 +1,242 @@
+#include "dataflow/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sentinel::df {
+
+Executor::Executor(const Graph &graph, mem::HeterogeneousMemory &hm,
+                   ExecParams params, MemoryPolicy &policy)
+    : graph_(graph), hm_(hm), params_(params), policy_(policy)
+{
+    SENTINEL_ASSERT(graph_.finalized(), "graph must be finalized");
+}
+
+bool
+Executor::isAllocated(TensorId id) const
+{
+    return placements_.find(id) != placements_.end();
+}
+
+const TensorPlacement &
+Executor::placementOf(TensorId id) const
+{
+    auto it = placements_.find(id);
+    SENTINEL_ASSERT(it != placements_.end(),
+                    "placementOf() of unallocated tensor %u", id);
+    return it->second;
+}
+
+int
+Executor::pageRefCount(mem::PageId page) const
+{
+    auto it = page_refs_.find(page);
+    return it == page_refs_.end() ? 0 : it->second;
+}
+
+void
+Executor::chargeExposed(Tick t)
+{
+    SENTINEL_ASSERT(t >= 0, "negative exposed charge");
+    if (t == 0)
+        return;
+    now_ += t;
+    stats_.exposed_migration += t;
+    stats_.num_stalls += 1;
+}
+
+void
+Executor::stallUntil(Tick t)
+{
+    if (t > now_)
+        chargeExposed(t - now_);
+}
+
+void
+Executor::chargePolicy(Tick t)
+{
+    SENTINEL_ASSERT(t >= 0, "negative policy charge");
+    now_ += t;
+    stats_.policy_time += t;
+}
+
+void
+Executor::chargeRecompute(Tick t)
+{
+    SENTINEL_ASSERT(t >= 0, "negative recompute charge");
+    now_ += t;
+    stats_.recompute_time += t;
+}
+
+void
+Executor::allocateTensor(TensorId id)
+{
+    SENTINEL_ASSERT(!isAllocated(id), "tensor %u allocated twice", id);
+    const TensorDesc &t = graph_.tensor(id);
+    AllocDecision dec = policy_.allocate(*this, t);
+
+    TensorPlacement pl{ dec.addr, t.bytes };
+    for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+        if (++page_refs_[p] == 1) {
+            hm_.mapPage(p, dec.preferred);
+            if (tracker_)
+                tracker_->track(p);
+        }
+    }
+    placements_.emplace(id, pl);
+    notePeakFastUsage();
+    policy_.onTensorAllocated(*this, id, pl);
+}
+
+void
+Executor::freeTensor(TensorId id)
+{
+    auto it = placements_.find(id);
+    SENTINEL_ASSERT(it != placements_.end(), "freeing unallocated tensor %u",
+                    id);
+    TensorPlacement pl = it->second;
+    policy_.onTensorFreed(*this, id, pl);
+    for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+        auto ref = page_refs_.find(p);
+        SENTINEL_ASSERT(ref != page_refs_.end() && ref->second > 0,
+                        "page refcount underflow");
+        if (--ref->second == 0) {
+            policy_.onPageUnmapped(*this, p);
+            if (tracker_)
+                tracker_->untrack(p);
+            hm_.unmapPage(p, now_);
+            page_refs_.erase(ref);
+        }
+    }
+    placements_.erase(it);
+}
+
+void
+Executor::notePeakFastUsage()
+{
+    stats_.peak_fast_used =
+        std::max(stats_.peak_fast_used, hm_.tier(mem::Tier::Fast).used());
+}
+
+void
+Executor::execOp(const Operation &op)
+{
+    Tick compute = computeTime(op, params_);
+    Tick mem_total = 0;
+
+    for (const TensorUse &use : op.uses) {
+        const TensorPlacement &pl = placementOf(use.tensor);
+        std::uint64_t npages = pl.numPages();
+        SENTINEL_ASSERT(npages > 0, "empty placement for tensor %u",
+                        use.tensor);
+        std::uint64_t per_page_traffic = use.traffic_bytes / npages;
+        std::uint64_t episodes = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, std::llround(use.episodes_per_page)));
+
+        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+            PageAccessResult r = policy_.onPageAccess(*this, p, use.is_write);
+            if (r.extra > 0)
+                chargeExposed(r.extra);
+
+            mem::Tier tier;
+            if (r.effective) {
+                tier = *r.effective;
+            } else {
+                if (hm_.inFlight(p, now_)) {
+                    // Only prefetches toward fast memory are worth
+                    // stalling for; a demotion in flight still serves
+                    // reads from its (fast) source.
+                    bool toward_fast =
+                        hm_.residentTier(p, now_) == mem::Tier::Slow;
+                    if (toward_fast && policy_.stallForInflight(*this, p))
+                        stallUntil(hm_.arrivalTime(p));
+                }
+                tier = hm_.residentTier(p, now_);
+            }
+
+            mem_total += memoryTime(per_page_traffic, use.episodes_per_page,
+                                    use.is_write, hm_.tierParams(tier));
+            if (tier == mem::Tier::Fast) {
+                stats_.bytes_fast += per_page_traffic;
+            } else {
+                stats_.bytes_slow += per_page_traffic;
+                stats_.slow_bytes_by_kind[static_cast<int>(
+                    graph_.tensor(use.tensor).kind)] += per_page_traffic;
+            }
+            if (trace_)
+                trace_->record(mem::tierName(tier), now_, per_page_traffic);
+
+            if (tracker_) {
+                Tick fault = tracker_->onAccess(p, use.is_write, episodes);
+                if (fault > 0) {
+                    now_ += fault;
+                    stats_.fault_overhead += fault;
+                }
+            }
+        }
+    }
+
+    Tick t = opTime(compute, mem_total, params_);
+    now_ += t;
+    stats_.compute_time += compute;
+    stats_.mem_time += mem_total;
+    notePeakFastUsage();
+}
+
+StepStats
+Executor::runStep()
+{
+    stats_ = StepStats{};
+    stats_.step = step_counter_;
+    Tick step_start = now_;
+    promoted_at_step_start_ = hm_.stats().promoted_bytes;
+    demoted_at_step_start_ = hm_.stats().demoted_bytes;
+
+    if (!training_started_) {
+        policy_.onTrainingStart(*this);
+        for (TensorId id : graph_.preallocatedTensors())
+            allocateTensor(id);
+        training_started_ = true;
+    }
+
+    policy_.onStepBegin(*this, step_counter_);
+
+    for (int layer = 0; layer < graph_.numLayers(); ++layer) {
+        policy_.onLayerBegin(*this, layer);
+        for (OpId op_id : graph_.opsInLayer(layer)) {
+            const Operation &op = graph_.op(op_id);
+            for (TensorId id : graph_.tensorsBornAtOp(op_id))
+                if (!graph_.tensor(id).preallocated)
+                    allocateTensor(id);
+            execOp(op);
+            for (TensorId id : graph_.tensorsDyingAtOp(op_id))
+                if (!graph_.tensor(id).preallocated)
+                    freeTensor(id);
+        }
+        policy_.onLayerEnd(*this, layer);
+    }
+
+    policy_.onStepEnd(*this, step_counter_);
+
+    stats_.step_time = now_ - step_start;
+    stats_.promoted_bytes =
+        hm_.stats().promoted_bytes - promoted_at_step_start_;
+    stats_.demoted_bytes = hm_.stats().demoted_bytes - demoted_at_step_start_;
+
+    ++step_counter_;
+    return stats_;
+}
+
+std::vector<StepStats>
+Executor::run(int n)
+{
+    std::vector<StepStats> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(runStep());
+    return out;
+}
+
+} // namespace sentinel::df

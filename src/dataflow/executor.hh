@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The training-step executor: the simulated TensorFlow runtime.
+ *
+ * Runs a Graph against a HeterogeneousMemory under a MemoryPolicy,
+ * producing per-step statistics.  It owns the simulated clock, the
+ * tensor -> placement table, and page reference counting (multiple
+ * tensors may share a page; the page lives while any of them does).
+ *
+ * Optional attachments:
+ *  - an AccessTracker models the paper's PTE-poisoning profiler
+ *    (counts page accesses, charges fault overhead to the step);
+ *  - a TraceRecorder captures per-tier traffic for Fig. 9.
+ */
+
+#ifndef SENTINEL_DATAFLOW_EXECUTOR_HH
+#define SENTINEL_DATAFLOW_EXECUTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "dataflow/cost_model.hh"
+#include "dataflow/graph.hh"
+#include "dataflow/placement.hh"
+#include "dataflow/policy.hh"
+#include "dataflow/step_stats.hh"
+#include "mem/access_tracker.hh"
+#include "mem/hm.hh"
+#include "sim/trace.hh"
+
+namespace sentinel::df {
+
+class Executor
+{
+  public:
+    Executor(const Graph &graph, mem::HeterogeneousMemory &hm,
+             ExecParams params, MemoryPolicy &policy);
+
+    /**
+     * Run one training step (forward + backward + update).  The first
+     * call triggers onTrainingStart() and allocates preallocated
+     * tensors.
+     */
+    StepStats runStep();
+
+    /** Run @p n steps and return their stats. */
+    std::vector<StepStats> run(int n);
+
+    // --- State queried by policies ----------------------------------------
+
+    Tick now() const { return now_; }
+    int currentStep() const { return step_counter_; }
+    const Graph &graph() const { return graph_; }
+    mem::HeterogeneousMemory &hm() { return hm_; }
+    const ExecParams &params() const { return params_; }
+    StepStats &currentStats() { return stats_; }
+
+    bool isAllocated(TensorId id) const;
+    /** Placement of a live tensor (panics if not allocated). */
+    const TensorPlacement &placementOf(TensorId id) const;
+    /** Number of live tensors overlapping @p page (0 if unmapped). */
+    int pageRefCount(mem::PageId page) const;
+
+    // --- Time charging (policy hooks use these) -----------------------------
+
+    /** Stall the critical path waiting for migration. */
+    void chargeExposed(Tick t);
+    /** Stall until absolute time @p t (no-op if already past). */
+    void stallUntil(Tick t);
+    /** Charge policy decision overhead. */
+    void chargePolicy(Tick t);
+    /** Charge recomputation time (Capuchin). */
+    void chargeRecompute(Tick t);
+
+    // --- Profiling attachments ----------------------------------------------
+
+    void setAccessTracker(mem::AccessTracker *tracker) { tracker_ = tracker; }
+    void setTraceRecorder(sim::TraceRecorder *rec) { trace_ = rec; }
+
+  private:
+    void allocateTensor(TensorId id);
+    void freeTensor(TensorId id);
+    void execOp(const Operation &op);
+    void notePeakFastUsage();
+
+    const Graph &graph_;
+    mem::HeterogeneousMemory &hm_;
+    ExecParams params_;
+    MemoryPolicy &policy_;
+
+    Tick now_ = 0;
+    int step_counter_ = 0;
+    bool training_started_ = false;
+
+    StepStats stats_;
+    std::uint64_t promoted_at_step_start_ = 0;
+    std::uint64_t demoted_at_step_start_ = 0;
+
+    std::unordered_map<TensorId, TensorPlacement> placements_;
+    std::unordered_map<mem::PageId, int> page_refs_;
+
+    mem::AccessTracker *tracker_ = nullptr;
+    sim::TraceRecorder *trace_ = nullptr;
+};
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_EXECUTOR_HH

@@ -1,0 +1,260 @@
+#include "dataflow/graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::df {
+
+const char *
+tensorKindName(TensorKind k)
+{
+    switch (k) {
+      case TensorKind::Weight: return "weight";
+      case TensorKind::WeightGrad: return "weight-grad";
+      case TensorKind::Activation: return "activation";
+      case TensorKind::ActivationGrad: return "activation-grad";
+      case TensorKind::Temp: return "temp";
+      case TensorKind::Input: return "input";
+      case TensorKind::Optimizer: return "optimizer";
+    }
+    return "?";
+}
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Conv2d: return "conv2d";
+      case OpType::ConvBackward: return "conv2d-bwd";
+      case OpType::MatMul: return "matmul";
+      case OpType::BatchNorm: return "batchnorm";
+      case OpType::LayerNorm: return "layernorm";
+      case OpType::ReLU: return "relu";
+      case OpType::Pool: return "pool";
+      case OpType::Softmax: return "softmax";
+      case OpType::Attention: return "attention";
+      case OpType::LstmCell: return "lstm-cell";
+      case OpType::Embedding: return "embedding";
+      case OpType::EltwiseAdd: return "add";
+      case OpType::Concat: return "concat";
+      case OpType::Transpose: return "transpose";
+      case OpType::Pad: return "pad";
+      case OpType::Dropout: return "dropout";
+      case OpType::Loss: return "loss";
+      case OpType::SgdUpdate: return "sgd-update";
+      case OpType::Other: return "other";
+    }
+    return "?";
+}
+
+TensorId
+Graph::addTensor(std::string name, std::uint64_t bytes, TensorKind kind,
+                 bool preallocated)
+{
+    SENTINEL_ASSERT(!finalized_, "addTensor() after finalize()");
+    SENTINEL_ASSERT(bytes > 0, "tensor '%s' has zero size", name.c_str());
+    TensorDesc t;
+    t.id = static_cast<TensorId>(tensors_.size());
+    t.name = std::move(name);
+    t.bytes = bytes;
+    t.kind = kind;
+    t.preallocated = preallocated;
+    tensors_.push_back(std::move(t));
+    return tensors_.back().id;
+}
+
+OpId
+Graph::addOp(std::string name, OpType type, int layer, double flops,
+             std::vector<TensorUse> uses)
+{
+    SENTINEL_ASSERT(!finalized_, "addOp() after finalize()");
+    SENTINEL_ASSERT(layer >= 0, "op '%s' has negative layer", name.c_str());
+    SENTINEL_ASSERT(!uses.empty(), "op '%s' uses no tensors", name.c_str());
+    for (const auto &u : uses) {
+        SENTINEL_ASSERT(u.tensor < tensors_.size(),
+                        "op '%s' references unknown tensor %u", name.c_str(),
+                        u.tensor);
+        SENTINEL_ASSERT(u.episodes_per_page > 0.0,
+                        "op '%s' has non-positive episode count",
+                        name.c_str());
+    }
+    Operation op;
+    op.id = static_cast<OpId>(ops_.size());
+    op.name = std::move(name);
+    op.type = type;
+    op.layer = layer;
+    op.flops = flops;
+    op.uses = std::move(uses);
+    ops_.push_back(std::move(op));
+    num_layers_ = std::max(num_layers_, layer + 1);
+    return ops_.back().id;
+}
+
+void
+Graph::finalize()
+{
+    SENTINEL_ASSERT(!finalized_, "finalize() called twice");
+    SENTINEL_ASSERT(!ops_.empty(), "graph '%s' has no operations",
+                    name_.c_str());
+
+    // Operations must already be in execution order; layers must be
+    // non-decreasing so that "end of layer" is a well-defined point in
+    // the op sequence (the add_layer() annotation of the paper).
+    for (std::size_t i = 1; i < ops_.size(); ++i) {
+        SENTINEL_ASSERT(ops_[i].layer >= ops_[i - 1].layer,
+                        "op '%s' (layer %d) appears after layer %d",
+                        ops_[i].name.c_str(), ops_[i].layer,
+                        ops_[i - 1].layer);
+    }
+
+    ops_by_layer_.assign(static_cast<std::size_t>(num_layers_), {});
+    for (const auto &op : ops_)
+        ops_by_layer_[static_cast<std::size_t>(op.layer)].push_back(op.id);
+    for (int l = 0; l < num_layers_; ++l) {
+        SENTINEL_ASSERT(!ops_by_layer_[static_cast<std::size_t>(l)].empty(),
+                        "graph '%s': layer %d has no operations",
+                        name_.c_str(), l);
+    }
+
+    // Derive lifetimes from references.
+    for (const auto &op : ops_) {
+        for (const auto &u : op.uses) {
+            TensorDesc &t = tensors_[u.tensor];
+            if (t.first_op < 0) {
+                t.first_op = static_cast<int>(op.id);
+                t.first_layer = op.layer;
+            }
+            t.last_op = static_cast<int>(op.id);
+            t.last_layer = op.layer;
+        }
+    }
+
+    born_at_op_.assign(ops_.size(), {});
+    dying_at_op_.assign(ops_.size(), {});
+    for (const auto &t : tensors_) {
+        if (t.preallocated) {
+            preallocated_.push_back(t.id);
+            continue;
+        }
+        SENTINEL_ASSERT(t.first_op >= 0,
+                        "tensor '%s' is never referenced by any op",
+                        t.name.c_str());
+        born_at_op_[static_cast<std::size_t>(t.first_op)].push_back(t.id);
+        dying_at_op_[static_cast<std::size_t>(t.last_op)].push_back(t.id);
+    }
+
+    finalized_ = true;
+    validate();
+}
+
+void
+Graph::validate() const
+{
+    // Preallocated tensors must actually be used; otherwise the model
+    // builder made a mistake that would silently skew peak memory.
+    for (TensorId id : preallocated_) {
+        const TensorDesc &t = tensors_[id];
+        SENTINEL_ASSERT(t.first_op >= 0,
+                        "preallocated tensor '%s' is never used",
+                        t.name.c_str());
+    }
+}
+
+const TensorDesc &
+Graph::tensor(TensorId id) const
+{
+    SENTINEL_ASSERT(id < tensors_.size(), "bad tensor id %u", id);
+    return tensors_[id];
+}
+
+const Operation &
+Graph::op(OpId id) const
+{
+    SENTINEL_ASSERT(id < ops_.size(), "bad op id %u", id);
+    return ops_[id];
+}
+
+std::span<const OpId>
+Graph::opsInLayer(int layer) const
+{
+    SENTINEL_ASSERT(finalized_, "graph not finalized");
+    SENTINEL_ASSERT(layer >= 0 && layer < num_layers_, "bad layer %d",
+                    layer);
+    return ops_by_layer_[static_cast<std::size_t>(layer)];
+}
+
+std::uint64_t
+Graph::peakMemoryBytes() const
+{
+    SENTINEL_ASSERT(finalized_, "graph not finalized");
+    std::uint64_t live = preallocatedBytes();
+    std::uint64_t peak = live;
+    for (const auto &op : ops_) {
+        for (TensorId id : born_at_op_[op.id])
+            live += tensors_[id].bytes;
+        peak = std::max(peak, live);
+        for (TensorId id : dying_at_op_[op.id])
+            live -= tensors_[id].bytes;
+    }
+    return peak;
+}
+
+std::uint64_t
+Graph::peakShortLivedBytes() const
+{
+    SENTINEL_ASSERT(finalized_, "graph not finalized");
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    for (const auto &op : ops_) {
+        for (TensorId id : born_at_op_[op.id])
+            if (tensors_[id].shortLived())
+                live += tensors_[id].bytes;
+        peak = std::max(peak, live);
+        for (TensorId id : dying_at_op_[op.id])
+            if (tensors_[id].shortLived())
+                live -= tensors_[id].bytes;
+    }
+    return peak;
+}
+
+std::uint64_t
+Graph::preallocatedBytes() const
+{
+    std::uint64_t total = 0;
+    for (TensorId id : preallocated_)
+        total += tensors_[id].bytes;
+    return total;
+}
+
+std::uint64_t
+Graph::largestTensorBytes() const
+{
+    std::uint64_t largest = 0;
+    for (const auto &t : tensors_)
+        largest = std::max(largest, t.bytes);
+    return largest;
+}
+
+std::span<const TensorId>
+Graph::tensorsBornAtOp(OpId op) const
+{
+    SENTINEL_ASSERT(finalized_ && op < ops_.size(), "bad op id %u", op);
+    return born_at_op_[op];
+}
+
+std::span<const TensorId>
+Graph::tensorsDyingAtOp(OpId op) const
+{
+    SENTINEL_ASSERT(finalized_ && op < ops_.size(), "bad op id %u", op);
+    return dying_at_op_[op];
+}
+
+std::span<const TensorId>
+Graph::preallocatedTensors() const
+{
+    SENTINEL_ASSERT(finalized_, "graph not finalized");
+    return preallocated_;
+}
+
+} // namespace sentinel::df

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The static training graph: tensors + operations grouped into layers.
+ *
+ * One Graph describes one training *step* (forward + backward + update)
+ * of one model at one batch size.  Training repeats the step; the
+ * paper's entire approach rests on that repetitiveness (Sec. II).
+ *
+ * Layers are the management granularity: Sentinel defines lifetime and
+ * migration intervals in layers, and the add_layer() API annotation in
+ * the paper corresponds to the `layer` field on operations here.
+ */
+
+#ifndef SENTINEL_DATAFLOW_GRAPH_HH
+#define SENTINEL_DATAFLOW_GRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataflow/op.hh"
+#include "dataflow/tensor.hh"
+
+namespace sentinel::df {
+
+class Graph
+{
+  public:
+    Graph(std::string name, int batch_size)
+        : name_(std::move(name)), batch_size_(batch_size)
+    {
+    }
+
+    // --- Construction ----------------------------------------------------
+
+    /** Add a tensor; @return its id. */
+    TensorId addTensor(std::string name, std::uint64_t bytes,
+                       TensorKind kind, bool preallocated = false);
+
+    /** Add an operation; uses must reference existing tensors. */
+    OpId addOp(std::string name, OpType type, int layer, double flops,
+               std::vector<TensorUse> uses);
+
+    /**
+     * Derive lifetimes, bucket ops by layer, and validate the graph.
+     * Must be called once after construction; builders do this.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    // --- Structure --------------------------------------------------------
+
+    const std::string &name() const { return name_; }
+    int batchSize() const { return batch_size_; }
+    int numLayers() const { return num_layers_; }
+    std::size_t numTensors() const { return tensors_.size(); }
+    std::size_t numOps() const { return ops_.size(); }
+
+    const TensorDesc &tensor(TensorId id) const;
+    const Operation &op(OpId id) const;
+    const std::vector<TensorDesc> &tensors() const { return tensors_; }
+    const std::vector<Operation> &ops() const { return ops_; }
+
+    /** Ids of operations in @p layer, in execution order. */
+    std::span<const OpId> opsInLayer(int layer) const;
+
+    // --- Derived quantities -------------------------------------------------
+
+    /**
+     * Peak memory consumption of one training step in bytes: the
+     * maximum over the op sequence of the total size of live tensors
+     * (preallocated tensors are always live).  This is the "peak
+     * memory consumption" all of the paper's fast-memory-size ratios
+     * refer to.
+     */
+    std::uint64_t peakMemoryBytes() const;
+
+    /** Peak memory of short-lived tensors only (bound for RS). */
+    std::uint64_t peakShortLivedBytes() const;
+
+    /** Sum of bytes of preallocated tensors. */
+    std::uint64_t preallocatedBytes() const;
+
+    /** Largest single tensor (for the fast-memory lower bound). */
+    std::uint64_t largestTensorBytes() const;
+
+    /** Tensor ids whose first referencing op is @p op. */
+    std::span<const TensorId> tensorsBornAtOp(OpId op) const;
+
+    /** Tensor ids whose last referencing op is @p op. */
+    std::span<const TensorId> tensorsDyingAtOp(OpId op) const;
+
+    /** All preallocated tensor ids. */
+    std::span<const TensorId> preallocatedTensors() const;
+
+  private:
+    void validate() const;
+
+    std::string name_;
+    int batch_size_;
+    int num_layers_ = 0;
+    bool finalized_ = false;
+
+    std::vector<TensorDesc> tensors_;
+    std::vector<Operation> ops_;
+    std::vector<std::vector<OpId>> ops_by_layer_;
+    std::vector<std::vector<TensorId>> born_at_op_;
+    std::vector<std::vector<TensorId>> dying_at_op_;
+    std::vector<TensorId> preallocated_;
+};
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_GRAPH_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dataflow operations.
+ *
+ * An operation is a node of the training graph: a primitive (conv,
+ * matmul, batch-norm, ...) with a FLOP count and a list of tensor
+ * uses.  Each use carries the operation's *main-memory* traffic to
+ * that tensor — bytes moved after cache filtering, plus the number of
+ * counted access episodes per page, which is what the paper's
+ * PTE-poisoning profiler observes.
+ */
+
+#ifndef SENTINEL_DATAFLOW_OP_HH
+#define SENTINEL_DATAFLOW_OP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/tensor.hh"
+
+namespace sentinel::df {
+
+using OpId = std::uint32_t;
+constexpr OpId kInvalidOp = ~0u;
+
+/** Primitive kinds; used for reporting and recompute-cost reasoning. */
+enum class OpType : std::uint8_t {
+    Conv2d,
+    ConvBackward,
+    MatMul,
+    BatchNorm,
+    LayerNorm,
+    ReLU,
+    Pool,
+    Softmax,
+    Attention,
+    LstmCell,
+    Embedding,
+    EltwiseAdd,
+    Concat,
+    Transpose,
+    Pad,
+    Dropout,
+    Loss,
+    SgdUpdate,
+    Other,
+};
+
+const char *opTypeName(OpType t);
+
+/** One operation's use of one tensor. */
+struct TensorUse {
+    TensorId tensor = kInvalidTensor;
+    bool is_write = false;
+
+    /**
+     * Bytes this operation moves between the tensor and main memory
+     * (post cache filtering).  For a streamed activation this is about
+     * the tensor size; for a cache-resident small parameter it can be
+     * far less than `episodes * bytes`.
+     */
+    std::uint64_t traffic_bytes = 0;
+
+    /**
+     * Counted main-memory access episodes per page of the tensor —
+     * what the poisoned-PTE fault handler sees.  Hot small tensors
+     * have large values (touched again and again across the layer);
+     * streamed tensors have ~1.
+     */
+    double episodes_per_page = 1.0;
+};
+
+/** One node of the dataflow graph. */
+struct Operation {
+    OpId id = kInvalidOp;
+    std::string name;
+    OpType type = OpType::Other;
+
+    /** Layer this operation belongs to (the paper's management unit). */
+    int layer = -1;
+
+    /** Floating-point work; drives the compute component of op time. */
+    double flops = 0.0;
+
+    std::vector<TensorUse> uses;
+
+    /** Convenience: sum of traffic over all uses. */
+    std::uint64_t
+    totalTraffic() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &u : uses)
+            total += u.traffic_bytes;
+        return total;
+    }
+};
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_OP_HH

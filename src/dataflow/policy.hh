@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The memory-management policy interface.
+ *
+ * Everything this reproduction compares — Sentinel itself, IAL,
+ * AutoTM, first-touch NUMA, Memory Mode, UM, vDNN, SwapAdvisor,
+ * Capuchin, and the fast-only / slow-only references — implements this
+ * interface.  The Executor drives a training step and calls back:
+ *
+ *  - lifecycle hooks (training / step / layer boundaries), where
+ *    planned policies schedule prefetches and evictions;
+ *  - allocate()/free notifications, where layout policies choose
+ *    addresses (and therefore page sharing) and initial tiers;
+ *  - onPageAccess(), where reactive page-level policies (IAL, UM,
+ *    Memory Mode) migrate on demand and charge critical-path costs.
+ *
+ * Hooks may charge time to the step through the Executor's charge*
+ * methods; they never mutate the clock directly.
+ */
+
+#ifndef SENTINEL_DATAFLOW_POLICY_HH
+#define SENTINEL_DATAFLOW_POLICY_HH
+
+#include <optional>
+#include <string>
+
+#include "common/units.hh"
+#include "dataflow/placement.hh"
+#include "dataflow/tensor.hh"
+#include "mem/page.hh"
+
+namespace sentinel::df {
+
+class Executor;
+
+/** Result of the per-page access hook. */
+struct PageAccessResult {
+    /**
+     * Critical-path cost injected by the policy (demand-fault service,
+     * cache-miss fill, ...).  Charged as exposed migration time.
+     */
+    Tick extra = 0;
+
+    /**
+     * If set, the access is served from this tier regardless of the
+     * page table (e.g. a Memory-Mode DRAM cache hit, or a page the
+     * policy just faulted in synchronously).
+     */
+    std::optional<mem::Tier> effective;
+};
+
+class MemoryPolicy
+{
+  public:
+    virtual ~MemoryPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    // --- Lifecycle hooks -------------------------------------------------
+
+    /** Called once before any step; preallocated tensors follow. */
+    virtual void onTrainingStart(Executor &) {}
+
+    virtual void onStepBegin(Executor &, int /*step*/) {}
+    virtual void onStepEnd(Executor &, int /*step*/) {}
+
+    /** Layer boundaries — Sentinel's migration intervals live here. */
+    virtual void onLayerBegin(Executor &, int /*layer*/) {}
+    virtual void onLayerEnd(Executor &, int /*layer*/) {}
+
+    // --- Allocation -------------------------------------------------------
+
+    /** Choose an address and an initial tier for @p tensor. */
+    virtual AllocDecision allocate(Executor &, const TensorDesc &tensor) = 0;
+
+    /** The executor mapped @p tensor at @p placement. */
+    virtual void
+    onTensorAllocated(Executor &, TensorId, const TensorPlacement &)
+    {
+    }
+
+    /**
+     * @p tensor is being freed; its placement is still valid during
+     * this call (so layout state can be recycled).
+     */
+    virtual void
+    onTensorFreed(Executor &, TensorId, const TensorPlacement &)
+    {
+    }
+
+    /** The last tensor on @p page was freed; the page is unmapping. */
+    virtual void onPageUnmapped(Executor &, mem::PageId) {}
+
+    // --- Access ------------------------------------------------------------
+
+    /** Called for every page touched by every op. */
+    virtual PageAccessResult
+    onPageAccess(Executor &, mem::PageId, bool /*is_write*/)
+    {
+        return {};
+    }
+
+    /**
+     * A touched page is in flight toward fast memory.  Return true to
+     * stall until it arrives (access then served from fast), false to
+     * read it from its source tier.  Sentinel's test-and-trial for
+     * Case 3 decides exactly this (Sec. IV-D).
+     */
+    virtual bool stallForInflight(Executor &, mem::PageId) { return true; }
+};
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_POLICY_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-training-step measurements produced by the Executor.
+ *
+ * The evaluation section of the paper reports throughput (Figs. 7, 8,
+ * 12), exposed migration overhead and recomputation (Fig. 13),
+ * migrated volume (Table IV) and bandwidth (Fig. 9); every one of
+ * those comes out of the fields below.
+ */
+
+#ifndef SENTINEL_DATAFLOW_STEP_STATS_HH
+#define SENTINEL_DATAFLOW_STEP_STATS_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace sentinel::df {
+
+struct StepStats {
+    int step = 0;
+
+    /** Wall time of the step (all components included). */
+    Tick step_time = 0;
+
+    /** Sum of op compute components (overlaps with mem_time). */
+    Tick compute_time = 0;
+
+    /** Sum of op memory components (overlaps with compute_time). */
+    Tick mem_time = 0;
+
+    /**
+     * Migration overhead exposed on the critical path: stalls waiting
+     * for prefetches, on-demand page faults, synchronous tensor moves.
+     */
+    Tick exposed_migration = 0;
+
+    /** Protection-fault overhead of profiling (profiling step only). */
+    Tick fault_overhead = 0;
+
+    /** Recomputation time (Capuchin-style policies only). */
+    Tick recompute_time = 0;
+
+    /** Policy decision overhead charged to the step. */
+    Tick policy_time = 0;
+
+    /** Access traffic served from each tier. */
+    std::uint64_t bytes_fast = 0;
+    std::uint64_t bytes_slow = 0;
+
+    /** Slow-tier traffic by tensor kind (indexed by TensorKind). */
+    std::uint64_t slow_bytes_by_kind[8] = { 0, 0, 0, 0, 0, 0, 0, 0 };
+
+    /** Migration volume during this step. */
+    std::uint64_t promoted_bytes = 0;
+    std::uint64_t demoted_bytes = 0;
+
+    /** High-water fast-memory occupancy observed during the step. */
+    std::uint64_t peak_fast_used = 0;
+
+    /** Number of stall events (exposed-migration occurrences). */
+    std::uint64_t num_stalls = 0;
+};
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_STEP_STATS_HH

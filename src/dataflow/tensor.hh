@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tensor descriptors.
+ *
+ * The paper's characterization (Sec. III) classifies tensors along
+ * three axes that fully determine how Sentinel treats them:
+ *
+ *  - size       (small = fits in one page, Observation 1),
+ *  - lifetime   (short-lived = alive within a single layer),
+ *  - hotness    (main-memory accesses per page, Observation 2).
+ *
+ * Tensor *values* never matter to memory management, so tensors here
+ * are pure descriptors: a size, a kind, and a lifetime derived from
+ * the operations that reference them.
+ */
+
+#ifndef SENTINEL_DATAFLOW_TENSOR_HH
+#define SENTINEL_DATAFLOW_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/page.hh"
+
+namespace sentinel::df {
+
+using TensorId = std::uint32_t;
+constexpr TensorId kInvalidTensor = ~0u;
+
+/** Role of a tensor in training; drives default access behaviour. */
+enum class TensorKind : std::uint8_t {
+    Weight,         ///< model parameter, allocated before training
+    WeightGrad,     ///< parameter gradient, lives fwd-layer..update
+    Activation,     ///< layer output kept for the backward pass
+    ActivationGrad, ///< backward error signal
+    Temp,           ///< intra-operation scratch (im2col, padding, ...)
+    Input,          ///< training batch, allocated before training
+    Optimizer,      ///< optimizer state (momentum etc.)
+};
+
+const char *tensorKindName(TensorKind k);
+
+/** Static description of one tensor. */
+struct TensorDesc {
+    TensorId id = kInvalidTensor;
+    std::string name;
+    std::uint64_t bytes = 0;
+    TensorKind kind = TensorKind::Temp;
+
+    /**
+     * Preallocated tensors (weights, inputs, optimizer state) exist
+     * before the first training step.  Sentinel cannot re-organize them
+     * mid-training (that would create wild pointers, Sec. IV-B); it
+     * only guarantees they do not share pages.
+     */
+    bool preallocated = false;
+
+    // ---- Filled in by Graph::finalize() -------------------------------
+
+    /** First / last layer whose operations reference this tensor. */
+    int first_layer = -1;
+    int last_layer = -1;
+
+    /** Global op-sequence indices of the first / last referencing op. */
+    int first_op = -1;
+    int last_op = -1;
+
+    /** Lifetime in layers (paper definition: layers where alive). */
+    int
+    lifetimeLayers() const
+    {
+        return last_layer - first_layer + 1;
+    }
+
+    /** Short-lived: lifetime no longer than one layer (Sec. III-B). */
+    bool
+    shortLived() const
+    {
+        return !preallocated && lifetimeLayers() <= 1;
+    }
+
+    /** Small: smaller than one page (Observation 1). */
+    bool
+    small() const
+    {
+        return bytes < mem::kPageSize;
+    }
+
+    /** Footprint rounded up to whole pages (page-aligned profiling). */
+    std::uint64_t
+    pageAlignedBytes() const
+    {
+        return mem::roundUpToPages(bytes);
+    }
+};
+
+} // namespace sentinel::df
+
+#endif // SENTINEL_DATAFLOW_TENSOR_HH

@@ -1,0 +1,248 @@
+#include "harness/experiment.hh"
+
+#include <memory>
+#include <optional>
+
+#include "baselines/autotm.hh"
+#include "baselines/capuchin.hh"
+#include "baselines/ial.hh"
+#include "baselines/memory_mode.hh"
+#include "baselines/reference.hh"
+#include "baselines/swapadvisor.hh"
+#include "baselines/unified_memory.hh"
+#include "baselines/vdnn.hh"
+#include "common/logging.hh"
+#include "models/registry.hh"
+#include "profile/profiler.hh"
+
+namespace sentinel::harness {
+
+core::RuntimeConfig
+platformConfig(Platform p, std::uint64_t fast_bytes)
+{
+    return p == Platform::Optane
+               ? core::RuntimeConfig::optane(fast_bytes)
+               : core::RuntimeConfig::gpu(fast_bytes);
+}
+
+const std::vector<std::string> &
+cpuPolicies()
+{
+    static const std::vector<std::string> names = {
+        "slow-only", "numa",     "memory-mode", "ial",
+        "autotm",    "sentinel", "fast-only",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+gpuPolicies()
+{
+    static const std::vector<std::string> names = {
+        "um", "vdnn", "autotm", "swapadvisor", "capuchin", "sentinel",
+    };
+    return names;
+}
+
+namespace {
+
+bool
+needsProfile(const std::string &policy)
+{
+    return policy == "autotm" || policy == "swapadvisor" ||
+           policy == "capuchin" || policy == "sentinel";
+}
+
+std::unique_ptr<df::MemoryPolicy>
+makePolicy(const std::string &name, const ExperimentConfig &cfg,
+           std::uint64_t fast_bytes, const prof::ProfileDatabase *db)
+{
+    bool gpu = cfg.platform == Platform::Gpu;
+    if (name == "fast-only" || name == "tf")
+        return baselines::makeFastOnly();
+    if (name == "slow-only")
+        return baselines::makeSlowOnly();
+    if (name == "numa")
+        return baselines::makeFirstTouchNuma();
+    if (name == "memory-mode")
+        return std::make_unique<baselines::MemoryModePolicy>(fast_bytes);
+    if (name == "ial")
+        return std::make_unique<baselines::IalPolicy>();
+    if (name == "um")
+        return std::make_unique<baselines::UnifiedMemoryPolicy>();
+    if (name == "vdnn")
+        return std::make_unique<baselines::VdnnPolicy>();
+    if (name == "autotm")
+        return std::make_unique<baselines::AutoTmPolicy>(*db, gpu);
+    if (name == "swapadvisor")
+        return std::make_unique<baselines::SwapAdvisorPolicy>(*db, gpu);
+    if (name == "capuchin")
+        return std::make_unique<baselines::CapuchinPolicy>(*db, gpu);
+    if (name == "sentinel") {
+        core::SentinelOptions opts = cfg.sentinel;
+        opts.gpu_mode = gpu;
+        return std::make_unique<core::SentinelPolicy>(*db, opts);
+    }
+    SENTINEL_FATAL("unknown policy '%s'", name.c_str());
+}
+
+} // namespace
+
+Metrics
+runExperiment(const ExperimentConfig &cfg, const std::string &policy)
+{
+    Metrics m;
+    m.policy = policy;
+    m.model = cfg.model;
+    m.batch = cfg.batch;
+
+    df::Graph graph = models::makeModel(cfg.model, cfg.batch);
+
+    std::uint64_t peak = graph.peakMemoryBytes();
+    std::uint64_t fast_bytes =
+        cfg.fast_bytes != 0
+            ? cfg.fast_bytes
+            : mem::roundUpToPages(static_cast<std::uint64_t>(
+                  static_cast<double>(peak) * cfg.fast_fraction));
+    // The fast-only reference gets a fast tier that holds everything.
+    if (policy == "fast-only" && cfg.fast_bytes == 0)
+        fast_bytes = mem::roundUpToPages(peak + (peak >> 2) +
+                                         (64ull << 20));
+
+    core::RuntimeConfig rc = platformConfig(cfg.platform, fast_bytes);
+
+    if (policy == "vdnn" && !baselines::VdnnPolicy::supports(graph)) {
+        m.supported = false;
+        m.feasible = false;
+        return m;
+    }
+
+    // Profiling phase (one step on a scratch memory system).
+    std::optional<prof::ProfileResult> profile;
+    if (needsProfile(policy)) {
+        mem::HeterogeneousMemory prof_hm(rc.fast, rc.slow, rc.migration);
+        prof::Profiler profiler(rc.profiler);
+        profile = profiler.profile(graph, prof_hm, rc.exec);
+    }
+
+    auto pol = makePolicy(policy, cfg, fast_bytes,
+                          profile ? &profile->db : nullptr);
+
+    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
+    df::Executor ex(graph, hm, rc.exec, *pol);
+
+    std::vector<df::StepStats> stats;
+    try {
+        stats = ex.run(cfg.steps);
+    } catch (const std::runtime_error &) {
+        // Out of memory (both tiers full): the configuration is
+        // infeasible for this policy.
+        m.feasible = false;
+        return m;
+    }
+
+    int measured = 0;
+    double slow_traffic = 0.0;
+    for (const auto &s : stats) {
+        if (s.step < cfg.warmup)
+            continue;
+        ++measured;
+        m.step_time_ms += toMillis(s.step_time);
+        m.exposed_ms += toMillis(s.exposed_migration);
+        m.recompute_ms += toMillis(s.recompute_time);
+        m.fault_ms += toMillis(s.fault_overhead);
+        m.promoted_mb += static_cast<double>(s.promoted_bytes) / 1e6;
+        m.demoted_mb += static_cast<double>(s.demoted_bytes) / 1e6;
+        m.bytes_fast_mb += static_cast<double>(s.bytes_fast) / 1e6;
+        m.bytes_slow_mb += static_cast<double>(s.bytes_slow) / 1e6;
+        m.peak_fast_mb = std::max(
+            m.peak_fast_mb, static_cast<double>(s.peak_fast_used) / 1e6);
+        slow_traffic += static_cast<double>(s.bytes_slow);
+    }
+    SENTINEL_ASSERT(measured > 0, "no measured steps (warmup too long)");
+    double n = static_cast<double>(measured);
+    m.step_time_ms /= n;
+    m.exposed_ms /= n;
+    m.recompute_ms /= n;
+    m.fault_ms /= n;
+    m.promoted_mb /= n;
+    m.demoted_mb /= n;
+    m.bytes_fast_mb /= n;
+    m.bytes_slow_mb /= n;
+    m.throughput =
+        m.step_time_ms > 0.0 ? cfg.batch / (m.step_time_ms / 1e3) : 0.0;
+
+    // GPU residency rule: compute must be fed from device memory.
+    // A small page-in slack is tolerated (real runtimes stage a few
+    // buffers through pinned host memory); a steady stream of host
+    // accesses marks the batch infeasible.  UM is exempt: it pages on
+    // demand by design.
+    if (cfg.platform == Platform::Gpu && policy != "um") {
+        double per_step = slow_traffic / n;
+        double total =
+            (m.bytes_fast_mb + m.bytes_slow_mb) * 1e6;
+        m.feasible = per_step < std::max(16e6, 0.02 * total);
+    }
+
+    if (auto *sp = dynamic_cast<core::SentinelPolicy *>(pol.get())) {
+        m.mil = sp->migrationPlan().mil;
+        m.case3_events = sp->case3Events();
+        m.trial_steps = sp->trialStepsUsed();
+        m.pool_mb = static_cast<double>(sp->reservedPoolBytes()) / 1e6;
+    }
+    return m;
+}
+
+std::vector<Metrics>
+runAll(const ExperimentConfig &cfg,
+       const std::vector<std::string> &policies)
+{
+    std::vector<Metrics> out;
+    out.reserve(policies.size());
+    for (const auto &p : policies)
+        out.push_back(runExperiment(cfg, p));
+    return out;
+}
+
+int
+maxBatchSearch(const std::string &model, const std::string &policy,
+               std::uint64_t fast_bytes, int cap)
+{
+    auto feasible = [&](int batch) {
+        if (policy == "tf") {
+            // Plain TensorFlow: everything must fit in device memory.
+            df::Graph g = models::makeModel(model, batch);
+            return g.peakMemoryBytes() <= fast_bytes;
+        }
+        ExperimentConfig cfg;
+        cfg.model = model;
+        cfg.batch = batch;
+        cfg.platform = Platform::Gpu;
+        cfg.fast_bytes = fast_bytes;
+        cfg.steps = 3;
+        cfg.warmup = 2;
+        Metrics m = runExperiment(cfg, policy);
+        return m.supported && m.feasible;
+    };
+
+    if (!feasible(1))
+        return 0;
+    // Exponential probe, then binary search.
+    int lo = 1;
+    int hi = 2;
+    while (hi <= cap && feasible(hi)) {
+        lo = hi;
+        hi *= 2;
+    }
+    hi = std::min(hi, cap + 1);
+    while (lo + 1 < hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (feasible(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace sentinel::harness

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The experiment harness shared by every benchmark and example.
+ *
+ * One call = one cell of a paper table/figure: build the model, size
+ * the fast tier, construct the named policy (profiling first when the
+ * policy needs it), simulate N training steps, and return averaged
+ * steady-state metrics.
+ *
+ * Policy names:
+ *   fast-only, slow-only, numa, memory-mode, ial, autotm, swapadvisor,
+ *   capuchin, sentinel            (CPU / Optane platform)
+ *   um, vdnn, autotm, swapadvisor, capuchin, sentinel, tf
+ *                                 (GPU platform; tensor residency is
+ *                                  strict — an access served from host
+ *                                  memory marks the run infeasible)
+ */
+
+#ifndef SENTINEL_HARNESS_EXPERIMENT_HH
+#define SENTINEL_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+#include "dataflow/graph.hh"
+
+namespace sentinel::harness {
+
+enum class Platform {
+    Optane, ///< DDR4 (fast) + Optane DC PMM (slow), Table II left
+    Gpu,    ///< V100 HBM (fast) + host memory over PCIe (slow)
+};
+
+struct ExperimentConfig {
+    std::string model;
+    int batch = 32;
+    Platform platform = Platform::Optane;
+
+    /** Fast-tier size as a fraction of the model's peak memory
+     *  (ignored when fast_bytes != 0).  The paper's default is 20%. */
+    double fast_fraction = 0.2;
+    std::uint64_t fast_bytes = 0;
+
+    int steps = 9;
+    int warmup = 6; ///< steps excluded from the averages (cold start
+                    ///< plus Sentinel's test-and-trial steps)
+
+    /** Sentinel knobs (ablations, forced MIL for Fig. 5). */
+    core::SentinelOptions sentinel;
+};
+
+struct Metrics {
+    std::string policy;
+    std::string model;
+    int batch = 0;
+
+    bool supported = true; ///< false: policy cannot run this graph
+    bool feasible = true;  ///< GPU: every access served from device
+
+    double step_time_ms = 0.0;
+    double throughput = 0.0; ///< samples / second
+    double exposed_ms = 0.0;
+    double recompute_ms = 0.0;
+    double fault_ms = 0.0;
+    double promoted_mb = 0.0; ///< per step
+    double demoted_mb = 0.0;
+    double bytes_fast_mb = 0.0;
+    double bytes_slow_mb = 0.0;
+    double peak_fast_mb = 0.0;
+
+    // Sentinel-specific (zero for other policies).
+    int mil = 0;
+    int case3_events = 0;
+    int trial_steps = 0;
+    double pool_mb = 0.0;
+
+    double
+    migrated_mb() const
+    {
+        return promoted_mb + demoted_mb;
+    }
+};
+
+/** Platform preset with the fast tier sized to @p fast_bytes. */
+core::RuntimeConfig platformConfig(Platform p, std::uint64_t fast_bytes);
+
+/** All CPU-platform policy names, in the paper's comparison order. */
+const std::vector<std::string> &cpuPolicies();
+/** All GPU-platform policy names (Fig. 12 order). */
+const std::vector<std::string> &gpuPolicies();
+
+/** Run one (model, batch, platform, policy) cell. */
+Metrics runExperiment(const ExperimentConfig &cfg,
+                      const std::string &policy);
+
+/** Run several policies on the same configuration. */
+std::vector<Metrics> runAll(const ExperimentConfig &cfg,
+                            const std::vector<std::string> &policies);
+
+/**
+ * Largest batch (<= @p cap) the policy can train with @p fast_bytes of
+ * device memory (Table V).  Feasibility = the steady-state step serves
+ * every access from device memory and nothing OOMs.
+ */
+int maxBatchSearch(const std::string &model, const std::string &policy,
+                   std::uint64_t fast_bytes, int cap = 2048);
+
+} // namespace sentinel::harness
+
+#endif // SENTINEL_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,52 @@
+#include "mem/access_tracker.hh"
+
+namespace sentinel::mem {
+
+void
+AccessTracker::track(PageId page)
+{
+    tracked_[page] = true;
+}
+
+void
+AccessTracker::untrack(PageId page)
+{
+    tracked_.erase(page);
+}
+
+bool
+AccessTracker::isTracked(PageId page) const
+{
+    return tracked_.find(page) != tracked_.end();
+}
+
+Tick
+AccessTracker::onAccess(PageId page, bool is_write, std::uint64_t count)
+{
+    if (!isTracked(page) || count == 0)
+        return 0;
+    PageAccessCounts &c = counts_[page];
+    if (is_write)
+        c.writes += count;
+    else
+        c.reads += count;
+    total_faults_ += count;
+    return fault_cost_ * static_cast<Tick>(count);
+}
+
+PageAccessCounts
+AccessTracker::counts(PageId page) const
+{
+    auto it = counts_.find(page);
+    return it == counts_.end() ? PageAccessCounts{} : it->second;
+}
+
+void
+AccessTracker::reset()
+{
+    tracked_.clear();
+    counts_.clear();
+    total_faults_ = 0;
+}
+
+} // namespace sentinel::mem

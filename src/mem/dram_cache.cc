@@ -1,0 +1,91 @@
+#include "mem/dram_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::mem {
+
+DramCache::DramCache(std::uint64_t capacity, unsigned associativity)
+    : assoc_(associativity)
+{
+    SENTINEL_ASSERT(associativity > 0, "associativity must be positive");
+    std::uint64_t frames = capacity / kPageSize;
+    num_sets_ = std::max<std::uint64_t>(1, frames / associativity);
+    sets_.resize(num_sets_);
+    for (auto &s : sets_)
+        s.resize(assoc_);
+}
+
+std::vector<DramCache::Way> &
+DramCache::set(PageId page)
+{
+    // Simple modulo indexing; pages of one tensor are contiguous, so
+    // consecutive pages land in consecutive sets, as in real hardware.
+    return sets_[page % num_sets_];
+}
+
+bool
+DramCache::contains(PageId page) const
+{
+    const auto &s = sets_[page % num_sets_];
+    return std::any_of(s.begin(), s.end(), [page](const Way &w) {
+        return w.valid && w.page == page;
+    });
+}
+
+DramCacheResult
+DramCache::access(PageId page, bool is_write)
+{
+    DramCacheResult result;
+    auto &s = set(page);
+    ++lru_clock_;
+
+    for (Way &w : s) {
+        if (w.valid && w.page == page) {
+            w.lru = lru_clock_;
+            w.dirty = w.dirty || is_write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: pick an invalid way or the LRU victim.
+    Way *victim = &s[0];
+    for (Way &w : s) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (w.lru < victim->lru)
+            victim = &w;
+    }
+
+    ++misses_;
+    result.fill_bytes = kPageSize;
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        result.writeback_bytes = kPageSize;
+    }
+
+    victim->page = page;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = lru_clock_;
+    return result;
+}
+
+void
+DramCache::reset()
+{
+    for (auto &s : sets_)
+        for (auto &w : s)
+            w = Way{};
+    lru_clock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+} // namespace sentinel::mem

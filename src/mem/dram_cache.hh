@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Optane "Memory Mode": DRAM as a hardware-managed page cache.
+ *
+ * In Memory Mode the DRAM tier is invisible to software; the memory
+ * controller manages it as a direct-mapped/set-associative cache of
+ * slow-memory pages.  The paper evaluates this as a baseline (Fig. 8)
+ * and beats it because the hardware cache (a) caches at page
+ * granularity (false sharing pulls cold bytes along with hot ones) and
+ * (b) cannot exploit tensor lifetime (dead short-lived tensors keep
+ * occupying DRAM until evicted by conflict).
+ *
+ * This class models a set-associative page cache with LRU replacement
+ * and writeback of dirty victims.
+ */
+
+#ifndef SENTINEL_MEM_DRAM_CACHE_HH
+#define SENTINEL_MEM_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "mem/page.hh"
+
+namespace sentinel::mem {
+
+/** Outcome of one cached page access. */
+struct DramCacheResult {
+    bool hit = false;
+    /** Bytes moved slow->fast to fill the line (0 on a hit). */
+    std::uint64_t fill_bytes = 0;
+    /** Bytes moved fast->slow to write back the victim. */
+    std::uint64_t writeback_bytes = 0;
+};
+
+class DramCache
+{
+  public:
+    /**
+     * @param capacity DRAM cache capacity in bytes.
+     * @param associativity ways per set (Optane Memory Mode is
+     *        direct-mapped in hardware; we default to a small
+     *        associativity to model its sectored organization).
+     */
+    DramCache(std::uint64_t capacity, unsigned associativity = 4);
+
+    /** Access @p page; updates cache state and returns the outcome. */
+    DramCacheResult access(PageId page, bool is_write);
+
+    bool contains(PageId page) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t numSets() const { return num_sets_; }
+    unsigned associativity() const { return assoc_; }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+    }
+
+    void reset();
+
+  private:
+    struct Way {
+        PageId page = kInvalidPage;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; ///< larger == more recently used
+    };
+
+    std::vector<Way> &set(PageId page);
+
+    std::uint64_t num_sets_;
+    unsigned assoc_;
+    std::vector<std::vector<Way>> sets_;
+    std::uint64_t lru_clock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace sentinel::mem
+
+#endif // SENTINEL_MEM_DRAM_CACHE_HH

@@ -1,0 +1,192 @@
+#include "mem/hm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::mem {
+
+HeterogeneousMemory::HeterogeneousMemory(TierParams fast, TierParams slow,
+                                         MigrationParams migration)
+    : fast_(std::move(fast)), slow_(std::move(slow)),
+      promote_("promote", migration.promote_bw, migration.startup),
+      demote_("demote", migration.demote_bw, migration.startup)
+{
+}
+
+bool
+HeterogeneousMemory::tryMapPage(PageId page, Tier t)
+{
+    if (!tier(t).tryReserve(kPageSize))
+        return false;
+    table_.map(page, t);
+    return true;
+}
+
+Tier
+HeterogeneousMemory::mapPage(PageId page, Tier preferred)
+{
+    if (tryMapPage(page, preferred))
+        return preferred;
+    Tier fallback = otherTier(preferred);
+    if (tryMapPage(page, fallback))
+        return fallback;
+    SENTINEL_FATAL("out of memory: both tiers full mapping page %llu "
+                   "(fast %llu/%llu, slow %llu/%llu)",
+                   static_cast<unsigned long long>(page),
+                   static_cast<unsigned long long>(fast_.used()),
+                   static_cast<unsigned long long>(fast_.capacity()),
+                   static_cast<unsigned long long>(slow_.used()),
+                   static_cast<unsigned long long>(slow_.capacity()));
+}
+
+void
+HeterogeneousMemory::unmapPage(PageId page, Tick now)
+{
+    commitUpTo(now);
+    const PageEntry &e = table_.entry(page);
+    if (e.in_flight) {
+        // Freed before the transfer landed: drop the destination
+        // reservation and leave the page at its source for release.
+        tier(e.dest).release(kPageSize);
+        table_.cancelMigration(page);
+    }
+    tier(table_.entry(page).tier).release(kPageSize);
+    table_.unmap(page);
+}
+
+Tier
+HeterogeneousMemory::residentTier(PageId page, Tick now)
+{
+    commitUpTo(now);
+    return table_.entry(page).tier;
+}
+
+bool
+HeterogeneousMemory::inFlight(PageId page, Tick now)
+{
+    commitUpTo(now);
+    return table_.entry(page).in_flight;
+}
+
+Tick
+HeterogeneousMemory::arrivalTime(PageId page) const
+{
+    const PageEntry &e = table_.entry(page);
+    SENTINEL_ASSERT(e.in_flight, "arrivalTime() of non-migrating page");
+    return e.arrival;
+}
+
+Tick
+HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
+{
+    commitUpTo(ready);
+    const PageEntry &e = table_.entry(page);
+    if (e.in_flight || e.tier == dst)
+        return -1;
+    if (!tier(dst).tryReserve(kPageSize))
+        return -1;
+
+    sim::BandwidthChannel &ch = dst == Tier::Fast ? promote_ : demote_;
+    Tick arrival = ch.submit(ready, kPageSize);
+    std::uint64_t seq = table_.beginMigration(page, dst, arrival);
+    pending_.push(Pending{arrival, page, seq, dst});
+
+    if (dst == Tier::Fast) {
+        stats_.promoted_bytes += kPageSize;
+        stats_.promoted_pages += 1;
+    } else {
+        stats_.demoted_bytes += kPageSize;
+        stats_.demoted_pages += 1;
+    }
+    return arrival;
+}
+
+std::size_t
+HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
+                                  Tick ready)
+{
+    commitUpTo(ready);
+    sim::BandwidthChannel &ch = dst == Tier::Fast ? promote_ : demote_;
+    std::size_t scheduled = 0;
+    for (PageId page : pages) {
+        const PageEntry &e = table_.entry(page);
+        if (e.in_flight || e.tier == dst)
+            continue;
+        if (!tier(dst).tryReserve(kPageSize))
+            break; // destination full; caller retries later
+
+        // First page of the batch pays the setup cost; the rest stream.
+        Tick arrival = scheduled == 0
+                           ? ch.submit(ready, kPageSize)
+                           : ch.submitWithStartup(ready, kPageSize, 0);
+        std::uint64_t seq = table_.beginMigration(page, dst, arrival);
+        pending_.push(Pending{ arrival, page, seq, dst });
+        ++scheduled;
+
+        if (dst == Tier::Fast) {
+            stats_.promoted_bytes += kPageSize;
+            stats_.promoted_pages += 1;
+        } else {
+            stats_.demoted_bytes += kPageSize;
+            stats_.demoted_pages += 1;
+        }
+    }
+    return scheduled;
+}
+
+bool
+HeterogeneousMemory::teleportPage(PageId page, Tier dst, Tick now)
+{
+    commitUpTo(now);
+    const PageEntry &e = table_.entry(page);
+    if (e.in_flight)
+        return false; // let the transfer land first
+    if (e.tier == dst)
+        return true;
+    if (!tier(dst).tryReserve(kPageSize))
+        return false;
+    Tier src = e.tier;
+    // Instant flip: begin+commit with an immediate arrival.
+    std::uint64_t seq = table_.beginMigration(page, dst, now);
+    bool ok = table_.commitMigration(page, seq);
+    SENTINEL_ASSERT(ok, "teleport commit failed");
+    tier(src).release(kPageSize);
+    return true;
+}
+
+void
+HeterogeneousMemory::commitUpTo(Tick now)
+{
+    while (!pending_.empty() && pending_.top().arrival <= now) {
+        Pending p = pending_.top();
+        pending_.pop();
+        if (table_.commitMigration(p.page, p.seq)) {
+            // Page now lives at p.dst; free its old home.
+            tier(otherTier(p.dst)).release(kPageSize);
+        }
+        // A failed commit means the page was freed or the migration was
+        // cancelled; unmapPage()/cancel paths already released the
+        // destination reservation in that case.
+    }
+}
+
+const TierParams &
+HeterogeneousMemory::tierParams(Tier t) const
+{
+    return tier(t).params();
+}
+
+void
+HeterogeneousMemory::reset()
+{
+    fast_.reset();
+    slow_.reset();
+    promote_.reset();
+    demote_.reset();
+    table_.clear();
+    pending_ = {};
+    stats_ = HmStats{};
+}
+
+} // namespace sentinel::mem

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The heterogeneous memory system facade.
+ *
+ * Combines two MemoryTiers, a PageTable, and a MigrationEngine made of
+ * two serialized DMA channels (promote: slow->fast, demote:
+ * fast->slow — mirroring the paper's two migration helper threads that
+ * run in parallel with training).  All policies and the Sentinel
+ * runtime talk to memory exclusively through this class.
+ *
+ * Capacity protocol: a migration reserves destination-tier space when
+ * it is scheduled and releases source-tier space when it completes
+ * (lazily committed as simulated time advances), so fast-memory
+ * occupancy is never under-counted.
+ */
+
+#ifndef SENTINEL_MEM_HM_HH
+#define SENTINEL_MEM_HM_HH
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "common/units.hh"
+#include "mem/page.hh"
+#include "mem/page_table.hh"
+#include "mem/tier.hh"
+#include "sim/bandwidth_channel.hh"
+
+namespace sentinel::mem {
+
+/** Migration link description. */
+struct MigrationParams {
+    double promote_bw = 0.0;  ///< slow->fast bytes/second
+    double demote_bw = 0.0;   ///< fast->slow bytes/second
+    Tick startup = 0;         ///< per-transfer setup (syscall / launch)
+};
+
+/** Aggregate counters exposed for tables and figures. */
+struct HmStats {
+    std::uint64_t promoted_bytes = 0;
+    std::uint64_t demoted_bytes = 0;
+    std::uint64_t promoted_pages = 0;
+    std::uint64_t demoted_pages = 0;
+};
+
+class HeterogeneousMemory
+{
+  public:
+    HeterogeneousMemory(TierParams fast, TierParams slow,
+                        MigrationParams migration);
+
+    // --- Mapping -------------------------------------------------------
+
+    /** Map @p page into @p tier; @return false if the tier is full. */
+    bool tryMapPage(PageId page, Tier tier);
+
+    /**
+     * Map @p page into @p preferred, falling back to the other tier if
+     * full.  A completely full system is a configuration error (fatal).
+     *
+     * @return the tier actually used.
+     */
+    Tier mapPage(PageId page, Tier preferred);
+
+    /** Unmap @p page, releasing its space (commits arrivals first). */
+    void unmapPage(PageId page, Tick now);
+
+    bool isMapped(PageId page) const { return table_.isMapped(page); }
+
+    // --- Residency -----------------------------------------------------
+
+    /**
+     * Tier where @p page's data can be read at time @p now.  A page in
+     * flight is served from its source tier.
+     */
+    Tier residentTier(PageId page, Tick now);
+
+    /** True if @p page has a migration still in flight at @p now. */
+    bool inFlight(PageId page, Tick now);
+
+    /** Arrival time of the in-flight migration (page must be in flight). */
+    Tick arrivalTime(PageId page) const;
+
+    // --- Migration -----------------------------------------------------
+
+    /**
+     * Schedule moving @p page to @p dst, starting no earlier than
+     * @p ready.
+     *
+     * @return the completion tick, or -1 if the destination is full or
+     *         the page is already at/moving to @p dst.
+     */
+    Tick migratePage(PageId page, Tier dst, Tick ready);
+
+    /**
+     * Migrate a batch as ONE transfer (a single move_pages() call /
+     * one cudaMemPrefetchAsync): the per-transfer setup cost is paid
+     * once, not per page.  Pages already at/moving to @p dst are
+     * skipped; migration stops early if the destination fills.
+     *
+     * @return the number of pages whose migration was scheduled.
+     */
+    std::size_t migratePages(std::span<const PageId> pages, Tier dst,
+                             Tick ready);
+
+    /**
+     * Instantly remap @p page into @p dst WITHOUT a data transfer —
+     * the memory-system equivalent of discarding the contents and
+     * rematerializing them later (Capuchin-style recomputation frees
+     * device memory with no traffic; the replayed producer writes the
+     * new copy).
+     *
+     * @return false if @p dst has no space (nothing changes).
+     */
+    bool teleportPage(PageId page, Tier dst, Tick now);
+
+    /** Apply every migration completion with arrival <= @p now. */
+    void commitUpTo(Tick now);
+
+    /** Idle time of the promote / demote channel. */
+    Tick promoteBusyUntil() const { return promote_.busyUntil(); }
+    Tick demoteBusyUntil() const { return demote_.busyUntil(); }
+
+    // --- Introspection --------------------------------------------------
+
+    const TierParams &tierParams(Tier t) const;
+    MemoryTier &tier(Tier t) { return t == Tier::Fast ? fast_ : slow_; }
+    const MemoryTier &
+    tier(Tier t) const
+    {
+        return t == Tier::Fast ? fast_ : slow_;
+    }
+
+    const HmStats &stats() const { return stats_; }
+    const sim::BandwidthChannel &promoteChannel() const { return promote_; }
+    const sim::BandwidthChannel &demoteChannel() const { return demote_; }
+
+    /** Clear pages, reservations, channels and stats. */
+    void reset();
+
+  private:
+    struct Pending {
+        Tick arrival;
+        PageId page;
+        std::uint64_t seq;
+        Tier dst;
+        bool
+        operator>(const Pending &o) const
+        {
+            if (arrival != o.arrival)
+                return arrival > o.arrival;
+            return seq > o.seq;
+        }
+    };
+
+    MemoryTier fast_;
+    MemoryTier slow_;
+    sim::BandwidthChannel promote_;
+    sim::BandwidthChannel demote_;
+    PageTable table_;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
+        pending_;
+    HmStats stats_;
+};
+
+} // namespace sentinel::mem
+
+#endif // SENTINEL_MEM_HM_HH

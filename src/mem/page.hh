@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Page-granularity basics shared by the whole memory subsystem.
+ *
+ * All placement state in this reproduction is per 4 KiB page, exactly
+ * because the paper's central observation is that OS/hardware manage
+ * memory at page granularity while frameworks manage tensors — and that
+ * the mismatch (page-level false sharing) costs performance.
+ */
+
+#ifndef SENTINEL_MEM_PAGE_HH
+#define SENTINEL_MEM_PAGE_HH
+
+#include <cstdint>
+
+namespace sentinel::mem {
+
+/** Page size in bytes (x86-64 base pages, as in the paper's testbed). */
+constexpr std::uint64_t kPageSize = 4096;
+
+/** Virtual page number within the simulated address space. */
+using PageId = std::uint64_t;
+
+constexpr PageId kInvalidPage = ~0ull;
+
+/** Byte offset within the simulated virtual address space. */
+using VirtAddr = std::uint64_t;
+
+/** Page containing @p addr. */
+constexpr PageId
+pageOf(VirtAddr addr)
+{
+    return addr / kPageSize;
+}
+
+/** First page at or after @p addr. */
+constexpr PageId
+pageCeil(VirtAddr addr)
+{
+    return (addr + kPageSize - 1) / kPageSize;
+}
+
+/** Number of pages spanned by the range [addr, addr + bytes). */
+constexpr std::uint64_t
+pagesSpanned(VirtAddr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    return pageCeil(addr + bytes) - pageOf(addr);
+}
+
+/** Round @p bytes up to a whole number of pages. */
+constexpr std::uint64_t
+roundUpToPages(std::uint64_t bytes)
+{
+    return pageCeil(bytes) * kPageSize;
+}
+
+/** The two tiers of a heterogeneous memory system. */
+enum class Tier : std::uint8_t {
+    Fast = 0, ///< DRAM (CPU systems) or HBM (GPU systems)
+    Slow = 1, ///< Optane PMM (CPU systems) or host DRAM (GPU systems)
+};
+
+constexpr const char *
+tierName(Tier t)
+{
+    return t == Tier::Fast ? "fast" : "slow";
+}
+
+constexpr Tier
+otherTier(Tier t)
+{
+    return t == Tier::Fast ? Tier::Slow : Tier::Fast;
+}
+
+} // namespace sentinel::mem
+
+#endif // SENTINEL_MEM_PAGE_HH

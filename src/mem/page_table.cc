@@ -1,0 +1,84 @@
+#include "mem/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace sentinel::mem {
+
+void
+PageTable::map(PageId page, Tier tier)
+{
+    auto [it, inserted] = entries_.emplace(page, PageEntry{});
+    SENTINEL_ASSERT(inserted, "page %llu already mapped",
+                    static_cast<unsigned long long>(page));
+    it->second.tier = tier;
+}
+
+void
+PageTable::unmap(PageId page)
+{
+    auto erased = entries_.erase(page);
+    SENTINEL_ASSERT(erased == 1, "unmap of unmapped page %llu",
+                    static_cast<unsigned long long>(page));
+}
+
+bool
+PageTable::isMapped(PageId page) const
+{
+    return entries_.find(page) != entries_.end();
+}
+
+const PageEntry &
+PageTable::entry(PageId page) const
+{
+    auto it = entries_.find(page);
+    SENTINEL_ASSERT(it != entries_.end(), "entry() of unmapped page %llu",
+                    static_cast<unsigned long long>(page));
+    return it->second;
+}
+
+PageEntry &
+PageTable::mutableEntry(PageId page)
+{
+    auto it = entries_.find(page);
+    SENTINEL_ASSERT(it != entries_.end(), "access to unmapped page %llu",
+                    static_cast<unsigned long long>(page));
+    return it->second;
+}
+
+std::uint64_t
+PageTable::beginMigration(PageId page, Tier dest, Tick arrival)
+{
+    PageEntry &e = mutableEntry(page);
+    SENTINEL_ASSERT(!e.in_flight, "page %llu is already migrating",
+                    static_cast<unsigned long long>(page));
+    SENTINEL_ASSERT(e.tier != dest, "migration to the same tier");
+    e.in_flight = true;
+    e.dest = dest;
+    e.arrival = arrival;
+    e.seq = next_seq_++;
+    return e.seq;
+}
+
+bool
+PageTable::commitMigration(PageId page, std::uint64_t seq)
+{
+    auto it = entries_.find(page);
+    if (it == entries_.end())
+        return false; // freed while in flight
+    PageEntry &e = it->second;
+    if (!e.in_flight || e.seq != seq)
+        return false; // cancelled or superseded
+    e.tier = e.dest;
+    e.in_flight = false;
+    return true;
+}
+
+void
+PageTable::cancelMigration(PageId page)
+{
+    PageEntry &e = mutableEntry(page);
+    SENTINEL_ASSERT(e.in_flight, "cancel of non-migrating page");
+    e.in_flight = false;
+}
+
+} // namespace sentinel::mem

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Virtual page -> tier mapping, including in-flight migration state.
+ *
+ * A page that is migrating remains readable at its source tier until
+ * the migration engine's transfer completes (arrival tick); the
+ * HeterogeneousMemory facade lazily commits arrivals as simulated time
+ * advances.
+ */
+
+#ifndef SENTINEL_MEM_PAGE_TABLE_HH
+#define SENTINEL_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.hh"
+#include "mem/page.hh"
+
+namespace sentinel::mem {
+
+/** Per-page state. */
+struct PageEntry {
+    Tier tier = Tier::Slow;     ///< current (source) tier
+    bool in_flight = false;     ///< migration scheduled, not yet arrived
+    Tier dest = Tier::Slow;     ///< destination while in flight
+    Tick arrival = 0;           ///< completion time while in flight
+    std::uint64_t seq = 0;      ///< migration epoch, guards stale commits
+};
+
+/** A flat map of mapped pages. */
+class PageTable
+{
+  public:
+    /** Map @p page into @p tier.  The page must not be mapped. */
+    void map(PageId page, Tier tier);
+
+    /** Remove @p page.  The page must be mapped. */
+    void unmap(PageId page);
+
+    bool isMapped(PageId page) const;
+
+    /** Entry for @p page (must be mapped). */
+    const PageEntry &entry(PageId page) const;
+
+    /**
+     * Mark @p page as migrating to @p dest, arriving at @p arrival.
+     * @return the migration sequence number for this migration.
+     */
+    std::uint64_t beginMigration(PageId page, Tier dest, Tick arrival);
+
+    /**
+     * Complete the migration with sequence @p seq, if still pending.
+     * @return true if the commit took effect (page flipped tiers).
+     */
+    bool commitMigration(PageId page, std::uint64_t seq);
+
+    /** Abort an in-flight migration, leaving the page at its source. */
+    void cancelMigration(PageId page);
+
+    std::size_t numMapped() const { return entries_.size(); }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    PageEntry &mutableEntry(PageId page);
+
+    std::unordered_map<PageId, PageEntry> entries_;
+    std::uint64_t next_seq_ = 1;
+};
+
+} // namespace sentinel::mem
+
+#endif // SENTINEL_MEM_PAGE_TABLE_HH

@@ -1,0 +1,43 @@
+#include "mem/tier.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::mem {
+
+bool
+MemoryTier::tryReserve(std::uint64_t bytes)
+{
+    SENTINEL_ASSERT(bytes % kPageSize == 0,
+                    "tier reservation of %llu bytes is not page-aligned",
+                    static_cast<unsigned long long>(bytes));
+    if (used_ + bytes > params_.capacity)
+        return false;
+    used_ += bytes;
+    peak_used_ = std::max(peak_used_, used_);
+    return true;
+}
+
+void
+MemoryTier::release(std::uint64_t bytes)
+{
+    SENTINEL_ASSERT(bytes % kPageSize == 0,
+                    "tier release of %llu bytes is not page-aligned",
+                    static_cast<unsigned long long>(bytes));
+    SENTINEL_ASSERT(bytes <= used_,
+                    "tier '%s' releasing %llu bytes with only %llu used",
+                    params_.name.c_str(),
+                    static_cast<unsigned long long>(bytes),
+                    static_cast<unsigned long long>(used_));
+    used_ -= bytes;
+}
+
+void
+MemoryTier::reset()
+{
+    used_ = 0;
+    peak_used_ = 0;
+}
+
+} // namespace sentinel::mem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * One memory tier: capacity bookkeeping plus a timing description.
+ */
+
+#ifndef SENTINEL_MEM_TIER_HH
+#define SENTINEL_MEM_TIER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+#include "mem/page.hh"
+
+namespace sentinel::mem {
+
+/** Static description of a tier's performance characteristics. */
+struct TierParams {
+    std::string name;
+    std::uint64_t capacity = 0;   ///< bytes
+    double read_bw = 0.0;         ///< bytes/second, sustained
+    double write_bw = 0.0;        ///< bytes/second, sustained
+    Tick read_latency = 0;        ///< per-access latency component
+    Tick write_latency = 0;
+};
+
+/**
+ * Capacity accounting for one tier.
+ *
+ * Frames are fungible in the simulation, so the tier tracks byte counts
+ * (always whole pages) rather than individual frame identities; the
+ * page table remembers which tier each virtual page resides in.
+ */
+class MemoryTier
+{
+  public:
+    explicit MemoryTier(TierParams params) : params_(std::move(params)) {}
+
+    const TierParams &params() const { return params_; }
+
+    std::uint64_t capacity() const { return params_.capacity; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t
+    free() const
+    {
+        return used_ > params_.capacity ? 0 : params_.capacity - used_;
+    }
+    std::uint64_t peakUsed() const { return peak_used_; }
+
+    /**
+     * Try to claim @p bytes (page multiple).
+     * @return false if the tier lacks space (nothing is claimed).
+     */
+    bool tryReserve(std::uint64_t bytes);
+
+    /** Return @p bytes to the tier. */
+    void release(std::uint64_t bytes);
+
+    /** Drop usage counters (new experiment). */
+    void reset();
+
+  private:
+    TierParams params_;
+    std::uint64_t used_ = 0;
+    std::uint64_t peak_used_ = 0;
+};
+
+} // namespace sentinel::mem
+
+#endif // SENTINEL_MEM_TIER_HH

@@ -1,0 +1,65 @@
+#include "models/bert.hh"
+
+#include "models/common.hh"
+
+namespace sentinel::models {
+
+using df::OpType;
+using df::TensorId;
+
+df::Graph
+buildBert(const std::string &name, int num_layers, int hidden, int heads,
+          int seq, int batch)
+{
+    ModelBuilder b(name, batch, 3000 + static_cast<std::uint64_t>(hidden));
+    std::uint64_t bs = static_cast<std::uint64_t>(batch);
+    std::uint64_t sq = static_cast<std::uint64_t>(seq);
+    std::uint64_t hd = static_cast<std::uint64_t>(hidden);
+    std::uint64_t rows = bs * sq;
+    std::uint64_t act_bytes = fp32(rows * hd);
+
+    constexpr std::uint64_t kVocab = 30522;
+
+    TensorId ids = b.inputTensor("input_ids", 4 * rows);
+    TensorId table = b.weight("embedding/table", fp32(kVocab * hd));
+
+    // Embedding lookup: sparse gather over the big table — low
+    // episodes-per-page, touching only the rows of this batch.
+    b.beginLayer();
+    TensorId emb = b.activation("embedding/out", act_bytes);
+    b.op("embedding/gather", OpType::Embedding,
+         static_cast<double>(rows) * hd,
+         { ModelBuilder::read(ids, 4 * rows),
+           df::TensorUse{ table, false, act_bytes, 0.25 },
+           ModelBuilder::write(emb, act_bytes) });
+
+    TensorId act = emb;
+    for (int l = 0; l < num_layers; ++l) {
+        std::string pfx = "enc" + std::to_string(l);
+        act = b.attentionUnit(pfx + "/attn", act, sq, hd,
+                              static_cast<std::uint64_t>(heads));
+        act = b.matmulUnit(pfx + "/ffn1", act, rows, hd, 4 * hd, true);
+        act = b.matmulUnit(pfx + "/ffn2", act, rows, 4 * hd, hd, false);
+    }
+
+    // Pooler over the [CLS] positions + classifier.
+    TensorId pooled = b.matmulUnit("pooler", act, bs, hd, hd, true);
+    TensorId logits = b.matmulUnit("cls", pooled, bs, hd, 2, false);
+    TensorId grad = b.lossLayer(logits, fp32(bs * 2));
+    b.buildBackward(grad);
+    return b.finish();
+}
+
+df::Graph
+buildBertBase(int batch, int seq)
+{
+    return buildBert("bert_base", 12, 768, 12, seq, batch);
+}
+
+df::Graph
+buildBertLarge(int batch, int seq)
+{
+    return buildBert("bert_large", 24, 1024, 16, seq, batch);
+}
+
+} // namespace sentinel::models

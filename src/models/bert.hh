@@ -1,0 +1,30 @@
+/**
+ * @file
+ * BERT encoder training graphs (base and large).
+ *
+ * Structure per encoder layer: multi-head self-attention (with saved
+ * attention probabilities — the seq^2 activations that dominate memory
+ * pressure) followed by the two feed-forward matmuls.  Preallocated
+ * state includes the embedding table and per-weight momentum, making
+ * the model weight-heavy as in the real system.
+ */
+
+#ifndef SENTINEL_MODELS_BERT_HH
+#define SENTINEL_MODELS_BERT_HH
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::models {
+
+df::Graph buildBert(const std::string &name, int num_layers, int hidden,
+                    int heads, int seq, int batch);
+
+/** 12 layers x 768 hidden. */
+df::Graph buildBertBase(int batch, int seq = 128);
+
+/** 24 layers x 1024 hidden (the paper's BERT-large). */
+df::Graph buildBertLarge(int batch, int seq = 128);
+
+} // namespace sentinel::models
+
+#endif // SENTINEL_MODELS_BERT_HH

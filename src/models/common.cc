@@ -1,0 +1,475 @@
+#include "models/common.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace sentinel::models {
+
+using df::OpType;
+using df::TensorId;
+using df::TensorKind;
+using df::TensorUse;
+
+ModelBuilder::ModelBuilder(std::string name, int batch, std::uint64_t seed)
+    : graph_(std::move(name), batch), batch_(batch), rng_(seed)
+{
+    // The runtime bookkeeping scalars every framework keeps touching:
+    // global step, learning rate, loss scale, RNG state.  Touched by
+    // nearly every op, they form the ">100 accesses, tiny size" hot
+    // set of Observation 2.
+    const char *names[] = { "rt/global_step", "rt/learning_rate",
+                            "rt/loss_scale", "rt/rng_state" };
+    for (const char *n : names) {
+        hot_scalars_.push_back(
+            graph_.addTensor(n, 256, TensorKind::Weight, true));
+    }
+}
+
+df::Graph
+ModelBuilder::finish()
+{
+    graph_.finalize();
+    return std::move(graph_);
+}
+
+int
+ModelBuilder::beginLayer()
+{
+    return ++layer_;
+}
+
+TensorId
+ModelBuilder::weight(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::Weight, true);
+}
+
+TensorId
+ModelBuilder::smallParam(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::Weight, true);
+}
+
+TensorId
+ModelBuilder::optimizerState(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::Optimizer, true);
+}
+
+TensorId
+ModelBuilder::inputTensor(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::Input, true);
+}
+
+TensorId
+ModelBuilder::activation(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::Activation);
+}
+
+TensorId
+ModelBuilder::gradient(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::ActivationGrad);
+}
+
+TensorId
+ModelBuilder::temp(const std::string &name, std::uint64_t bytes)
+{
+    return graph_.addTensor(name, bytes, TensorKind::Temp);
+}
+
+TensorUse
+ModelBuilder::read(TensorId t, std::uint64_t bytes, double episodes)
+{
+    return TensorUse{ t, false, bytes, episodes };
+}
+
+TensorUse
+ModelBuilder::write(TensorId t, std::uint64_t bytes, double episodes)
+{
+    return TensorUse{ t, true, bytes, episodes };
+}
+
+TensorUse
+ModelBuilder::readWeight(TensorId t, std::uint64_t bytes)
+{
+    // Weights are revisited across batch tiles: extra traffic and
+    // several counted episodes per page (cache blocking keeps the
+    // revisit count moderate).
+    return TensorUse{ t, false, bytes * 3 / 2, 4.0 };
+}
+
+TensorUse
+ModelBuilder::readParam(TensorId t, std::uint64_t bytes)
+{
+    // Small parameters are touched per channel chunk throughout the
+    // op; the cache keeps evicting them between chunks.
+    return TensorUse{ t, false, bytes * 16, 24.0 };
+}
+
+df::OpId
+ModelBuilder::op(const std::string &name, OpType type, double flops,
+                 std::vector<TensorUse> uses, int n_small_temps)
+{
+    SENTINEL_ASSERT(layer_ >= 0, "op('%s') before beginLayer()",
+                    name.c_str());
+
+    // Small short-lived scratch: shape buffers, reduction temporaries,
+    // broadcast helpers.  Sub-page sizes, one or two touches.
+    for (int i = 0; i < n_small_temps; ++i) {
+        std::uint64_t bytes =
+            static_cast<std::uint64_t>(rng_.uniformInt(64, 2048));
+        TensorId t = temp(name + "/tmp" +
+                              std::to_string(temp_counter_++),
+                          bytes);
+        uses.push_back(write(t, bytes, 2.0));
+    }
+
+    // One bookkeeping-scalar read per op (rotating); the runtime
+    // checks these tiny structures more than once per op, which is
+    // what makes them the ">100 accesses" hot set of Observation 2.
+    TensorId scalar = hot_scalars_[next_scalar_];
+    next_scalar_ = (next_scalar_ + 1) % hot_scalars_.size();
+    uses.push_back(read(scalar, 128, 2.0));
+
+    return graph_.addOp(name, type, layer_, flops, std::move(uses));
+}
+
+TensorId
+ModelBuilder::convUnit(const std::string &prefix, TensorId in_act, int cin,
+                       int cout, int k, int h, int w, int stride, bool bn,
+                       bool relu, double flops_scale, bool lower)
+{
+    beginLayer();
+    std::uint64_t b = static_cast<std::uint64_t>(batch_);
+    int oh = outH(h, stride);
+    int ow = outH(w, stride);
+    std::uint64_t in_bytes =
+        fp32(b * static_cast<std::uint64_t>(cin) * h * w);
+    std::uint64_t out_bytes =
+        fp32(b * static_cast<std::uint64_t>(cout) * oh * ow);
+    std::uint64_t w_bytes = fp32(static_cast<std::uint64_t>(cout) * cin *
+                                 k * k);
+    double flops = 2.0 * static_cast<double>(b) * cout * oh * ow * cin *
+                   k * k * flops_scale;
+
+    TensorId wt = weight(prefix + "/w", w_bytes);
+    TensorId mom = optimizerState(prefix + "/w.mom", w_bytes);
+
+    TensorId conv_in = in_act;
+    std::uint64_t conv_in_bytes = in_bytes;
+    if (k > 1 && lower) {
+        // Padding + tiled im2col lowering: the classic large
+        // short-lived temporary inside conv (Fig. 2 of the paper).
+        std::uint64_t lowered = in_bytes + fp32(b * cin);
+        TensorId im2col = temp(prefix + "/im2col", lowered);
+        op(prefix + "/pad_lower", OpType::Pad,
+           static_cast<double>(lowered) / 2.0,
+           { read(in_act, in_bytes), write(im2col, lowered) });
+        conv_in = im2col;
+        conv_in_bytes = lowered;
+    }
+
+    // The raw conv output is kept for the backward pass (batch-norm
+    // backward re-reads its input), so it is a long-lived activation.
+    bool fused_out = !bn && !relu;
+    TensorId conv_out = activation(
+        fused_out ? prefix + "/out" : prefix + "/conv_out", out_bytes);
+    op(prefix + "/conv", OpType::Conv2d, flops,
+       { read(conv_in, conv_in_bytes, 1.5), readWeight(wt, w_bytes),
+         write(conv_out, out_bytes) });
+
+    TensorId cur = conv_out;
+    std::vector<TensorId> unit_weights{ wt };
+    std::vector<std::uint64_t> unit_wbytes{ w_bytes };
+    std::vector<TensorId> unit_opts{ mom };
+    std::vector<std::pair<TensorId, std::uint64_t>> unit_saved;
+    if (!fused_out)
+        unit_saved.emplace_back(conv_out, out_bytes);
+
+    if (bn) {
+        TensorId scale = smallParam(prefix + "/bn.scale",
+                                    fp32(static_cast<std::uint64_t>(cout)));
+        TensorId shift = smallParam(prefix + "/bn.shift",
+                                    fp32(static_cast<std::uint64_t>(cout)));
+        // BN output is short-lived when ReLU consumes it in this layer.
+        TensorId bn_out = relu ? temp(prefix + "/bn_out", out_bytes)
+                               : activation(prefix + "/out", out_bytes);
+        op(prefix + "/bn", OpType::BatchNorm,
+           static_cast<double>(out_bytes),
+           { read(cur, out_bytes),
+             readParam(scale, fp32(static_cast<std::uint64_t>(cout))),
+             readParam(shift, fp32(static_cast<std::uint64_t>(cout))),
+             write(bn_out, out_bytes) });
+        cur = bn_out;
+        unit_weights.push_back(scale);
+        unit_wbytes.push_back(fp32(static_cast<std::uint64_t>(cout)));
+        unit_opts.push_back(df::kInvalidTensor);
+        unit_weights.push_back(shift);
+        unit_wbytes.push_back(fp32(static_cast<std::uint64_t>(cout)));
+        unit_opts.push_back(df::kInvalidTensor);
+    }
+
+    if (relu) {
+        TensorId out = activation(prefix + "/out", out_bytes);
+        op(prefix + "/relu", OpType::ReLU,
+           static_cast<double>(out_bytes) / 4.0,
+           { read(cur, out_bytes), write(out, out_bytes) });
+        cur = out;
+    }
+
+    recordUnit(UnitRecord{ prefix, OpType::ConvBackward, in_act, in_bytes,
+                           cur, out_bytes, std::move(unit_weights),
+                           std::move(unit_wbytes), std::move(unit_opts),
+                           std::move(unit_saved), flops });
+    return cur;
+}
+
+TensorId
+ModelBuilder::matmulUnit(const std::string &prefix, TensorId in_act,
+                         std::uint64_t rows, std::uint64_t in_features,
+                         std::uint64_t out_features, bool activation_fn)
+{
+    beginLayer();
+    std::uint64_t in_bytes = fp32(rows * in_features);
+    std::uint64_t out_bytes = fp32(rows * out_features);
+    std::uint64_t w_bytes = fp32(in_features * out_features);
+    double flops = 2.0 * static_cast<double>(rows) * in_features *
+                   out_features;
+
+    TensorId wt = weight(prefix + "/w", w_bytes);
+    TensorId mom = optimizerState(prefix + "/w.mom", w_bytes);
+    TensorId bias = smallParam(prefix + "/b", fp32(out_features));
+
+    // The pre-activation output is saved for the backward pass.
+    TensorId mm_out = activation(
+        activation_fn ? prefix + "/mm_out" : prefix + "/out", out_bytes);
+    op(prefix + "/matmul", OpType::MatMul, flops,
+       { read(in_act, in_bytes, 1.5), readWeight(wt, w_bytes),
+         write(mm_out, out_bytes) });
+
+    TensorId cur = mm_out;
+    if (activation_fn) {
+        TensorId out = activation(prefix + "/out", out_bytes);
+        op(prefix + "/bias_act", OpType::EltwiseAdd,
+           static_cast<double>(out_bytes) / 2.0,
+           { read(mm_out, out_bytes), readParam(bias, fp32(out_features)),
+             write(out, out_bytes) });
+        cur = out;
+    }
+
+    std::vector<std::pair<TensorId, std::uint64_t>> saved;
+    if (activation_fn)
+        saved.emplace_back(mm_out, out_bytes);
+    recordUnit(UnitRecord{
+        prefix, OpType::MatMul, in_act, in_bytes, cur, out_bytes,
+        { wt, bias },
+        { w_bytes, fp32(out_features) },
+        { mom, df::kInvalidTensor },
+        std::move(saved), flops });
+    return cur;
+}
+
+TensorId
+ModelBuilder::attentionUnit(const std::string &prefix, TensorId in_act,
+                            std::uint64_t seq, std::uint64_t hidden,
+                            std::uint64_t heads)
+{
+    beginLayer();
+    std::uint64_t b = static_cast<std::uint64_t>(batch_);
+    std::uint64_t rows = b * seq;
+    std::uint64_t in_bytes = fp32(rows * hidden);
+    std::uint64_t qkv_bytes = 3 * in_bytes;
+    std::uint64_t scores_bytes = fp32(b * heads * seq * seq);
+    std::uint64_t wqkv_bytes = fp32(hidden * 3 * hidden);
+    std::uint64_t wo_bytes = fp32(hidden * hidden);
+
+    TensorId w_qkv = weight(prefix + "/w_qkv", wqkv_bytes);
+    TensorId mom_qkv = optimizerState(prefix + "/w_qkv.mom", wqkv_bytes);
+    TensorId w_o = weight(prefix + "/w_o", wo_bytes);
+    TensorId mom_o = optimizerState(prefix + "/w_o.mom", wo_bytes);
+    TensorId ln_scale = smallParam(prefix + "/ln.scale", fp32(hidden));
+    TensorId ln_shift = smallParam(prefix + "/ln.shift", fp32(hidden));
+
+    double qkv_flops = 2.0 * static_cast<double>(rows) * hidden * 3 *
+                       hidden;
+    TensorId qkv = temp(prefix + "/qkv", qkv_bytes);
+    op(prefix + "/qkv_matmul", OpType::MatMul, qkv_flops,
+       { read(in_act, in_bytes, 1.5), readWeight(w_qkv, wqkv_bytes),
+         write(qkv, qkv_bytes) });
+
+    double score_flops = 2.0 * static_cast<double>(b) * heads * seq * seq *
+                         (hidden / heads);
+    TensorId scores = temp(prefix + "/scores", scores_bytes);
+    op(prefix + "/qk", OpType::MatMul, score_flops,
+       { read(qkv, qkv_bytes), write(scores, scores_bytes) });
+
+    // Attention probabilities are saved for the backward pass: the big
+    // seq^2 activations that dominate BERT's memory pressure.
+    TensorId probs = activation(prefix + "/probs", scores_bytes);
+    op(prefix + "/softmax", OpType::Softmax,
+       static_cast<double>(scores_bytes),
+       { read(scores, scores_bytes), write(probs, scores_bytes) });
+
+    TensorId ctx = temp(prefix + "/ctx", in_bytes);
+    op(prefix + "/pv", OpType::MatMul, score_flops,
+       { read(probs, scores_bytes), read(qkv, qkv_bytes),
+         write(ctx, in_bytes) });
+
+    double proj_flops = 2.0 * static_cast<double>(rows) * hidden * hidden;
+    TensorId proj = temp(prefix + "/proj", in_bytes);
+    op(prefix + "/out_proj", OpType::MatMul, proj_flops,
+       { read(ctx, in_bytes), readWeight(w_o, wo_bytes),
+         write(proj, in_bytes) });
+
+    TensorId out = activation(prefix + "/out", in_bytes);
+    op(prefix + "/add_ln", OpType::LayerNorm,
+       static_cast<double>(in_bytes),
+       { read(proj, in_bytes), read(in_act, in_bytes),
+         readParam(ln_scale, fp32(hidden)),
+         readParam(ln_shift, fp32(hidden)), write(out, in_bytes) });
+
+    recordUnit(UnitRecord{
+        prefix, OpType::Attention, in_act, in_bytes, out, in_bytes,
+        { w_qkv, w_o, ln_scale, ln_shift },
+        { wqkv_bytes, wo_bytes, fp32(hidden), fp32(hidden) },
+        { mom_qkv, mom_o, df::kInvalidTensor, df::kInvalidTensor },
+        { { probs, scores_bytes } },
+        qkv_flops + 2 * score_flops + proj_flops });
+    return out;
+}
+
+TensorId
+ModelBuilder::lstmUnit(const std::string &prefix, TensorId x,
+                       TensorId h_prev, TensorId w_ih, TensorId w_hh,
+                       std::uint64_t hidden)
+{
+    beginLayer();
+    std::uint64_t b = static_cast<std::uint64_t>(batch_);
+    std::uint64_t state_bytes = fp32(b * hidden);
+    std::uint64_t gates_bytes = 4 * state_bytes;
+    std::uint64_t w_bytes = fp32(hidden * 4 * hidden);
+    double flops = 2.0 * static_cast<double>(b) * hidden * 8 * hidden;
+
+    // Gates are saved for backward (long-lived): they anchor this
+    // unit's memory in the backward pass.
+    TensorId gates = activation(prefix + "/gates", gates_bytes);
+    op(prefix + "/gates", OpType::LstmCell, flops,
+       { read(x, state_bytes, 1.5), read(h_prev, state_bytes, 1.5),
+         readWeight(w_ih, w_bytes), readWeight(w_hh, w_bytes),
+         write(gates, gates_bytes) });
+
+    TensorId h = activation(prefix + "/h", state_bytes);
+    op(prefix + "/state", OpType::EltwiseAdd,
+       static_cast<double>(gates_bytes),
+       { read(gates, gates_bytes), write(h, state_bytes) });
+
+    recordUnit(UnitRecord{ prefix, OpType::LstmCell, gates, gates_bytes,
+                           h, state_bytes,
+                           { w_ih, w_hh },
+                           { w_bytes, w_bytes },
+                           { df::kInvalidTensor, df::kInvalidTensor },
+                           {}, flops });
+    return h;
+}
+
+TensorId
+ModelBuilder::lossLayer(TensorId logits, std::uint64_t logits_bytes)
+{
+    beginLayer();
+    TensorId probs = temp("loss/softmax", logits_bytes);
+    op("loss/softmax", OpType::Softmax,
+       static_cast<double>(logits_bytes),
+       { read(logits, logits_bytes), write(probs, logits_bytes) });
+    TensorId grad = gradient("loss/dlogits", logits_bytes);
+    op("loss/grad", OpType::Loss, static_cast<double>(logits_bytes) / 2.0,
+       { read(probs, logits_bytes), write(grad, logits_bytes) });
+    return grad;
+}
+
+void
+ModelBuilder::buildBackward(TensorId loss_grad)
+{
+    SENTINEL_ASSERT(!units_.empty(), "no units recorded");
+    TensorId grad = loss_grad;
+
+    // Weights shared by several units (recurrent cells) accumulate
+    // into ONE persistent gradient buffer, applied by a single update
+    // after the last contribution — as real frameworks do.  Per-unit
+    // weight grads stay short-lived.
+    std::unordered_map<TensorId, int> weight_uses;
+    for (const auto &u : units_)
+        for (TensorId w : u.weights)
+            ++weight_uses[w];
+    std::unordered_map<TensorId, TensorId> shared_accum;
+    std::unordered_map<TensorId, int> remaining = weight_uses;
+
+    for (auto it = units_.rbegin(); it != units_.rend(); ++it) {
+        const UnitRecord &u = *it;
+        beginLayer();
+        bool first_unit = (std::next(it) == units_.rend());
+
+        std::vector<TensorUse> uses;
+        uses.push_back(read(u.in_act, u.in_bytes, 1.5));
+        uses.push_back(read(grad, u.out_bytes));
+        for (const auto &sv : u.saved)
+            uses.push_back(read(sv.first, sv.second));
+        // Weight gradients are produced and consumed within this layer
+        // (short-lived, as the paper observes) — except shared-weight
+        // accumulators, which persist across the backward pass.
+        std::vector<TensorId> wgrads;
+        for (std::size_t i = 0; i < u.weights.size(); ++i) {
+            uses.push_back(readWeight(u.weights[i], u.weight_bytes[i]));
+            TensorId w = u.weights[i];
+            TensorId wg;
+            if (weight_uses[w] > 1) {
+                auto it = shared_accum.find(w);
+                if (it == shared_accum.end()) {
+                    wg = gradient(u.prefix + "/dacc" + std::to_string(i),
+                                  u.weight_bytes[i]);
+                    shared_accum.emplace(w, wg);
+                } else {
+                    wg = it->second;
+                }
+                uses.push_back(write(wg, u.weight_bytes[i], 2.0));
+            } else {
+                wg = temp(u.prefix + "/d" + std::to_string(i),
+                          u.weight_bytes[i]);
+                uses.push_back(write(wg, u.weight_bytes[i]));
+            }
+            wgrads.push_back(wg);
+        }
+        TensorId dgrad = df::kInvalidTensor;
+        if (!first_unit) {
+            dgrad = gradient(u.prefix + "/dx", u.in_bytes);
+            uses.push_back(write(dgrad, u.in_bytes));
+        }
+        op(u.prefix + "/bwd", u.bwd_type, 2.0 * u.flops, std::move(uses),
+           10);
+
+        // SGD-with-momentum updates; shared weights update once, after
+        // their last gradient contribution.
+        for (std::size_t i = 0; i < u.weights.size(); ++i) {
+            if (--remaining[u.weights[i]] > 0)
+                continue;
+            std::vector<TensorUse> uu;
+            uu.push_back(read(wgrads[i], u.weight_bytes[i]));
+            if (u.opt_states[i] != df::kInvalidTensor)
+                uu.push_back(df::TensorUse{ u.opt_states[i], true,
+                                            u.weight_bytes[i] * 2, 4.0 });
+            uu.push_back(write(u.weights[i], u.weight_bytes[i], 4.0));
+            op(u.prefix + "/update" + std::to_string(i),
+               OpType::SgdUpdate,
+               static_cast<double>(u.weight_bytes[i]) / 2.0,
+               std::move(uu), 1);
+        }
+
+        grad = first_unit ? grad : dgrad;
+    }
+}
+
+} // namespace sentinel::models

@@ -1,0 +1,62 @@
+#include "models/dcgan.hh"
+
+#include "common/logging.hh"
+#include "models/common.hh"
+
+namespace sentinel::models {
+
+using df::OpType;
+using df::TensorId;
+
+df::Graph
+buildDcgan(int batch, int image)
+{
+    SENTINEL_ASSERT(image % 16 == 0, "DCGAN image size must be 16-aligned");
+    ModelBuilder b("dcgan", batch, 6000 + static_cast<std::uint64_t>(image));
+    std::uint64_t bs = static_cast<std::uint64_t>(batch);
+
+    constexpr std::uint64_t kLatent = 128;
+    TensorId z = b.inputTensor("z", fp32(bs * kLatent));
+
+    // ---- Generator: project latent then 4 upsampling conv stages ----
+    int h0 = image / 16;
+    std::uint64_t proj_features =
+        512ull * static_cast<std::uint64_t>(h0) * h0;
+    TensorId act = b.matmulUnit("g/project", z, bs, kLatent,
+                                proj_features, true);
+
+    int h = h0;
+    int cin = 512;
+    for (int stage = 0; stage < 4; ++stage) {
+        int cout = stage == 3 ? 3 : cin / 2;
+        std::string pfx = "g/up" + std::to_string(stage);
+        // Transposed conv doubles the spatial size: emit the conv on
+        // the upsampled map (memory behaviour matches deconv).
+        h *= 2;
+        act = b.convUnit(pfx, act, cin, cout, 5, h, h, 1,
+                         /*bn=*/stage != 3, /*relu=*/stage != 3);
+        cin = cout;
+    }
+    TensorId fake = act; // generated image, b x 3 x image x image
+
+    // ---- Discriminator: 4 downsampling conv stages + classifier ----
+    int dc = 64;
+    act = b.convUnit("d/c0", fake, 3, dc, 5, image, image, 2,
+                     /*bn=*/false);
+    h = b.outH(image, 2);
+    for (int stage = 1; stage < 4; ++stage) {
+        std::string pfx = "d/c" + std::to_string(stage);
+        act = b.convUnit(pfx, act, dc, dc * 2, 5, h, h, 2);
+        h = b.outH(h, 2);
+        dc *= 2;
+    }
+
+    std::uint64_t feat =
+        static_cast<std::uint64_t>(dc) * static_cast<std::uint64_t>(h) * h;
+    TensorId logits = b.matmulUnit("d/fc", act, bs, feat, 1, false);
+    TensorId grad = b.lossLayer(logits, fp32(bs));
+    b.buildBackward(grad);
+    return b.finish();
+}
+
+} // namespace sentinel::models

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * DCGAN training graph: generator + discriminator in one step.
+ *
+ * The generator upsamples a latent vector through transposed
+ * convolutions (modeled as conv units on growing feature maps); the
+ * discriminator downsamples the generated image.  One training step
+ * runs both networks forward then backward — the combined graph is
+ * what the memory system sees.
+ */
+
+#ifndef SENTINEL_MODELS_DCGAN_HH
+#define SENTINEL_MODELS_DCGAN_HH
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::models {
+
+df::Graph buildDcgan(int batch, int image = 64);
+
+} // namespace sentinel::models
+
+#endif // SENTINEL_MODELS_DCGAN_HH

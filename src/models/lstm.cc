@@ -1,0 +1,65 @@
+#include "models/lstm.hh"
+
+#include "models/common.hh"
+
+namespace sentinel::models {
+
+using df::OpType;
+using df::TensorId;
+
+df::Graph
+buildLstm(int batch, int hidden, int seq, int stacked)
+{
+    ModelBuilder b("lstm", batch, 4000 + static_cast<std::uint64_t>(seq));
+    std::uint64_t bs = static_cast<std::uint64_t>(batch);
+    std::uint64_t hd = static_cast<std::uint64_t>(hidden);
+    std::uint64_t state_bytes = fp32(bs * hd);
+
+    TensorId input = b.inputTensor(
+        "input", fp32(bs * static_cast<std::uint64_t>(seq) * hd));
+
+    // Shared recurrent weights, one pair per stacked cell.
+    std::vector<TensorId> w_ih, w_hh;
+    for (int c = 0; c < stacked; ++c) {
+        w_ih.push_back(b.weight("cell" + std::to_string(c) + "/w_ih",
+                                fp32(hd * 4 * hd)));
+        w_hh.push_back(b.weight("cell" + std::to_string(c) + "/w_hh",
+                                fp32(hd * 4 * hd)));
+    }
+
+    // Initial hidden states.
+    b.beginLayer();
+    std::vector<TensorId> h(static_cast<std::size_t>(stacked));
+    for (int c = 0; c < stacked; ++c) {
+        h[static_cast<std::size_t>(c)] =
+            b.activation("h0/cell" + std::to_string(c), state_bytes);
+        b.op("init/h0_" + std::to_string(c), OpType::Other,
+             static_cast<double>(state_bytes) / 4.0,
+             { ModelBuilder::write(h[static_cast<std::size_t>(c)],
+                                   state_bytes) },
+             1);
+    }
+
+    for (int t = 0; t < seq; ++t) {
+        // The timestep input is a slice of the preallocated batch.
+        TensorId x = input;
+        for (int c = 0; c < stacked; ++c) {
+            std::string pfx =
+                "t" + std::to_string(t) + "/c" + std::to_string(c);
+            TensorId hc = b.lstmUnit(
+                pfx, x, h[static_cast<std::size_t>(c)],
+                w_ih[static_cast<std::size_t>(c)],
+                w_hh[static_cast<std::size_t>(c)], hd);
+            h[static_cast<std::size_t>(c)] = hc;
+            x = hc;
+        }
+    }
+
+    TensorId logits =
+        b.matmulUnit("proj", h.back(), bs, hd, 1000, false);
+    TensorId grad = b.lossLayer(logits, fp32(bs * 1000));
+    b.buildBackward(grad);
+    return b.finish();
+}
+
+} // namespace sentinel::models

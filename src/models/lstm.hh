@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Unrolled stacked-LSTM training graph.
+ *
+ * Each timestep of each stacked cell is one layer; the recurrent
+ * weights are shared across every timestep, making them the hottest
+ * large tensors in the model (accessed in all layers) — a distinctive
+ * migration workload compared with the feed-forward CNNs.  vDNN
+ * cannot handle this recursive structure (Sec. VII-C).
+ */
+
+#ifndef SENTINEL_MODELS_LSTM_HH
+#define SENTINEL_MODELS_LSTM_HH
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::models {
+
+df::Graph buildLstm(int batch, int hidden = 512, int seq = 48,
+                    int stacked = 2);
+
+} // namespace sentinel::models
+
+#endif // SENTINEL_MODELS_LSTM_HH

@@ -1,0 +1,56 @@
+#include "models/mobilenet.hh"
+
+#include "models/common.hh"
+
+namespace sentinel::models {
+
+using df::TensorId;
+
+df::Graph
+buildMobileNet(int batch, int image)
+{
+    ModelBuilder b("mobilenet", batch,
+                   5000 + static_cast<std::uint64_t>(image));
+    std::uint64_t bs = static_cast<std::uint64_t>(batch);
+
+    TensorId input =
+        b.inputTensor("input", fp32(bs * 3 * image * image));
+    TensorId act = b.convUnit("stem", input, 3, 32, 3, image, image, 2);
+    int h = b.outH(image, 2);
+
+    // (cout, stride) per depthwise-separable block, MobileNet-v1.
+    struct Block { int cout; int stride; };
+    const Block blocks[] = {
+        { 64, 1 },  { 128, 2 }, { 128, 1 }, { 256, 2 }, { 256, 1 },
+        { 512, 2 }, { 512, 1 }, { 512, 1 }, { 512, 1 }, { 512, 1 },
+        { 512, 1 }, { 1024, 2 }, { 1024, 1 },
+    };
+
+    int cin = 32;
+    int idx = 0;
+    for (const Block &blk : blocks) {
+        std::string pfx = "dw" + std::to_string(idx++);
+        // Depthwise 3x3: one filter per channel — FLOPs scaled by
+        // 1/cin, making this stage strongly memory-bound.
+        act = b.convUnit(pfx + "/dw", act, cin, cin, 3, h, h, blk.stride,
+                         true, true, 1.0 / cin, /*lower=*/false);
+        h = b.outH(h, blk.stride);
+        // Pointwise 1x1 expansion.
+        act = b.convUnit(pfx + "/pw", act, cin, blk.cout, 1, h, h, 1);
+        cin = blk.cout;
+    }
+
+    b.beginLayer();
+    std::uint64_t feat_bytes = fp32(bs * static_cast<std::uint64_t>(cin));
+    TensorId pooled = b.activation("pool/out", feat_bytes);
+    b.op("pool/gap", df::OpType::Pool,
+         static_cast<double>(bs) * cin * h * h,
+         { ModelBuilder::read(act, fp32(bs * cin * h * h)),
+           ModelBuilder::write(pooled, feat_bytes) });
+    TensorId logits = b.matmulUnit("fc", pooled, bs, cin, 1000, false);
+    TensorId grad = b.lossLayer(logits, fp32(bs * 1000));
+    b.buildBackward(grad);
+    return b.finish();
+}
+
+} // namespace sentinel::models

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * MobileNet-v1-style training graph.
+ *
+ * Alternating depthwise 3x3 and pointwise 1x1 convolutions.  The
+ * depthwise stages are memory-bound (tiny FLOP count per byte), which
+ * stresses tensor placement more than compute overlap — MobileNet is
+ * the model where slow-memory accesses hurt the most in the paper's
+ * Fig. 7.
+ */
+
+#ifndef SENTINEL_MODELS_MOBILENET_HH
+#define SENTINEL_MODELS_MOBILENET_HH
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::models {
+
+df::Graph buildMobileNet(int batch, int image = 64);
+
+} // namespace sentinel::models
+
+#endif // SENTINEL_MODELS_MOBILENET_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The model zoo: names, default batch sizes, and a factory.
+ *
+ * Mirrors Table III of the paper: five models, each evaluated at a
+ * small and a large batch size.  Additional ResNet variants back the
+ * scaling study of Fig. 11.
+ */
+
+#ifndef SENTINEL_MODELS_REGISTRY_HH
+#define SENTINEL_MODELS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::models {
+
+struct ModelSpec {
+    std::string name;
+    int small_batch;
+    int large_batch;
+    /** True if the graph contains convolution layers (vDNN support). */
+    bool has_convs;
+};
+
+/** The five evaluation models of Table III. */
+const std::vector<ModelSpec> &modelZoo();
+
+/** Build @p name at @p batch; fatal on unknown name. */
+df::Graph makeModel(const std::string &name, int batch);
+
+/** Spec lookup; fatal on unknown name. */
+const ModelSpec &modelSpec(const std::string &name);
+
+} // namespace sentinel::models
+
+#endif // SENTINEL_MODELS_REGISTRY_HH

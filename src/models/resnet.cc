@@ -1,0 +1,149 @@
+#include "models/resnet.hh"
+
+#include "common/logging.hh"
+#include "models/common.hh"
+
+namespace sentinel::models {
+
+using df::OpType;
+using df::TensorId;
+
+namespace {
+
+/** Residual add + relu appended to the current layer. */
+TensorId
+residualJoin(ModelBuilder &b, const std::string &prefix, TensorId main,
+             TensorId shortcut, std::uint64_t bytes, bool shapes_match)
+{
+    TensorId out = b.activation(prefix + "/res_out", bytes);
+    std::vector<df::TensorUse> uses{ ModelBuilder::read(main, bytes),
+                                     ModelBuilder::write(out, bytes) };
+    if (shapes_match) {
+        // Reading the shortcut extends the lifetime of the block input
+        // beyond its own layer — exactly how non-linear topologies
+        // create long-lived intermediates.
+        uses.insert(uses.begin() + 1, ModelBuilder::read(shortcut, bytes));
+    }
+    b.op(prefix + "/add_relu", OpType::EltwiseAdd,
+         static_cast<double>(bytes) / 2.0, std::move(uses));
+    return out;
+}
+
+} // namespace
+
+df::Graph
+buildCifarResNet(int depth, int batch, int image, int base_channels)
+{
+    SENTINEL_ASSERT((depth - 2) % 6 == 0, "CIFAR ResNet depth must be 6n+2");
+    int n = (depth - 2) / 6;
+
+    ModelBuilder b("resnet" + std::to_string(depth), batch,
+                   /*seed=*/1000 + static_cast<std::uint64_t>(depth));
+    std::uint64_t bsz = static_cast<std::uint64_t>(batch);
+
+    TensorId input =
+        b.inputTensor("input", fp32(bsz * 3 * image * image));
+    TensorId act = b.convUnit("stem", input, 3, base_channels, 3, image,
+                              image, 1);
+
+    int h = image;
+    int cin = base_channels;
+    for (int stage = 0; stage < 3; ++stage) {
+        int cout = base_channels << stage;
+        for (int block = 0; block < n; ++block) {
+            int stride = (stage > 0 && block == 0) ? 2 : 1;
+            std::string pfx = "s" + std::to_string(stage) + "b" +
+                              std::to_string(block);
+            TensorId shortcut = act;
+            TensorId a1 =
+                b.convUnit(pfx + "/c1", act, cin, cout, 3, h, h, stride);
+            int oh = b.outH(h, stride);
+            TensorId a2 = b.convUnit(pfx + "/c2", a1, cout, cout, 3, oh,
+                                     oh, 1, /*bn=*/true, /*relu=*/false);
+            bool match = (stride == 1 && cin == cout);
+            act = residualJoin(b, pfx, a2, shortcut,
+                               fp32(bsz * cout * oh * oh), match);
+            h = oh;
+            cin = cout;
+        }
+    }
+
+    // Global average pool + classifier.
+    b.beginLayer();
+    std::uint64_t feat_bytes = fp32(bsz * static_cast<std::uint64_t>(cin));
+    TensorId pooled = b.activation("pool/out", feat_bytes);
+    b.op("pool/gap", OpType::Pool,
+         static_cast<double>(bsz) * cin * h * h,
+         { ModelBuilder::read(act, fp32(bsz * cin * h * h)),
+           ModelBuilder::write(pooled, feat_bytes) });
+    TensorId logits = b.matmulUnit("fc", pooled, bsz, cin, 10,
+                                   /*activation_fn=*/false);
+    TensorId grad = b.lossLayer(logits, fp32(bsz * 10));
+    b.buildBackward(grad);
+    return b.finish();
+}
+
+df::Graph
+buildBottleneckResNet(int depth, int batch, int image)
+{
+    // Block counts per stage for the two deep variants we need.
+    int n1, n2, n3, n4;
+    if (depth == 152) {
+        n1 = 3; n2 = 8; n3 = 36; n4 = 3;
+    } else if (depth == 200) {
+        n1 = 3; n2 = 24; n3 = 36; n4 = 3;
+    } else {
+        SENTINEL_FATAL("unsupported bottleneck ResNet depth %d", depth);
+        return df::Graph("", 0); // unreachable
+    }
+
+    ModelBuilder b("resnet" + std::to_string(depth), batch,
+                   2000 + static_cast<std::uint64_t>(depth));
+    std::uint64_t bsz = static_cast<std::uint64_t>(batch);
+
+    TensorId input =
+        b.inputTensor("input", fp32(bsz * 3 * image * image));
+    // Stem: 7x7/2 conv + pool.
+    TensorId act = b.convUnit("stem", input, 3, 64, 7, image, image, 2);
+    int h = b.outH(image, 2);
+
+    int stage_blocks[] = { n1, n2, n3, n4 };
+    int cin = 64;
+    for (int stage = 0; stage < 4; ++stage) {
+        int width = 64 << stage;     // bottleneck width
+        int cout = width * 4;        // expansion 4
+        for (int block = 0; block < stage_blocks[stage]; ++block) {
+            int stride = (stage > 0 && block == 0) ? 2 : 1;
+            std::string pfx = "s" + std::to_string(stage) + "b" +
+                              std::to_string(block);
+            TensorId shortcut = act;
+            TensorId a1 =
+                b.convUnit(pfx + "/c1", act, cin, width, 1, h, h, 1);
+            TensorId a2 = b.convUnit(pfx + "/c2", a1, width, width, 3, h,
+                                     h, stride);
+            int oh = b.outH(h, stride);
+            TensorId a3 = b.convUnit(pfx + "/c3", a2, width, cout, 1, oh,
+                                     oh, 1, /*bn=*/true, /*relu=*/false);
+            bool match = (stride == 1 && cin == cout);
+            act = residualJoin(b, pfx, a3, shortcut,
+                               fp32(bsz * cout * oh * oh), match);
+            h = oh;
+            cin = cout;
+        }
+    }
+
+    b.beginLayer();
+    std::uint64_t feat_bytes = fp32(bsz * static_cast<std::uint64_t>(cin));
+    TensorId pooled = b.activation("pool/out", feat_bytes);
+    b.op("pool/gap", OpType::Pool,
+         static_cast<double>(bsz) * cin * h * h,
+         { ModelBuilder::read(act, fp32(bsz * cin * h * h)),
+           ModelBuilder::write(pooled, feat_bytes) });
+    TensorId logits = b.matmulUnit("fc", pooled, bsz, cin, 1000,
+                                   /*activation_fn=*/false);
+    TensorId grad = b.lossLayer(logits, fp32(bsz * 1000));
+    b.buildBackward(grad);
+    return b.finish();
+}
+
+} // namespace sentinel::models

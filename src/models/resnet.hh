@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parametric ResNet builders.
+ *
+ * Two families, as in the paper's evaluation:
+ *  - CIFAR-style ResNet-(6n+2) with basic blocks (ResNet-20/32/44/56/
+ *    110), 32x32 inputs — the paper's main characterization subject;
+ *  - ImageNet-style bottleneck ResNet-152/200.  The paper trains these
+ *    on the real ImageNet input size; we substitute a reduced input
+ *    resolution to keep the simulated page count tractable (documented
+ *    in DESIGN.md) — the layer structure and relative tensor shapes
+ *    are preserved.
+ */
+
+#ifndef SENTINEL_MODELS_RESNET_HH
+#define SENTINEL_MODELS_RESNET_HH
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::models {
+
+/** CIFAR-style basic-block ResNet; depth must be 6n+2. */
+df::Graph buildCifarResNet(int depth, int batch, int image = 32,
+                           int base_channels = 16);
+
+/** ImageNet-style bottleneck ResNet (152 or 200). */
+df::Graph buildBottleneckResNet(int depth, int batch, int image = 56);
+
+} // namespace sentinel::models
+
+#endif // SENTINEL_MODELS_RESNET_HH

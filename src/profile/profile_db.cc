@@ -1,0 +1,109 @@
+#include "profile/profile_db.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/page.hh"
+
+namespace sentinel::prof {
+
+ProfileDatabase::ProfileDatabase(std::string graph_name, int num_layers,
+                                 std::size_t num_tensors)
+    : graph_name_(std::move(graph_name)), num_layers_(num_layers)
+{
+    SENTINEL_ASSERT(num_layers_ > 0, "profile needs at least one layer");
+    tensors_.resize(num_tensors);
+    layers_.resize(static_cast<std::size_t>(num_layers_));
+}
+
+TensorProfile &
+ProfileDatabase::mutableTensor(df::TensorId id)
+{
+    SENTINEL_ASSERT(id < tensors_.size(), "bad tensor id %u", id);
+    return tensors_[id];
+}
+
+const TensorProfile &
+ProfileDatabase::tensor(df::TensorId id) const
+{
+    SENTINEL_ASSERT(id < tensors_.size(), "bad tensor id %u", id);
+    return tensors_[id];
+}
+
+LayerProfile &
+ProfileDatabase::mutableLayer(int layer)
+{
+    SENTINEL_ASSERT(layer >= 0 && layer < num_layers_, "bad layer %d",
+                    layer);
+    return layers_[static_cast<std::size_t>(layer)];
+}
+
+const LayerProfile &
+ProfileDatabase::layer(int layer) const
+{
+    SENTINEL_ASSERT(layer >= 0 && layer < num_layers_, "bad layer %d",
+                    layer);
+    return layers_[static_cast<std::size_t>(layer)];
+}
+
+Tick
+ProfileDatabase::layerSpanTime(int begin, int end) const
+{
+    Tick total = 0;
+    for (int l = std::max(0, begin); l < std::min(end, num_layers_); ++l)
+        total += layers_[static_cast<std::size_t>(l)].duration;
+    return total;
+}
+
+bool
+ProfileDatabase::accessedIn(df::TensorId id, int begin, int end) const
+{
+    const TensorProfile &t = tensor(id);
+    auto it = std::lower_bound(t.access_layers.begin(),
+                               t.access_layers.end(), begin);
+    return it != t.access_layers.end() && *it < end;
+}
+
+std::vector<df::TensorId>
+ProfileDatabase::longLivedAccessedIn(int begin, int end) const
+{
+    std::vector<df::TensorId> out;
+    for (const TensorProfile &t : tensors_) {
+        if (t.short_lived)
+            continue;
+        if (accessedIn(t.id, begin, end))
+            out.push_back(t.id);
+    }
+    std::sort(out.begin(), out.end(),
+              [this](df::TensorId a, df::TensorId b) {
+                  const auto &pa = tensors_[a];
+                  const auto &pb = tensors_[b];
+                  if (pa.accesses_per_page != pb.accesses_per_page)
+                      return pa.accesses_per_page > pb.accesses_per_page;
+                  return a < b; // deterministic tie-break
+              });
+    return out;
+}
+
+std::uint64_t
+ProfileDatabase::longLivedBytesAccessedIn(int begin, int end) const
+{
+    std::uint64_t total = 0;
+    for (const TensorProfile &t : tensors_) {
+        if (!t.short_lived && accessedIn(t.id, begin, end))
+            total += t.bytes;
+    }
+    return total;
+}
+
+std::uint64_t
+ProfileDatabase::largestLongLivedBytes() const
+{
+    std::uint64_t largest = 0;
+    for (const TensorProfile &t : tensors_)
+        if (!t.short_lived)
+            largest = std::max(largest, t.bytes);
+    return largest;
+}
+
+} // namespace sentinel::prof

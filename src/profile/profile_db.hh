@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The profile database: what one profiling step learns.
+ *
+ * Sentinel's profiling step produces, per tensor: size, lifetime (in
+ * layers), and the number of main-memory accesses (Sec. III-A).  The
+ * OS side contributes page access counts (PTE poisoning); the runtime
+ * side contributes (de)allocation events and layer association.
+ * Because the profiling allocator is page-aligned (one tensor per
+ * page), page counts *are* tensor counts — that is the coordination
+ * that bridges the OS/application semantic gap.
+ *
+ * The database also stores per-layer timing, which the interval
+ * planner uses to evaluate Eq. 2 without running extra steps.
+ */
+
+#ifndef SENTINEL_PROFILE_PROFILE_DB_HH
+#define SENTINEL_PROFILE_PROFILE_DB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "dataflow/graph.hh"
+
+namespace sentinel::prof {
+
+/** Everything the profiling step learned about one tensor. */
+struct TensorProfile {
+    df::TensorId id = df::kInvalidTensor;
+    std::uint64_t bytes = 0;
+    df::TensorKind kind = df::TensorKind::Temp;
+    bool preallocated = false;
+
+    int first_layer = -1;
+    int last_layer = -1;
+    bool short_lived = false;
+    bool small = false;
+
+    /** Total counted main-memory access episodes (all pages summed). */
+    std::uint64_t total_accesses = 0;
+
+    /** Hotness: counted episodes per page — the migration sort key. */
+    double accesses_per_page = 0.0;
+
+    /** Distinct layers in which the tensor is accessed, sorted. */
+    std::vector<int> access_layers;
+
+    int lifetimeLayers() const { return last_layer - first_layer + 1; }
+};
+
+/** Per-layer timing from the profiling step (fault overhead removed). */
+struct LayerProfile {
+    Tick duration = 0; ///< wall time of the layer (minus fault overhead)
+    Tick compute = 0;  ///< compute component
+    Tick mem = 0;      ///< memory component, measured on the slow tier
+};
+
+class ProfileDatabase
+{
+  public:
+    ProfileDatabase(std::string graph_name, int num_layers,
+                    std::size_t num_tensors);
+
+    const std::string &graphName() const { return graph_name_; }
+    int numLayers() const { return num_layers_; }
+    std::size_t numTensors() const { return tensors_.size(); }
+
+    TensorProfile &mutableTensor(df::TensorId id);
+    const TensorProfile &tensor(df::TensorId id) const;
+    const std::vector<TensorProfile> &tensors() const { return tensors_; }
+
+    LayerProfile &mutableLayer(int layer);
+    const LayerProfile &layer(int layer) const;
+
+    // --- Aggregates for the planner and the characterization study ------
+
+    /**
+     * RS: peak concurrent footprint of short-lived tensors in any
+     * single layer, rounded up to pages.  Short-lived tensors never
+     * span layers, so the per-interval peak equals the per-layer peak
+     * and is (as the paper observes) essentially independent of the
+     * migration interval length.  Set by the profiler.
+     */
+    std::uint64_t shortLivedPeakBytes() const { return sl_peak_bytes_; }
+    void setShortLivedPeakBytes(std::uint64_t b) { sl_peak_bytes_ = b; }
+
+    /** Sum of per-layer durations over [begin, end). */
+    Tick layerSpanTime(int begin, int end) const;
+
+    /**
+     * Long-lived tensors with at least one access in [begin, end),
+     * sorted by accesses_per_page descending — the migration order
+     * of Sec. IV-D.
+     */
+    std::vector<df::TensorId> longLivedAccessedIn(int begin, int end) const;
+
+    /** Total bytes of the tensors returned by longLivedAccessedIn. */
+    std::uint64_t longLivedBytesAccessedIn(int begin, int end) const;
+
+    /** True if @p tensor has any access in [begin, end). */
+    bool accessedIn(df::TensorId tensor, int begin, int end) const;
+
+    /** Largest long-lived tensor in bytes (fast-memory lower bound). */
+    std::uint64_t largestLongLivedBytes() const;
+
+  private:
+    std::string graph_name_;
+    int num_layers_;
+    std::vector<TensorProfile> tensors_;
+    std::vector<LayerProfile> layers_;
+    std::uint64_t sl_peak_bytes_ = 0;
+};
+
+} // namespace sentinel::prof
+
+#endif // SENTINEL_PROFILE_PROFILE_DB_HH

@@ -1,0 +1,137 @@
+#include "profile/serialize.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sentinel::prof {
+
+namespace {
+
+constexpr const char *kMagic = "sentinel-profile";
+constexpr int kVersion = 1;
+
+} // namespace
+
+bool
+saveProfile(const ProfileDatabase &db, std::ostream &os)
+{
+    os << kMagic << " " << kVersion << "\n";
+    os << "graph " << db.graphName() << "\n";
+    os << "layers " << db.numLayers() << "\n";
+    os << "tensors " << db.numTensors() << "\n";
+    os << "sl_peak " << db.shortLivedPeakBytes() << "\n";
+
+    for (int l = 0; l < db.numLayers(); ++l) {
+        const LayerProfile &lp = db.layer(l);
+        os << "L " << l << " " << lp.duration << " " << lp.compute << " "
+           << lp.mem << "\n";
+    }
+    for (const TensorProfile &t : db.tensors()) {
+        os << "T " << t.id << " " << t.bytes << " "
+           << static_cast<int>(t.kind) << " " << (t.preallocated ? 1 : 0)
+           << " " << t.first_layer << " " << t.last_layer << " "
+           << (t.short_lived ? 1 : 0) << " " << (t.small ? 1 : 0) << " "
+           << t.total_accesses << " " << t.accesses_per_page << " "
+           << t.access_layers.size();
+        for (int a : t.access_layers)
+            os << " " << a;
+        os << "\n";
+    }
+    os << "end\n";
+    return static_cast<bool>(os);
+}
+
+bool
+saveProfile(const ProfileDatabase &db, const std::string &path)
+{
+    std::ofstream os(path);
+    return os && saveProfile(db, os);
+}
+
+ProfileDatabase
+loadProfile(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != kMagic)
+        SENTINEL_FATAL("not a sentinel profile (magic '%s')",
+                       magic.c_str());
+    if (version != kVersion)
+        SENTINEL_FATAL("profile version %d, expected %d", version,
+                       kVersion);
+
+    std::string key;
+    std::string graph_name;
+    int layers = 0;
+    std::size_t tensors = 0;
+    std::uint64_t sl_peak = 0;
+    is >> key >> graph_name;
+    SENTINEL_ASSERT(key == "graph", "malformed profile: missing graph");
+    is >> key >> layers;
+    SENTINEL_ASSERT(key == "layers" && layers > 0,
+                    "malformed profile: missing layers");
+    is >> key >> tensors;
+    SENTINEL_ASSERT(key == "tensors", "malformed profile: missing "
+                                      "tensors");
+    is >> key >> sl_peak;
+    SENTINEL_ASSERT(key == "sl_peak", "malformed profile: missing "
+                                      "sl_peak");
+
+    ProfileDatabase db(graph_name, layers, tensors);
+    db.setShortLivedPeakBytes(sl_peak);
+
+    while (is >> key) {
+        if (key == "end")
+            break;
+        if (key == "L") {
+            int l = 0;
+            is >> l;
+            SENTINEL_ASSERT(l >= 0 && l < layers,
+                            "profile layer %d out of range", l);
+            LayerProfile &lp = db.mutableLayer(l);
+            is >> lp.duration >> lp.compute >> lp.mem;
+        } else if (key == "T") {
+            df::TensorId id = 0;
+            is >> id;
+            SENTINEL_ASSERT(id < tensors, "profile tensor %u out of "
+                                          "range",
+                            id);
+            TensorProfile &t = db.mutableTensor(id);
+            t.id = id;
+            int kind = 0;
+            int prealloc = 0;
+            int short_lived = 0;
+            int small = 0;
+            std::size_t n = 0;
+            is >> t.bytes >> kind >> prealloc >> t.first_layer >>
+                t.last_layer >> short_lived >> small >>
+                t.total_accesses >> t.accesses_per_page >> n;
+            t.kind = static_cast<df::TensorKind>(kind);
+            t.preallocated = prealloc != 0;
+            t.short_lived = short_lived != 0;
+            t.small = small != 0;
+            t.access_layers.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                is >> t.access_layers[i];
+        } else {
+            SENTINEL_FATAL("malformed profile: unexpected record '%s'",
+                           key.c_str());
+        }
+    }
+    SENTINEL_ASSERT(key == "end", "truncated profile (no end marker)");
+    return db;
+}
+
+ProfileDatabase
+loadProfile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        SENTINEL_FATAL("cannot open profile '%s'", path.c_str());
+    return loadProfile(is);
+}
+
+} // namespace sentinel::prof

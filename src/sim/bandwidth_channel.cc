@@ -1,0 +1,54 @@
+#include "sim/bandwidth_channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::sim {
+
+BandwidthChannel::BandwidthChannel(std::string name, double bytes_per_sec,
+                                   Tick startup_latency)
+    : name_(std::move(name)), bytes_per_sec_(bytes_per_sec),
+      startup_latency_(startup_latency)
+{
+    SENTINEL_ASSERT(bytes_per_sec_ > 0.0,
+                    "channel '%s' needs positive bandwidth", name_.c_str());
+    SENTINEL_ASSERT(startup_latency_ >= 0, "negative startup latency");
+}
+
+Tick
+BandwidthChannel::submit(Tick ready, std::uint64_t bytes)
+{
+    return submitWithStartup(ready, bytes, startup_latency_);
+}
+
+Tick
+BandwidthChannel::submitWithStartup(Tick ready, std::uint64_t bytes,
+                                    Tick startup)
+{
+    Tick start = std::max(ready, busy_until_);
+    Tick duration = startup + transferTime(bytes, bytes_per_sec_);
+    busy_until_ = start + duration;
+    bytes_transferred_ += bytes;
+    num_transfers_ += 1;
+    busy_time_ += duration;
+    return busy_until_;
+}
+
+Tick
+BandwidthChannel::estimateCompletion(Tick ready, std::uint64_t bytes) const
+{
+    Tick start = std::max(ready, busy_until_);
+    return start + startup_latency_ + transferTime(bytes, bytes_per_sec_);
+}
+
+void
+BandwidthChannel::reset()
+{
+    busy_until_ = 0;
+    bytes_transferred_ = 0;
+    num_transfers_ = 0;
+    busy_time_ = 0;
+}
+
+} // namespace sentinel::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A serialized bandwidth link.
+ *
+ * Models one DMA-like channel: transfers queue behind each other and
+ * each takes bytes/bandwidth time.  Sentinel's migration engine uses two
+ * of these (one per direction, matching the paper's two helper threads);
+ * the GPU configurations use them for the PCIe link.
+ */
+
+#ifndef SENTINEL_SIM_BANDWIDTH_CHANNEL_HH
+#define SENTINEL_SIM_BANDWIDTH_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace sentinel::sim {
+
+/** One serialized transfer link with busy-until semantics. */
+class BandwidthChannel
+{
+  public:
+    /**
+     * @param name diagnostic name ("promote", "demote", "pcie-h2d"...).
+     * @param bytes_per_sec link bandwidth.
+     * @param startup_latency fixed per-transfer setup cost (e.g. the
+     *        move_pages() syscall or a cudaMemcpyAsync launch).
+     */
+    BandwidthChannel(std::string name, double bytes_per_sec,
+                     Tick startup_latency = 0);
+
+    /**
+     * Enqueue a transfer that may begin no earlier than @p ready.
+     *
+     * @return absolute completion time.
+     */
+    Tick submit(Tick ready, std::uint64_t bytes);
+
+    /** submit() with an explicit setup cost (0 = batched continuation). */
+    Tick submitWithStartup(Tick ready, std::uint64_t bytes,
+                           Tick startup);
+
+    /** Earliest time a new transfer submitted at @p ready could finish. */
+    Tick estimateCompletion(Tick ready, std::uint64_t bytes) const;
+
+    /** Time the channel becomes idle given everything submitted so far. */
+    Tick busyUntil() const { return busy_until_; }
+
+    /** Total payload bytes accepted. */
+    std::uint64_t bytesTransferred() const { return bytes_transferred_; }
+
+    /** Total number of submit() calls. */
+    std::uint64_t numTransfers() const { return num_transfers_; }
+
+    /** Accumulated busy time (transfer + startup). */
+    Tick busyTime() const { return busy_time_; }
+
+    double bandwidth() const { return bytes_per_sec_; }
+    const std::string &name() const { return name_; }
+
+    /** Forget queued work and stats (new experiment, same link). */
+    void reset();
+
+  private:
+    std::string name_;
+    double bytes_per_sec_;
+    Tick startup_latency_;
+
+    Tick busy_until_ = 0;
+    std::uint64_t bytes_transferred_ = 0;
+    std::uint64_t num_transfers_ = 0;
+    Tick busy_time_ = 0;
+};
+
+} // namespace sentinel::sim
+
+#endif // SENTINEL_SIM_BANDWIDTH_CHANNEL_HH

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace sentinel::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    SENTINEL_ASSERT(when >= 0, "event scheduled at negative tick %lld",
+                    static_cast<long long>(when));
+    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return heap_.empty() ? -1 : heap_.top().when;
+}
+
+std::size_t
+EventQueue::runUntil(Tick until)
+{
+    std::size_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        // Copy out before popping: the callback may schedule new events,
+        // which mutates the heap.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb(e.when);
+        ++n;
+    }
+    return n;
+}
+
+std::size_t
+EventQueue::drain()
+{
+    std::size_t n = 0;
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb(e.when);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace sentinel::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A minimal discrete-event queue.
+ *
+ * The training-step executor advances simulated time itself (operations
+ * are serialized within a layer), but asynchronous machinery — the
+ * migration engine's completion callbacks and periodic statistics
+ * sampling — runs through this queue.  Events scheduled at the same tick
+ * fire in insertion order (FIFO), which keeps runs deterministic.
+ */
+
+#ifndef SENTINEL_SIM_EVENT_QUEUE_HH
+#define SENTINEL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace sentinel::sim {
+
+/** Priority queue of (tick, callback) pairs with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule @p cb to fire at absolute time @p when. */
+    void schedule(Tick when, Callback cb);
+
+    /** @return the time of the earliest pending event, or -1 if empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Run every event with tick <= @p until (events may schedule further
+     * events; those are honored if they also fall within the horizon).
+     *
+     * @return the number of events executed.
+     */
+    std::size_t runUntil(Tick until);
+
+    /** Run everything that is pending, regardless of tick. */
+    std::size_t drain();
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the last executed event (0 before any run). */
+    Tick now() const { return now_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+    Tick now_ = 0;
+};
+
+} // namespace sentinel::sim
+
+#endif // SENTINEL_SIM_EVENT_QUEUE_HH

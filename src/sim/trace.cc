@@ -1,0 +1,53 @@
+#include "sim/trace.hh"
+
+#include "common/logging.hh"
+
+namespace sentinel::sim {
+
+TraceRecorder::TraceRecorder(Tick bucket_width) : bucket_width_(bucket_width)
+{
+    SENTINEL_ASSERT(bucket_width_ > 0, "bucket width must be positive");
+}
+
+void
+TraceRecorder::record(const std::string &series, Tick when,
+                      std::uint64_t bytes)
+{
+    SENTINEL_ASSERT(when >= 0, "trace sample at negative time");
+    std::size_t bucket = static_cast<std::size_t>(when / bucket_width_);
+    series_[series][bucket] += bytes;
+    if (bucket + 1 > num_buckets_)
+        num_buckets_ = bucket + 1;
+}
+
+std::vector<std::string>
+TraceRecorder::seriesNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto &kv : series_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<double>
+TraceRecorder::bandwidthSeries(const std::string &series) const
+{
+    std::vector<double> out(num_buckets_, 0.0);
+    auto it = series_.find(series);
+    if (it == series_.end())
+        return out;
+    double seconds = toSeconds(bucket_width_);
+    for (const auto &kv : it->second)
+        out[kv.first] = static_cast<double>(kv.second) / seconds;
+    return out;
+}
+
+void
+TraceRecorder::clear()
+{
+    series_.clear();
+    num_buckets_ = 0;
+}
+
+} // namespace sentinel::sim

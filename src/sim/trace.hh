@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Time-series recording for bandwidth/occupancy traces.
+ *
+ * Figure 9 of the paper plots fast- and slow-memory bandwidth over one
+ * training step.  The executor reports (time, bytes, channel) samples
+ * here; the recorder buckets them into fixed windows so benches can
+ * print a compact series.
+ */
+
+#ifndef SENTINEL_SIM_TRACE_HH
+#define SENTINEL_SIM_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace sentinel::sim {
+
+/** One named series of bucketed byte counts over simulated time. */
+class TraceRecorder
+{
+  public:
+    /** @param bucket_width width of each aggregation window in Ticks. */
+    explicit TraceRecorder(Tick bucket_width);
+
+    /** Record @p bytes of traffic on @p series at time @p when. */
+    void record(const std::string &series, Tick when, std::uint64_t bytes);
+
+    /** Series names seen so far, sorted. */
+    std::vector<std::string> seriesNames() const;
+
+    /**
+     * Bandwidth samples for @p series: one entry per bucket from time 0
+     * through the last recorded bucket, in bytes/second.
+     */
+    std::vector<double> bandwidthSeries(const std::string &series) const;
+
+    Tick bucketWidth() const { return bucket_width_; }
+
+    /** Last bucket index that received any sample, over all series. */
+    std::size_t numBuckets() const { return num_buckets_; }
+
+    void clear();
+
+  private:
+    Tick bucket_width_;
+    std::size_t num_buckets_ = 0;
+    std::map<std::string, std::map<std::size_t, std::uint64_t>> series_;
+};
+
+} // namespace sentinel::sim
+
+#endif // SENTINEL_SIM_TRACE_HH

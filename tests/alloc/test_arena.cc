@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "alloc/arena.hh"
+
+namespace sentinel::alloc {
+namespace {
+
+TEST(Arena, BumpAllocationIsContiguous)
+{
+    VirtualArena a(0);
+    auto p1 = a.allocate(64, 64);
+    auto p2 = a.allocate(64, 64);
+    EXPECT_EQ(p1, 0u);
+    EXPECT_EQ(p2, 64u);
+    EXPECT_EQ(a.bytesInUse(), 128u);
+}
+
+TEST(Arena, AlignmentRespected)
+{
+    VirtualArena a(0);
+    a.allocate(10, 64);
+    auto p = a.allocate(100, 4096);
+    EXPECT_EQ(p % 4096, 0u);
+}
+
+TEST(Arena, FreedSpaceIsReused)
+{
+    VirtualArena a(0);
+    auto p1 = a.allocate(4096, 64);
+    a.allocate(4096, 64); // keep the bump pointer past p1
+    a.free(p1, 4096);
+    auto p3 = a.allocate(4096, 64);
+    // First fit recycles the freed block: this is the address reuse
+    // that creates page-level false sharing.
+    EXPECT_EQ(p3, p1);
+}
+
+TEST(Arena, SmallerAllocationSplitsFreeBlock)
+{
+    VirtualArena a(0);
+    auto p1 = a.allocate(8192, 64);
+    a.allocate(64, 64);
+    a.free(p1, 8192);
+    auto p2 = a.allocate(1000, 64);
+    EXPECT_EQ(p2, p1);
+    // The remainder is still free and reusable.
+    auto p3 = a.allocate(4096, 64);
+    EXPECT_GE(p3, p2 + 1000);
+    EXPECT_LT(p3, p1 + 8192);
+}
+
+TEST(Arena, CoalescingMergesNeighbors)
+{
+    VirtualArena a(0);
+    auto p1 = a.allocate(4096, 64);
+    auto p2 = a.allocate(4096, 64);
+    auto p3 = a.allocate(4096, 64);
+    a.allocate(64, 64);
+    a.free(p1, 4096);
+    a.free(p3, 4096);
+    EXPECT_EQ(a.freeBlocks(), 2u);
+    a.free(p2, 4096); // bridges both neighbors
+    EXPECT_EQ(a.freeBlocks(), 1u);
+    // The merged block can satisfy the full 12 KiB.
+    auto big = a.allocate(3 * 4096, 64);
+    EXPECT_EQ(big, p1);
+}
+
+TEST(Arena, HighWaterTracksFootprint)
+{
+    VirtualArena a(0);
+    auto p1 = a.allocate(4096, 64);
+    a.free(p1, 4096);
+    a.allocate(4096, 64);
+    // Reuse keeps the footprint at one block.
+    EXPECT_EQ(a.highWater(), 4096u);
+}
+
+TEST(Arena, BaseOffsetsAddresses)
+{
+    VirtualArena a(1ull << 44);
+    auto p = a.allocate(64, 64);
+    EXPECT_EQ(p, 1ull << 44);
+}
+
+TEST(Arena, DoubleFreePanics)
+{
+    VirtualArena a(0);
+    auto p = a.allocate(4096, 64);
+    a.free(p, 4096);
+    EXPECT_THROW(a.free(p, 4096), std::logic_error);
+}
+
+TEST(Arena, FreeOutsideArenaPanics)
+{
+    VirtualArena a(0);
+    a.allocate(4096, 64);
+    EXPECT_THROW(a.free(1ull << 50, 64), std::logic_error);
+}
+
+TEST(Arena, ZeroByteAllocationPanics)
+{
+    VirtualArena a(0);
+    EXPECT_THROW(a.allocate(0, 64), std::logic_error);
+    EXPECT_THROW(a.allocate(64, 3), std::logic_error); // non-power-of-two
+}
+
+TEST(Arena, ExhaustionPanics)
+{
+    VirtualArena a(0, 8192);
+    a.allocate(8192, 64);
+    EXPECT_THROW(a.allocate(1, 64), std::logic_error);
+}
+
+TEST(Arena, ManyAllocFreeCyclesStayConsistent)
+{
+    VirtualArena a(0);
+    for (int round = 0; round < 100; ++round) {
+        auto p1 = a.allocate(1000, 64);
+        auto p2 = a.allocate(5000, 64);
+        auto p3 = a.allocate(128, 64);
+        a.free(p2, 5000);
+        a.free(p1, 1000);
+        a.free(p3, 128);
+    }
+    EXPECT_EQ(a.bytesInUse(), 0u);
+    EXPECT_EQ(a.freeBlocks(), 1u); // fully coalesced
+    // Footprint stays bounded by one round's worth of allocations.
+    EXPECT_LE(a.highWater(), 16384u);
+}
+
+} // namespace
+} // namespace sentinel::alloc
+
+#include "common/rng.hh"
+
+namespace sentinel::alloc {
+namespace {
+
+TEST(Arena, RandomizedAllocFreeInvariants)
+{
+    // Property sweep: under random alloc/free interleavings, byte
+    // accounting stays exact, no two live ranges overlap, and a full
+    // drain coalesces back to a single free block.
+    Rng rng(1234);
+    VirtualArena a(0);
+    struct Block {
+        mem::VirtAddr addr;
+        std::uint64_t bytes;
+    };
+    std::vector<Block> live;
+    std::uint64_t live_bytes = 0;
+
+    for (int step = 0; step < 5000; ++step) {
+        bool do_alloc = live.empty() || rng.bernoulli(0.55);
+        if (do_alloc) {
+            std::uint64_t bytes =
+                static_cast<std::uint64_t>(rng.uniformInt(1, 100000));
+            std::uint64_t align = 1ull << rng.uniformInt(0, 12);
+            mem::VirtAddr addr = a.allocate(bytes, align);
+            EXPECT_EQ(addr % align, 0u);
+            for (const Block &b : live) {
+                bool disjoint =
+                    addr + bytes <= b.addr || b.addr + b.bytes <= addr;
+                ASSERT_TRUE(disjoint) << "overlapping allocation";
+            }
+            live.push_back({ addr, bytes });
+            live_bytes += bytes;
+        } else {
+            std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(live.size()) - 1));
+            a.free(live[i].addr, live[i].bytes);
+            live_bytes -= live[i].bytes;
+            live[i] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(a.bytesInUse(), live_bytes);
+    }
+    for (const Block &b : live)
+        a.free(b.addr, b.bytes);
+    EXPECT_EQ(a.bytesInUse(), 0u);
+    EXPECT_LE(a.freeBlocks(), 1u);
+}
+
+} // namespace
+} // namespace sentinel::alloc

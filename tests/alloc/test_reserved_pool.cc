@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "alloc/reserved_pool.hh"
+
+namespace sentinel::alloc {
+namespace {
+
+constexpr std::uint64_t kBase = 1ull << 40;
+
+TEST(ReservedPool, AllocateWithinCapacity)
+{
+    ReservedPool pool(kBase, 4 * mem::kPageSize);
+    EXPECT_TRUE(pool.canFit(4 * mem::kPageSize));
+    auto p = pool.allocate(2 * mem::kPageSize);
+    EXPECT_GE(p, kBase);
+    EXPECT_EQ(pool.bytesInUse(), 2 * mem::kPageSize);
+}
+
+TEST(ReservedPool, ReuseAcrossLifetimes)
+{
+    ReservedPool pool(kBase, 2 * mem::kPageSize);
+    // Simulate short-lived tensor churn: the same space is reused
+    // throughout training, which is why RS stays small.
+    for (int i = 0; i < 1000; ++i) {
+        auto p = pool.allocate(mem::kPageSize);
+        pool.free(p, mem::kPageSize);
+    }
+    EXPECT_EQ(pool.bytesInUse(), 0u);
+    EXPECT_EQ(pool.peakUse(), mem::kPageSize);
+}
+
+TEST(ReservedPool, OverflowReturnsInvalid)
+{
+    ReservedPool pool(kBase, mem::kPageSize);
+    EXPECT_NE(pool.allocate(mem::kPageSize), ReservedPool::kInvalidAddr);
+    EXPECT_FALSE(pool.canFit(1));
+    EXPECT_EQ(pool.allocate(1), ReservedPool::kInvalidAddr);
+}
+
+TEST(ReservedPool, ResetsWhenDrained)
+{
+    ReservedPool pool(kBase, 8 * mem::kPageSize);
+    // Mixed-size churn that would fragment a never-resetting arena.
+    for (int i = 0; i < 10000; ++i) {
+        auto a = pool.allocate(100 + (i % 7) * 1000);
+        auto b = pool.allocate(6 * mem::kPageSize);
+        ASSERT_NE(a, ReservedPool::kInvalidAddr);
+        ASSERT_NE(b, ReservedPool::kInvalidAddr);
+        pool.free(a, 100 + (i % 7) * 1000);
+        pool.free(b, 6 * mem::kPageSize);
+    }
+    EXPECT_EQ(pool.bytesInUse(), 0u);
+}
+
+TEST(ReservedPool, ContainsPage)
+{
+    ReservedPool pool(kBase, 2 * mem::kPageSize);
+    mem::PageId first = mem::pageOf(kBase);
+    // The address region is 2x the byte capacity (fragmentation slack).
+    EXPECT_TRUE(pool.containsPage(first));
+    EXPECT_TRUE(pool.containsPage(first + 3));
+    EXPECT_FALSE(pool.containsPage(first + 4));
+    EXPECT_FALSE(pool.containsPage(first - 1));
+}
+
+TEST(ReservedPool, PeakTracksHighWater)
+{
+    ReservedPool pool(kBase, 8 * mem::kPageSize);
+    auto a = pool.allocate(3 * mem::kPageSize);
+    auto b = pool.allocate(2 * mem::kPageSize);
+    pool.free(a, 3 * mem::kPageSize);
+    pool.allocate(mem::kPageSize);
+    EXPECT_EQ(pool.peakUse(), 5 * mem::kPageSize);
+    pool.free(b, 2 * mem::kPageSize);
+}
+
+TEST(ReservedPool, UnalignedConstructionPanics)
+{
+    EXPECT_THROW(ReservedPool(kBase + 1, mem::kPageSize), std::logic_error);
+    EXPECT_THROW(ReservedPool(kBase, 100), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::alloc

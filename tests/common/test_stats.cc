@@ -1,0 +1,132 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "mem/page.hh"
+
+namespace sentinel {
+namespace {
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double x : { 1.0, 2.0, 3.0, 4.0 })
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    // Sample stddev of 1,2,3,4 is sqrt(5/3).
+    EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, SingleSampleHasZeroStddev)
+{
+    Summary s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, EmptyMeanPanics)
+{
+    Summary s;
+    EXPECT_THROW(s.mean(), std::logic_error);
+    EXPECT_THROW(s.min(), std::logic_error);
+}
+
+TEST(Summary, NegativeValues)
+{
+    Summary s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Histogram, BucketsAndLabels)
+{
+    // Buckets: <=10, (10,100], >100 — the access-count buckets used by
+    // Observation 2.
+    Histogram h({ 10, 100 });
+    ASSERT_EQ(h.numBuckets(), 3u);
+
+    h.add(1);
+    h.add(10);   // boundary goes into the <=10 bucket
+    h.add(11);
+    h.add(100);
+    h.add(101);
+
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.totalCount(), 5u);
+
+    EXPECT_EQ(h.bucketLabel(0), "<= 10");
+    EXPECT_EQ(h.bucketLabel(1), "(10, 100]");
+    EXPECT_EQ(h.bucketLabel(2), "> 100");
+}
+
+TEST(Histogram, WeightsTrackSeparately)
+{
+    Histogram h({ 10 });
+    h.add(5, 4096.0);
+    h.add(5, 4096.0);
+    h.add(50, 100.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(0), 8192.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(1), 100.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 8292.0);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, UnsortedBoundsPanic)
+{
+    EXPECT_THROW(Histogram({ 10, 5 }), std::logic_error);
+    EXPECT_THROW(Histogram({}), std::logic_error);
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(1024), "1.00 KiB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024), "1.50 MiB");
+    EXPECT_EQ(formatBytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}
+
+TEST(Format, Time)
+{
+    EXPECT_EQ(formatTime(500), "500 ns");
+    EXPECT_EQ(formatTime(1500), "1.50 us");
+    EXPECT_EQ(formatTime(2.5e6), "2.50 ms");
+    EXPECT_EQ(formatTime(3.0e9), "3.000 s");
+}
+
+TEST(Units, TransferTime)
+{
+    // 1 GiB at 1 GiB/s is one second.
+    EXPECT_EQ(transferTime(GiB, static_cast<double>(GiB)), kSec);
+    // Tiny transfers still take at least one tick.
+    EXPECT_EQ(transferTime(1, 1e12), 1);
+    EXPECT_EQ(transferTime(0, 1e9), 0);
+}
+
+TEST(Units, PageMath)
+{
+    using namespace mem;
+    EXPECT_EQ(pageOf(0), 0u);
+    EXPECT_EQ(pageOf(4095), 0u);
+    EXPECT_EQ(pageOf(4096), 1u);
+    EXPECT_EQ(pagesSpanned(0, 4096), 1u);
+    EXPECT_EQ(pagesSpanned(0, 4097), 2u);
+    EXPECT_EQ(pagesSpanned(100, 4096), 2u); // straddles a boundary
+    EXPECT_EQ(pagesSpanned(0, 0), 0u);
+    EXPECT_EQ(roundUpToPages(1), kPageSize);
+    EXPECT_EQ(roundUpToPages(kPageSize), kPageSize);
+}
+
+} // namespace
+} // namespace sentinel

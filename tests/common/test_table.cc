@@ -1,0 +1,73 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace sentinel {
+namespace {
+
+TEST(Table, CellsAndAccess)
+{
+    Table t("demo", { "model", "speedup" });
+    t.row().cell("resnet32").cell(1.25, 2);
+    t.row().cell("bert").cell(std::int64_t{3});
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+    EXPECT_EQ(t.at(0, 0), "resnet32");
+    EXPECT_EQ(t.at(0, 1), "1.25");
+    EXPECT_EQ(t.at(1, 1), "3");
+}
+
+TEST(Table, PrintContainsHeadersAndCells)
+{
+    Table t("fig7", { "model", "ial", "autotm", "sentinel" });
+    t.row().cell("lstm").cell(1.1, 1).cell(1.5, 1).cell(2.0, 1);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("fig7"), std::string::npos);
+    EXPECT_NE(s.find("sentinel"), std::string::npos);
+    EXPECT_NE(s.find("lstm"), std::string::npos);
+    EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table t("csv", { "a", "b" });
+    t.row().cell("x,y").cell("z");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",z\n");
+}
+
+TEST(Table, TooManyCellsPanics)
+{
+    Table t("bad", { "only" });
+    t.row().cell("one");
+    EXPECT_THROW(t.cell("two"), std::logic_error);
+}
+
+TEST(Table, ShortRowDetectedOnNextRow)
+{
+    Table t("bad", { "a", "b" });
+    t.row().cell("only-one");
+    EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(Table, CellBeforeRowPanics)
+{
+    Table t("bad", { "a" });
+    EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, AtOutOfRangePanics)
+{
+    Table t("bad", { "a" });
+    t.row().cell("x");
+    EXPECT_THROW(t.at(1, 0), std::logic_error);
+    EXPECT_THROW(t.at(0, 1), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel

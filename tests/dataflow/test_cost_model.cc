@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/cost_model.hh"
+
+namespace sentinel::df {
+namespace {
+
+Operation
+opWithFlops(double flops)
+{
+    Operation op;
+    op.flops = flops;
+    return op;
+}
+
+TEST(CostModel, ComputeTime)
+{
+    ExecParams p{ 1e12, 0 };
+    // 1e9 FLOPs at 1 TFLOP/s = 1 ms.
+    EXPECT_EQ(computeTime(opWithFlops(1e9), p), 1'000'000);
+    EXPECT_EQ(computeTime(opWithFlops(0), p), 0);
+}
+
+TEST(CostModel, MemoryTimeBandwidthTerm)
+{
+    mem::TierParams dram{ "dram", 0, 10e9, 8e9, 0, 0 };
+    // 10 MB read at 10 GB/s = 1 ms.
+    EXPECT_EQ(memoryTime(10'000'000, 1.0, false, dram), 1'000'000);
+    // Writes use write bandwidth.
+    EXPECT_EQ(memoryTime(8'000'000, 1.0, true, dram), 1'000'000);
+}
+
+TEST(CostModel, MemoryTimeLatencyTerm)
+{
+    mem::TierParams pmm{ "pmm", 0, 1e12, 1e12, 300, 100 };
+    // Bandwidth term negligible at 1 TB/s; 10 episodes pay 10 latencies.
+    Tick t = memoryTime(4096, 10.0, false, pmm);
+    EXPECT_GE(t, 3000);
+    EXPECT_LT(t, 3100);
+    // Writes use write latency.
+    Tick tw = memoryTime(4096, 10.0, true, pmm);
+    EXPECT_GE(tw, 1000);
+    EXPECT_LT(tw, 1100);
+}
+
+TEST(CostModel, SlowTierCostsMore)
+{
+    mem::TierParams dram{ "dram", 0, 100e9, 80e9, 80, 80 };
+    mem::TierParams pmm{ "pmm", 0, 30e9, 10e9, 300, 100 };
+    EXPECT_GT(memoryTime(1'000'000, 2.0, false, pmm),
+              memoryTime(1'000'000, 2.0, false, dram));
+    EXPECT_GT(memoryTime(1'000'000, 2.0, true, pmm),
+              memoryTime(1'000'000, 2.0, true, dram));
+}
+
+TEST(CostModel, OpTimeIsMaxPlusOverhead)
+{
+    ExecParams p{ 1e12, 2000 };
+    EXPECT_EQ(opTime(100, 50, p), 2100);
+    EXPECT_EQ(opTime(50, 100, p), 2100);
+    EXPECT_EQ(opTime(0, 0, p), 2000);
+}
+
+TEST(CostModel, RecomputeTimeMatchesCompute)
+{
+    ExecParams p{ 1e12, 2000 };
+    Operation op = opWithFlops(1e9);
+    EXPECT_EQ(recomputeTime(op, p), computeTime(op, p) + p.op_overhead);
+}
+
+} // namespace
+} // namespace sentinel::df

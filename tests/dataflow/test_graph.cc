@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/graph.hh"
+#include "support/test_graphs.hh"
+
+namespace sentinel::df {
+namespace {
+
+using sentinel::testing::ToyGraphIds;
+using sentinel::testing::makeToyGraph;
+
+TEST(Graph, StructureOfToyGraph)
+{
+    ToyGraphIds ids;
+    Graph g = makeToyGraph(&ids);
+    EXPECT_EQ(g.numLayers(), 4);
+    EXPECT_EQ(g.numTensors(), 8u);
+    EXPECT_EQ(g.numOps(), 8u);
+    EXPECT_EQ(g.opsInLayer(0).size(), 2u);
+    EXPECT_EQ(g.batchSize(), 4);
+}
+
+TEST(Graph, LifetimesDerivedFromUses)
+{
+    ToyGraphIds ids;
+    Graph g = makeToyGraph(&ids);
+
+    // a0 is produced in layer 0 and last read in backward layer 3.
+    const TensorDesc &a0 = g.tensor(ids.a0);
+    EXPECT_EQ(a0.first_layer, 0);
+    EXPECT_EQ(a0.last_layer, 3);
+    EXPECT_EQ(a0.lifetimeLayers(), 4);
+    EXPECT_FALSE(a0.shortLived());
+
+    // temp0 lives entirely inside layer 0.
+    const TensorDesc &t0 = g.tensor(ids.temp0);
+    EXPECT_EQ(t0.first_layer, 0);
+    EXPECT_EQ(t0.last_layer, 0);
+    EXPECT_TRUE(t0.shortLived());
+
+    // a1 spans layers 1..2.
+    const TensorDesc &a1 = g.tensor(ids.a1);
+    EXPECT_EQ(a1.first_layer, 1);
+    EXPECT_EQ(a1.last_layer, 2);
+    EXPECT_FALSE(a1.shortLived());
+}
+
+TEST(Graph, SmallAndShortLivedClassification)
+{
+    ToyGraphIds ids;
+    Graph g = makeToyGraph(&ids);
+    EXPECT_TRUE(g.tensor(ids.temp1).small());
+    EXPECT_TRUE(g.tensor(ids.temp1).shortLived());
+    EXPECT_FALSE(g.tensor(ids.temp0).small()); // 8 pages
+    // Preallocated tensors are never short-lived even if referenced in
+    // one layer only.
+    EXPECT_FALSE(g.tensor(ids.input).shortLived());
+}
+
+TEST(Graph, BornAndDyingOps)
+{
+    ToyGraphIds ids;
+    Graph g = makeToyGraph(&ids);
+    const TensorDesc &t0 = g.tensor(ids.temp0);
+    auto born = g.tensorsBornAtOp(static_cast<OpId>(t0.first_op));
+    EXPECT_NE(std::find(born.begin(), born.end(), ids.temp0), born.end());
+    auto dying = g.tensorsDyingAtOp(static_cast<OpId>(t0.last_op));
+    EXPECT_NE(std::find(dying.begin(), dying.end(), ids.temp0), dying.end());
+    // Preallocated tensors never appear in born/dying lists.
+    for (OpId op = 0; op < g.numOps(); ++op) {
+        for (TensorId id : g.tensorsBornAtOp(op))
+            EXPECT_FALSE(g.tensor(id).preallocated);
+    }
+}
+
+TEST(Graph, PeakMemoryIsSensible)
+{
+    Graph g = makeToyGraph();
+    std::uint64_t peak = g.peakMemoryBytes();
+    // Peak must cover at least preallocated + the largest activation.
+    EXPECT_GE(peak, g.preallocatedBytes() + 16 * 4096ull);
+    // And no more than the sum of all tensors.
+    std::uint64_t total = 0;
+    for (const auto &t : g.tensors())
+        total += t.bytes;
+    EXPECT_LE(peak, total);
+}
+
+TEST(Graph, PeakShortLivedSmallerThanPeak)
+{
+    Graph g = makeToyGraph();
+    EXPECT_GT(g.peakShortLivedBytes(), 0u);
+    EXPECT_LT(g.peakShortLivedBytes(), g.peakMemoryBytes());
+}
+
+TEST(Graph, LargestTensor)
+{
+    Graph g = makeToyGraph();
+    EXPECT_EQ(g.largestTensorBytes(), 16 * 4096ull);
+}
+
+TEST(Graph, OutOfOrderLayersPanic)
+{
+    Graph g("bad", 1);
+    TensorId t = g.addTensor("t", 64, TensorKind::Temp);
+    g.addOp("late", OpType::Other, 1, 1.0, { { t, true, 64, 1.0 } });
+    g.addOp("early", OpType::Other, 0, 1.0, { { t, false, 64, 1.0 } });
+    EXPECT_THROW(g.finalize(), std::logic_error);
+}
+
+TEST(Graph, EmptyLayerPanics)
+{
+    Graph g("bad", 1);
+    TensorId t = g.addTensor("t", 64, TensorKind::Temp);
+    g.addOp("op", OpType::Other, 1, 1.0, { { t, true, 64, 1.0 } });
+    // Layer 0 has no ops.
+    EXPECT_THROW(g.finalize(), std::logic_error);
+}
+
+TEST(Graph, UnusedPreallocatedTensorPanics)
+{
+    Graph g("bad", 1);
+    g.addTensor("w", 64, TensorKind::Weight, true);
+    TensorId t = g.addTensor("t", 64, TensorKind::Temp);
+    g.addOp("op", OpType::Other, 0, 1.0, { { t, true, 64, 1.0 } });
+    EXPECT_THROW(g.finalize(), std::logic_error);
+}
+
+TEST(Graph, UnknownTensorInUsePanics)
+{
+    Graph g("bad", 1);
+    EXPECT_THROW(
+        g.addOp("op", OpType::Other, 0, 1.0, { { 99, true, 64, 1.0 } }),
+        std::logic_error);
+}
+
+TEST(Graph, QueriesBeforeFinalizePanic)
+{
+    Graph g("bad", 1);
+    TensorId t = g.addTensor("t", 64, TensorKind::Temp);
+    g.addOp("op", OpType::Other, 0, 1.0, { { t, true, 64, 1.0 } });
+    EXPECT_THROW(g.opsInLayer(0), std::logic_error);
+    EXPECT_THROW(g.peakMemoryBytes(), std::logic_error);
+}
+
+TEST(Graph, NamesForEnums)
+{
+    EXPECT_STREQ(tensorKindName(TensorKind::Weight), "weight");
+    EXPECT_STREQ(tensorKindName(TensorKind::Temp), "temp");
+    EXPECT_STREQ(opTypeName(OpType::Conv2d), "conv2d");
+    EXPECT_STREQ(opTypeName(OpType::SgdUpdate), "sgd-update");
+}
+
+} // namespace
+} // namespace sentinel::df

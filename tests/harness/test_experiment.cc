@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "models/registry.hh"
+
+namespace sentinel::harness {
+namespace {
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.model = "resnet20";
+    cfg.batch = 8;
+    cfg.steps = 8;
+    cfg.warmup = 6;
+    return cfg;
+}
+
+TEST(Harness, RunsEveryCpuPolicy)
+{
+    ExperimentConfig cfg = smallConfig();
+    for (const auto &name : cpuPolicies()) {
+        Metrics m = runExperiment(cfg, name);
+        EXPECT_TRUE(m.supported) << name;
+        EXPECT_GT(m.step_time_ms, 0.0) << name;
+        EXPECT_GT(m.throughput, 0.0) << name;
+        EXPECT_EQ(m.policy, name);
+    }
+}
+
+TEST(Harness, OrderingSanity)
+{
+    // The endpoints must order: fast-only fastest, slow-only slowest.
+    ExperimentConfig cfg = smallConfig();
+    Metrics fast = runExperiment(cfg, "fast-only");
+    Metrics slow = runExperiment(cfg, "slow-only");
+    Metrics sentinel = runExperiment(cfg, "sentinel");
+    EXPECT_LT(fast.step_time_ms, slow.step_time_ms);
+    EXPECT_LE(fast.step_time_ms, sentinel.step_time_ms * 1.02);
+    EXPECT_LT(sentinel.step_time_ms, slow.step_time_ms);
+}
+
+TEST(Harness, SentinelMetricsPopulated)
+{
+    Metrics m = runExperiment(smallConfig(), "sentinel");
+    EXPECT_GE(m.mil, 1);
+    EXPECT_GT(m.pool_mb, 0.0);
+}
+
+TEST(Harness, FastFractionShrinksFastTier)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.fast_fraction = 0.2;
+    Metrics tight = runExperiment(cfg, "numa");
+    cfg.fast_fraction = 0.6;
+    Metrics roomy = runExperiment(cfg, "numa");
+    EXPECT_LT(roomy.step_time_ms, tight.step_time_ms);
+    EXPECT_LT(roomy.bytes_slow_mb, tight.bytes_slow_mb);
+}
+
+TEST(Harness, VdnnUnsupportedOnLstm)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.model = "lstm";
+    cfg.platform = Platform::Gpu;
+    cfg.fast_bytes = 64ull << 20;
+    Metrics m = runExperiment(cfg, "vdnn");
+    EXPECT_FALSE(m.supported);
+}
+
+TEST(Harness, GpuFeasibilityDetectsOverflow)
+{
+    // Tiny device memory: plain "tf" (fast-only, strict) cannot hold
+    // the model; Sentinel-GPU still can by swapping.
+    ExperimentConfig cfg = smallConfig();
+    cfg.platform = Platform::Gpu;
+    cfg.fast_bytes = 8ull << 20;
+    df::Graph g = models::makeModel(cfg.model, cfg.batch);
+    ASSERT_GT(g.peakMemoryBytes(), cfg.fast_bytes);
+
+    Metrics sentinel = runExperiment(cfg, "sentinel");
+    EXPECT_TRUE(sentinel.feasible);
+}
+
+TEST(Harness, MaxBatchTfMatchesStaticPeak)
+{
+    // For "tf" the search reduces to the largest batch whose peak fits.
+    std::uint64_t mem_bytes = 96ull << 20;
+    int b = maxBatchSearch("resnet20", "tf", mem_bytes, 256);
+    ASSERT_GT(b, 0);
+    EXPECT_LE(models::makeModel("resnet20", b).peakMemoryBytes(),
+              mem_bytes);
+    EXPECT_GT(models::makeModel("resnet20", b + 1).peakMemoryBytes(),
+              mem_bytes);
+}
+
+TEST(Harness, MaxBatchGrowsWithDeviceMemory)
+{
+    int small = maxBatchSearch("resnet20", "tf", 48ull << 20, 256);
+    int large = maxBatchSearch("resnet20", "tf", 96ull << 20, 256);
+    EXPECT_GT(large, small);
+}
+
+TEST(Harness, SentinelMaxBatchBeatsTf)
+{
+    std::uint64_t mem_bytes = 48ull << 20;
+    int tf = maxBatchSearch("resnet20", "tf", mem_bytes, 128);
+    int sentinel = maxBatchSearch("resnet20", "sentinel", mem_bytes, 128);
+    EXPECT_GT(sentinel, tf);
+}
+
+TEST(Harness, UnknownPolicyIsFatal)
+{
+    EXPECT_THROW(runExperiment(smallConfig(), "tcmalloc"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace sentinel::harness

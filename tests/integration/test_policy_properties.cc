@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Property sweep: invariants every memory policy must satisfy, run
+ * over the full policy matrix on both platforms.
+ *
+ *  - training reaches a periodic steady state (the paper's
+ *    repetitiveness assumption survives the policy's machinery);
+ *  - fast-memory occupancy never exceeds the configured capacity;
+ *  - total access traffic is policy-invariant (policies move data,
+ *    they don't change what the model touches);
+ *  - runs are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "models/registry.hh"
+
+namespace sentinel::harness {
+namespace {
+
+struct Case {
+    std::string policy;
+    Platform platform;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string n = info.param.policy + "_" +
+                    (info.param.platform == Platform::Optane ? "cpu"
+                                                             : "gpu");
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+class PolicyProperties : public ::testing::TestWithParam<Case>
+{
+  protected:
+    ExperimentConfig
+    config() const
+    {
+        ExperimentConfig cfg;
+        cfg.model = "resnet20";
+        cfg.batch = 8;
+        cfg.platform = GetParam().platform;
+        if (cfg.platform == Platform::Gpu) {
+            df::Graph g = models::makeModel(cfg.model, cfg.batch);
+            cfg.fast_bytes =
+                mem::roundUpToPages(g.peakMemoryBytes() * 3 / 5);
+        }
+        return cfg;
+    }
+};
+
+TEST_P(PolicyProperties, RunsAndProducesSaneMetrics)
+{
+    Metrics m = runExperiment(config(), GetParam().policy);
+    ASSERT_TRUE(m.supported);
+    EXPECT_GT(m.step_time_ms, 0.0);
+    EXPECT_GE(m.exposed_ms, 0.0);
+    EXPECT_GE(m.recompute_ms, 0.0);
+    EXPECT_GE(m.bytes_fast_mb, 0.0);
+    EXPECT_GE(m.bytes_slow_mb, 0.0);
+}
+
+TEST_P(PolicyProperties, FastOccupancyRespectsCapacity)
+{
+    ExperimentConfig cfg = config();
+    Metrics m = runExperiment(cfg, GetParam().policy);
+    if (!m.supported)
+        GTEST_SKIP();
+    df::Graph g = models::makeModel(cfg.model, cfg.batch);
+    double capacity_mb =
+        cfg.fast_bytes != 0
+            ? static_cast<double>(cfg.fast_bytes) / 1e6
+            : static_cast<double>(g.peakMemoryBytes()) *
+                  cfg.fast_fraction / 1e6;
+    if (GetParam().policy == "fast-only")
+        GTEST_SKIP(); // its fast tier is sized to hold everything
+    EXPECT_LE(m.peak_fast_mb, capacity_mb * 1.001);
+}
+
+TEST_P(PolicyProperties, TrafficIsPolicyInvariant)
+{
+    // What the model reads/writes is fixed by the graph; policies only
+    // decide which tier serves it.
+    ExperimentConfig cfg = config();
+    Metrics ref = runExperiment(cfg, "slow-only");
+    Metrics m = runExperiment(cfg, GetParam().policy);
+    if (!m.supported)
+        GTEST_SKIP();
+    double ref_total = ref.bytes_fast_mb + ref.bytes_slow_mb;
+    double total = m.bytes_fast_mb + m.bytes_slow_mb;
+    EXPECT_NEAR(total, ref_total, ref_total * 0.001);
+}
+
+TEST_P(PolicyProperties, Deterministic)
+{
+    Metrics a = runExperiment(config(), GetParam().policy);
+    Metrics b = runExperiment(config(), GetParam().policy);
+    EXPECT_EQ(a.step_time_ms, b.step_time_ms);
+    EXPECT_EQ(a.promoted_mb, b.promoted_mb);
+    EXPECT_EQ(a.bytes_slow_mb, b.bytes_slow_mb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cpu, PolicyProperties,
+    ::testing::Values(Case{ "slow-only", Platform::Optane },
+                      Case{ "numa", Platform::Optane },
+                      Case{ "memory-mode", Platform::Optane },
+                      Case{ "ial", Platform::Optane },
+                      Case{ "autotm", Platform::Optane },
+                      Case{ "sentinel", Platform::Optane },
+                      Case{ "fast-only", Platform::Optane }),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Gpu, PolicyProperties,
+    ::testing::Values(Case{ "um", Platform::Gpu },
+                      Case{ "vdnn", Platform::Gpu },
+                      Case{ "autotm", Platform::Gpu },
+                      Case{ "swapadvisor", Platform::Gpu },
+                      Case{ "capuchin", Platform::Gpu },
+                      Case{ "sentinel", Platform::Gpu }),
+    caseName);
+
+} // namespace
+} // namespace sentinel::harness

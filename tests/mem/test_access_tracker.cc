@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "mem/access_tracker.hh"
+
+namespace sentinel::mem {
+namespace {
+
+TEST(AccessTracker, CountsOnlyTrackedPages)
+{
+    AccessTracker t(/*fault_cost=*/1000);
+    t.track(1);
+
+    EXPECT_EQ(t.onAccess(1, false), 1000);
+    EXPECT_EQ(t.onAccess(2, false), 0); // untracked: no fault, no count
+    EXPECT_EQ(t.counts(1).reads, 1u);
+    EXPECT_EQ(t.counts(2).total(), 0u);
+}
+
+TEST(AccessTracker, ReadsAndWritesSeparate)
+{
+    AccessTracker t;
+    t.track(7);
+    t.onAccess(7, false, 3);
+    t.onAccess(7, true, 2);
+    EXPECT_EQ(t.counts(7).reads, 3u);
+    EXPECT_EQ(t.counts(7).writes, 2u);
+    EXPECT_EQ(t.counts(7).total(), 5u);
+}
+
+TEST(AccessTracker, FaultCostScalesWithCount)
+{
+    AccessTracker t(500);
+    t.track(1);
+    EXPECT_EQ(t.onAccess(1, false, 10), 5000);
+    EXPECT_EQ(t.totalFaults(), 10u);
+}
+
+TEST(AccessTracker, UntrackStopsCountingButKeepsCounts)
+{
+    AccessTracker t;
+    t.track(4);
+    t.onAccess(4, false);
+    t.untrack(4);
+    EXPECT_EQ(t.onAccess(4, false), 0);
+    EXPECT_EQ(t.counts(4).reads, 1u); // profile data preserved
+}
+
+TEST(AccessTracker, ZeroCountIsFree)
+{
+    AccessTracker t;
+    t.track(1);
+    EXPECT_EQ(t.onAccess(1, true, 0), 0);
+    EXPECT_EQ(t.counts(1).total(), 0u);
+}
+
+TEST(AccessTracker, ResetClearsEverything)
+{
+    AccessTracker t;
+    t.track(1);
+    t.onAccess(1, false);
+    t.reset();
+    EXPECT_FALSE(t.isTracked(1));
+    EXPECT_EQ(t.counts(1).total(), 0u);
+    EXPECT_EQ(t.totalFaults(), 0u);
+    EXPECT_TRUE(t.allCounts().empty());
+}
+
+} // namespace
+} // namespace sentinel::mem

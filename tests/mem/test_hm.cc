@@ -1,0 +1,251 @@
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "mem/hm.hh"
+
+namespace sentinel::mem {
+namespace {
+
+HeterogeneousMemory
+makeHm(std::uint64_t fast_pages = 4, std::uint64_t slow_pages = 1024)
+{
+    TierParams fast{ "dram", fast_pages * kPageSize, 10e9, 10e9, 100, 100 };
+    TierParams slow{ "pmm", slow_pages * kPageSize, 2e9, 1e9, 300, 300 };
+    // 1 GB/s promote, 1 GB/s demote, no startup: one page = 4096 ns.
+    MigrationParams mig{ 1e9, 1e9, 0 };
+    return HeterogeneousMemory(fast, slow, mig);
+}
+
+TEST(Hm, MapPreferredTier)
+{
+    auto hm = makeHm();
+    EXPECT_TRUE(hm.tryMapPage(1, Tier::Fast));
+    EXPECT_EQ(hm.residentTier(1, 0), Tier::Fast);
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), kPageSize);
+}
+
+TEST(Hm, MapFallsBackWhenFull)
+{
+    auto hm = makeHm(1);
+    EXPECT_EQ(hm.mapPage(0, Tier::Fast), Tier::Fast);
+    EXPECT_EQ(hm.mapPage(1, Tier::Fast), Tier::Slow);
+}
+
+TEST(Hm, BothTiersFullIsFatal)
+{
+    auto hm = makeHm(1, 1);
+    hm.mapPage(0, Tier::Fast);
+    hm.mapPage(1, Tier::Fast);
+    EXPECT_THROW(hm.mapPage(2, Tier::Fast), std::runtime_error);
+}
+
+TEST(Hm, MigrationTimingAndResidency)
+{
+    auto hm = makeHm();
+    hm.tryMapPage(5, Tier::Slow);
+
+    Tick arrival = hm.migratePage(5, Tier::Fast, 0);
+    EXPECT_EQ(arrival, 4096); // 4 KiB at 1 GB/s
+
+    // While in flight the page is served from its source.
+    EXPECT_EQ(hm.residentTier(5, arrival - 1), Tier::Slow);
+    EXPECT_TRUE(hm.inFlight(5, arrival - 1));
+    EXPECT_EQ(hm.arrivalTime(5), arrival);
+
+    // After arrival it lives in fast memory.
+    EXPECT_EQ(hm.residentTier(5, arrival), Tier::Fast);
+    EXPECT_FALSE(hm.inFlight(5, arrival));
+}
+
+TEST(Hm, MigrationReservesDestinationUpFront)
+{
+    auto hm = makeHm(1);
+    hm.tryMapPage(0, Tier::Slow);
+    hm.tryMapPage(1, Tier::Slow);
+
+    EXPECT_GE(hm.migratePage(0, Tier::Fast, 0), 0);
+    // Fast tier is fully reserved by the in-flight page.
+    EXPECT_EQ(hm.migratePage(1, Tier::Fast, 0), -1);
+}
+
+TEST(Hm, SourceReleasedOnlyAtCompletion)
+{
+    auto hm = makeHm();
+    hm.tryMapPage(9, Tier::Slow);
+    std::uint64_t slow_before = hm.tier(Tier::Slow).used();
+
+    Tick arrival = hm.migratePage(9, Tier::Fast, 0);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), slow_before);
+    hm.commitUpTo(arrival);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), slow_before - kPageSize);
+}
+
+TEST(Hm, RedundantMigrationRejected)
+{
+    auto hm = makeHm();
+    hm.tryMapPage(2, Tier::Fast);
+    EXPECT_EQ(hm.migratePage(2, Tier::Fast, 0), -1);
+
+    hm.tryMapPage(3, Tier::Slow);
+    EXPECT_GE(hm.migratePage(3, Tier::Fast, 0), 0);
+    // Already in flight.
+    EXPECT_EQ(hm.migratePage(3, Tier::Fast, 0), -1);
+}
+
+TEST(Hm, UnmapInFlightReleasesBothReservations)
+{
+    auto hm = makeHm(2);
+    hm.tryMapPage(1, Tier::Slow);
+    hm.migratePage(1, Tier::Fast, 0);
+    std::uint64_t fast_used = hm.tier(Tier::Fast).used();
+    EXPECT_EQ(fast_used, kPageSize);
+
+    hm.unmapPage(1, 0); // freed before arrival
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), 0u);
+    // The late commit must not corrupt capacity accounting.
+    hm.commitUpTo(1'000'000);
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+}
+
+TEST(Hm, BatchMigrationSerializesOnChannel)
+{
+    auto hm = makeHm(8);
+    std::array<PageId, 3> pages{ 10, 11, 12 };
+    for (PageId p : pages)
+        hm.tryMapPage(p, Tier::Slow);
+
+    EXPECT_EQ(hm.migratePages(pages, Tier::Fast, 0), 3u);
+    // Three pages over one serialized 1 GB/s channel: the batch's last
+    // page arrives after all three transferred back-to-back.
+    EXPECT_EQ(hm.arrivalTime(12), 3 * 4096);
+    EXPECT_EQ(hm.arrivalTime(10), 1 * 4096);
+    EXPECT_EQ(hm.stats().promoted_pages, 3u);
+    EXPECT_EQ(hm.stats().promoted_bytes, 3 * kPageSize);
+}
+
+TEST(Hm, BatchMigrationChargesOneStartup)
+{
+    TierParams fast{ "dram", 8 * kPageSize, 10e9, 10e9, 100, 100 };
+    TierParams slow{ "pmm", 1024 * kPageSize, 2e9, 1e9, 300, 300 };
+    MigrationParams mig{ 1e9, 1e9, 1000 }; // 1 us startup
+    HeterogeneousMemory hm(fast, slow, mig);
+    std::array<PageId, 4> pages{ 1, 2, 3, 4 };
+    for (PageId p : pages)
+        hm.tryMapPage(p, Tier::Slow);
+
+    hm.migratePages(pages, Tier::Fast, 0);
+    // One setup cost for the whole batch, then pages stream.
+    EXPECT_EQ(hm.arrivalTime(4), 1000 + 4 * 4096);
+}
+
+TEST(Hm, BatchMigrationStopsWhenDestinationFull)
+{
+    auto hm = makeHm(2);
+    std::array<PageId, 4> pages{ 1, 2, 3, 4 };
+    for (PageId p : pages)
+        hm.tryMapPage(p, Tier::Slow);
+
+    EXPECT_EQ(hm.migratePages(pages, Tier::Fast, 0), 2u);
+    EXPECT_EQ(hm.stats().promoted_pages, 2u);
+}
+
+TEST(Hm, BatchMigrationSkipsIneligiblePages)
+{
+    auto hm = makeHm(8);
+    hm.tryMapPage(1, Tier::Fast); // already there
+    hm.tryMapPage(2, Tier::Slow);
+    hm.tryMapPage(3, Tier::Slow);
+    hm.migratePage(3, Tier::Fast, 0); // already in flight
+    std::array<PageId, 3> pages{ 1, 2, 3 };
+    EXPECT_EQ(hm.migratePages(pages, Tier::Fast, 0), 1u);
+}
+
+TEST(Hm, PromoteAndDemoteUseSeparateChannels)
+{
+    auto hm = makeHm(8);
+    hm.tryMapPage(1, Tier::Slow);
+    hm.tryMapPage(2, Tier::Fast);
+
+    Tick up = hm.migratePage(1, Tier::Fast, 0);
+    Tick down = hm.migratePage(2, Tier::Slow, 0);
+    // Channels run in parallel (the paper's two helper threads), so the
+    // two single-page transfers finish at the same time.
+    EXPECT_EQ(up, down);
+    EXPECT_EQ(hm.stats().demoted_pages, 1u);
+}
+
+TEST(Hm, PeakUsageTracked)
+{
+    auto hm = makeHm(4);
+    hm.tryMapPage(1, Tier::Fast);
+    hm.tryMapPage(2, Tier::Fast);
+    hm.unmapPage(1, 0);
+    EXPECT_EQ(hm.tier(Tier::Fast).peakUsed(), 2 * kPageSize);
+}
+
+TEST(Hm, ResetRestoresPristineState)
+{
+    auto hm = makeHm();
+    hm.tryMapPage(1, Tier::Fast);
+    hm.tryMapPage(2, Tier::Slow);
+    hm.migratePage(2, Tier::Fast, 0);
+    hm.reset();
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), 0u);
+    EXPECT_FALSE(hm.isMapped(1));
+    EXPECT_EQ(hm.stats().promoted_pages, 0u);
+}
+
+} // namespace
+} // namespace sentinel::mem
+
+namespace sentinel::mem {
+namespace {
+
+TEST(Hm, TeleportFlipsTierInstantlyWithoutTraffic)
+{
+    auto hm = makeHm(4);
+    hm.tryMapPage(1, Tier::Fast);
+    EXPECT_TRUE(hm.teleportPage(1, Tier::Slow, 0));
+    EXPECT_EQ(hm.residentTier(1, 0), Tier::Slow);
+    // No channel traffic, no migration stats: a discard, not a copy.
+    EXPECT_EQ(hm.stats().demoted_bytes, 0u);
+    EXPECT_EQ(hm.demoteChannel().bytesTransferred(), 0u);
+    // Capacity moved with the page.
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), kPageSize);
+}
+
+TEST(Hm, TeleportToSameTierIsNoop)
+{
+    auto hm = makeHm(4);
+    hm.tryMapPage(1, Tier::Fast);
+    EXPECT_TRUE(hm.teleportPage(1, Tier::Fast, 0));
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), kPageSize);
+}
+
+TEST(Hm, TeleportFailsWhenDestinationFull)
+{
+    auto hm = makeHm(1);
+    hm.tryMapPage(1, Tier::Fast);
+    hm.tryMapPage(2, Tier::Slow);
+    EXPECT_FALSE(hm.teleportPage(2, Tier::Fast, 0));
+    EXPECT_EQ(hm.residentTier(2, 0), Tier::Slow);
+}
+
+TEST(Hm, TeleportWaitsOutInFlightMigrations)
+{
+    auto hm = makeHm(4);
+    hm.tryMapPage(1, Tier::Slow);
+    Tick arrival = hm.migratePage(1, Tier::Fast, 0);
+    // Mid-flight: refuse (the transfer owns the page).
+    EXPECT_FALSE(hm.teleportPage(1, Tier::Slow, arrival - 1));
+    // After arrival: fine.
+    EXPECT_TRUE(hm.teleportPage(1, Tier::Slow, arrival));
+    EXPECT_EQ(hm.residentTier(1, arrival), Tier::Slow);
+}
+
+} // namespace
+} // namespace sentinel::mem

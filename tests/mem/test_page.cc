@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "mem/page.hh"
+
+namespace sentinel::mem {
+namespace {
+
+TEST(Page, Constants)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+}
+
+TEST(Page, TierHelpers)
+{
+    EXPECT_STREQ(tierName(Tier::Fast), "fast");
+    EXPECT_STREQ(tierName(Tier::Slow), "slow");
+    EXPECT_EQ(otherTier(Tier::Fast), Tier::Slow);
+    EXPECT_EQ(otherTier(Tier::Slow), Tier::Fast);
+}
+
+TEST(Page, SpanMath)
+{
+    // A tensor of exactly two pages starting mid-page touches three.
+    EXPECT_EQ(pagesSpanned(2048, 2 * kPageSize), 3u);
+    // Sub-page object within one page.
+    EXPECT_EQ(pagesSpanned(100, 200), 1u);
+    // Object ending exactly on a boundary.
+    EXPECT_EQ(pagesSpanned(0, 2 * kPageSize), 2u);
+    EXPECT_EQ(pageCeil(1), 1u);
+    EXPECT_EQ(pageCeil(kPageSize), 1u);
+    EXPECT_EQ(pageCeil(kPageSize + 1), 2u);
+}
+
+} // namespace
+} // namespace sentinel::mem

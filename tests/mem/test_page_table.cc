@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace sentinel::mem {
+namespace {
+
+TEST(PageTable, MapUnmap)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.isMapped(7));
+    pt.map(7, Tier::Slow);
+    EXPECT_TRUE(pt.isMapped(7));
+    EXPECT_EQ(pt.entry(7).tier, Tier::Slow);
+    EXPECT_EQ(pt.numMapped(), 1u);
+    pt.unmap(7);
+    EXPECT_FALSE(pt.isMapped(7));
+}
+
+TEST(PageTable, DoubleMapPanics)
+{
+    PageTable pt;
+    pt.map(1, Tier::Fast);
+    EXPECT_THROW(pt.map(1, Tier::Fast), std::logic_error);
+}
+
+TEST(PageTable, UnmapUnknownPanics)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.unmap(9), std::logic_error);
+    EXPECT_THROW(pt.entry(9), std::logic_error);
+}
+
+TEST(PageTable, MigrationLifecycle)
+{
+    PageTable pt;
+    pt.map(3, Tier::Slow);
+    std::uint64_t seq = pt.beginMigration(3, Tier::Fast, 1000);
+    EXPECT_TRUE(pt.entry(3).in_flight);
+    EXPECT_EQ(pt.entry(3).tier, Tier::Slow);
+    EXPECT_EQ(pt.entry(3).arrival, 1000);
+
+    EXPECT_TRUE(pt.commitMigration(3, seq));
+    EXPECT_FALSE(pt.entry(3).in_flight);
+    EXPECT_EQ(pt.entry(3).tier, Tier::Fast);
+}
+
+TEST(PageTable, StaleCommitIsIgnored)
+{
+    PageTable pt;
+    pt.map(3, Tier::Slow);
+    std::uint64_t seq1 = pt.beginMigration(3, Tier::Fast, 10);
+    pt.cancelMigration(3);
+    // The cancelled migration's commit must not flip the tier.
+    EXPECT_FALSE(pt.commitMigration(3, seq1));
+    EXPECT_EQ(pt.entry(3).tier, Tier::Slow);
+
+    // A new migration gets a new seq; old seq still rejected.
+    std::uint64_t seq2 = pt.beginMigration(3, Tier::Fast, 20);
+    EXPECT_NE(seq1, seq2);
+    EXPECT_FALSE(pt.commitMigration(3, seq1));
+    EXPECT_TRUE(pt.commitMigration(3, seq2));
+}
+
+TEST(PageTable, CommitAfterUnmapIsIgnored)
+{
+    PageTable pt;
+    pt.map(5, Tier::Fast);
+    std::uint64_t seq = pt.beginMigration(5, Tier::Slow, 10);
+    pt.unmap(5);
+    EXPECT_FALSE(pt.commitMigration(5, seq));
+}
+
+TEST(PageTable, DoubleMigrationPanics)
+{
+    PageTable pt;
+    pt.map(1, Tier::Slow);
+    pt.beginMigration(1, Tier::Fast, 5);
+    EXPECT_THROW(pt.beginMigration(1, Tier::Fast, 6), std::logic_error);
+}
+
+TEST(PageTable, SameTierMigrationPanics)
+{
+    PageTable pt;
+    pt.map(1, Tier::Slow);
+    EXPECT_THROW(pt.beginMigration(1, Tier::Slow, 5), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::mem

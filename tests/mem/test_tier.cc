@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "mem/tier.hh"
+
+namespace sentinel::mem {
+namespace {
+
+TierParams
+smallTier()
+{
+    return TierParams{ "dram", 4 * kPageSize, 1e9, 1e9, 100, 100 };
+}
+
+TEST(MemoryTier, ReserveAndRelease)
+{
+    MemoryTier t(smallTier());
+    EXPECT_EQ(t.capacity(), 4 * kPageSize);
+    EXPECT_TRUE(t.tryReserve(2 * kPageSize));
+    EXPECT_EQ(t.used(), 2 * kPageSize);
+    EXPECT_EQ(t.free(), 2 * kPageSize);
+    t.release(kPageSize);
+    EXPECT_EQ(t.used(), kPageSize);
+}
+
+TEST(MemoryTier, RejectsOverCapacity)
+{
+    MemoryTier t(smallTier());
+    EXPECT_TRUE(t.tryReserve(4 * kPageSize));
+    EXPECT_FALSE(t.tryReserve(kPageSize));
+    // Failed reservation leaves usage unchanged.
+    EXPECT_EQ(t.used(), 4 * kPageSize);
+}
+
+TEST(MemoryTier, PeakTracksHighWater)
+{
+    MemoryTier t(smallTier());
+    t.tryReserve(3 * kPageSize);
+    t.release(2 * kPageSize);
+    t.tryReserve(kPageSize);
+    EXPECT_EQ(t.peakUsed(), 3 * kPageSize);
+}
+
+TEST(MemoryTier, UnalignedReservePanics)
+{
+    MemoryTier t(smallTier());
+    EXPECT_THROW(t.tryReserve(100), std::logic_error);
+    EXPECT_THROW(t.release(1), std::logic_error);
+}
+
+TEST(MemoryTier, OverReleasePanics)
+{
+    MemoryTier t(smallTier());
+    t.tryReserve(kPageSize);
+    EXPECT_THROW(t.release(2 * kPageSize), std::logic_error);
+}
+
+TEST(MemoryTier, ResetClears)
+{
+    MemoryTier t(smallTier());
+    t.tryReserve(2 * kPageSize);
+    t.reset();
+    EXPECT_EQ(t.used(), 0u);
+    EXPECT_EQ(t.peakUsed(), 0u);
+}
+
+} // namespace
+} // namespace sentinel::mem

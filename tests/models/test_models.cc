@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "models/registry.hh"
+
+namespace sentinel::models {
+namespace {
+
+class ModelZooTest : public ::testing::TestWithParam<ModelSpec>
+{
+};
+
+TEST_P(ModelZooTest, BuildsAndFinalizes)
+{
+    const ModelSpec &spec = GetParam();
+    df::Graph g = makeModel(spec.name, spec.small_batch);
+    EXPECT_TRUE(g.finalized());
+    EXPECT_GT(g.numLayers(), 2);
+    EXPECT_GT(g.numOps(), 10u);
+    EXPECT_GT(g.numTensors(), 50u);
+    EXPECT_EQ(g.batchSize(), spec.small_batch);
+}
+
+TEST_P(ModelZooTest, CharacterizationObservation1)
+{
+    // Observation 1: a large number of small, short-lived tensors.
+    const ModelSpec &spec = GetParam();
+    df::Graph g = makeModel(spec.name, spec.small_batch);
+    std::size_t n_short = 0;
+    std::size_t n_small_short = 0;
+    for (const auto &t : g.tensors()) {
+        if (t.shortLived()) {
+            ++n_short;
+            if (t.small())
+                ++n_small_short;
+        }
+    }
+    double short_frac =
+        static_cast<double>(n_short) / static_cast<double>(g.numTensors());
+    double small_frac =
+        static_cast<double>(n_small_short) / static_cast<double>(n_short);
+    EXPECT_GT(short_frac, 0.75) << spec.name;
+    EXPECT_GT(small_frac, 0.85) << spec.name;
+}
+
+TEST_P(ModelZooTest, ShortLivedPeakIsSmallFractionOfPeak)
+{
+    // The reserved-space assumption (Sec. IV-C): peak short-lived
+    // consumption is a modest slice of peak memory.
+    const ModelSpec &spec = GetParam();
+    df::Graph g = makeModel(spec.name, spec.small_batch);
+    EXPECT_GT(g.peakShortLivedBytes(), 0u);
+    EXPECT_LT(g.peakShortLivedBytes(), g.peakMemoryBytes() / 2)
+        << spec.name;
+}
+
+TEST_P(ModelZooTest, PeakMemoryGrowsWithBatch)
+{
+    const ModelSpec &spec = GetParam();
+    df::Graph small = makeModel(spec.name, spec.small_batch);
+    df::Graph large = makeModel(spec.name, spec.large_batch);
+    EXPECT_GT(large.peakMemoryBytes(), small.peakMemoryBytes())
+        << spec.name;
+    // Same topology regardless of batch size.
+    EXPECT_EQ(large.numLayers(), small.numLayers());
+    EXPECT_EQ(large.numOps(), small.numOps());
+}
+
+TEST_P(ModelZooTest, ConvPresenceMatchesSpec)
+{
+    const ModelSpec &spec = GetParam();
+    df::Graph g = makeModel(spec.name, spec.small_batch);
+    bool has_conv = false;
+    for (const auto &op : g.ops())
+        has_conv = has_conv || op.type == df::OpType::Conv2d;
+    EXPECT_EQ(has_conv, spec.has_convs) << spec.name;
+}
+
+TEST_P(ModelZooTest, DeterministicConstruction)
+{
+    const ModelSpec &spec = GetParam();
+    df::Graph a = makeModel(spec.name, spec.small_batch);
+    df::Graph b = makeModel(spec.name, spec.small_batch);
+    ASSERT_EQ(a.numTensors(), b.numTensors());
+    ASSERT_EQ(a.numOps(), b.numOps());
+    for (df::TensorId id = 0; id < a.numTensors(); ++id) {
+        EXPECT_EQ(a.tensor(id).bytes, b.tensor(id).bytes);
+        EXPECT_EQ(a.tensor(id).name, b.tensor(id).name);
+    }
+    EXPECT_EQ(a.peakMemoryBytes(), b.peakMemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ModelZooTest, ::testing::ValuesIn(modelZoo()),
+    [](const ::testing::TestParamInfo<ModelSpec> &info) {
+        return info.param.name;
+    });
+
+TEST(ModelRegistry, UnknownModelIsFatal)
+{
+    EXPECT_THROW(makeModel("alexnet", 32), std::runtime_error);
+    EXPECT_THROW(modelSpec("alexnet"), std::runtime_error);
+}
+
+TEST(ModelRegistry, ResNetVariantsForScalingStudy)
+{
+    std::uint64_t prev = 0;
+    for (const char *name :
+         { "resnet20", "resnet32", "resnet44", "resnet56", "resnet110" }) {
+        df::Graph g = makeModel(name, 32);
+        EXPECT_GT(g.peakMemoryBytes(), prev) << name;
+        prev = g.peakMemoryBytes();
+    }
+}
+
+TEST(ModelRegistry, BottleneckResNetsAreDeeper)
+{
+    df::Graph r152 = makeModel("resnet152", 4);
+    df::Graph r200 = makeModel("resnet200", 4);
+    EXPECT_GT(r200.numLayers(), r152.numLayers());
+    EXPECT_GT(r200.peakMemoryBytes(), r152.peakMemoryBytes());
+}
+
+TEST(ModelRegistry, HotScalarsExistInEveryModel)
+{
+    // The runtime bookkeeping scalars anchoring Observation 2's hot
+    // set must be present and referenced by many ops.
+    df::Graph g = makeModel("resnet32", 8);
+    int found = 0;
+    for (const auto &t : g.tensors()) {
+        if (t.name.rfind("rt/", 0) == 0) {
+            ++found;
+            EXPECT_TRUE(t.preallocated);
+            EXPECT_TRUE(t.small());
+        }
+    }
+    EXPECT_EQ(found, 4);
+}
+
+} // namespace
+} // namespace sentinel::models

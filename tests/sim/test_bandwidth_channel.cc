@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth_channel.hh"
+
+namespace sentinel::sim {
+namespace {
+
+TEST(BandwidthChannel, SingleTransferTiming)
+{
+    // 1 GB/s, no startup: 1 MB takes ~1 ms.
+    BandwidthChannel ch("t", 1e9);
+    Tick done = ch.submit(0, 1'000'000);
+    EXPECT_EQ(done, 1'000'000); // 1e6 ns
+    EXPECT_EQ(ch.bytesTransferred(), 1'000'000u);
+    EXPECT_EQ(ch.numTransfers(), 1u);
+}
+
+TEST(BandwidthChannel, TransfersSerialize)
+{
+    BandwidthChannel ch("t", 1e9);
+    Tick first = ch.submit(0, 1'000'000);
+    // Second submitted while the first is still running queues behind it.
+    Tick second = ch.submit(0, 1'000'000);
+    EXPECT_EQ(second, first + 1'000'000);
+    EXPECT_EQ(ch.busyUntil(), second);
+}
+
+TEST(BandwidthChannel, IdleGapRespectsReadyTime)
+{
+    BandwidthChannel ch("t", 1e9);
+    ch.submit(0, 1000);
+    Tick done = ch.submit(10'000'000, 1000);
+    // Starts at ready time, not at busyUntil.
+    EXPECT_EQ(done, 10'000'000 + 1000);
+}
+
+TEST(BandwidthChannel, StartupLatencyCharged)
+{
+    BandwidthChannel ch("t", 1e9, 500);
+    Tick done = ch.submit(0, 1000);
+    EXPECT_EQ(done, 500 + 1000);
+    // Estimation matches submission for the same state.
+    BandwidthChannel ch2("t2", 1e9, 500);
+    EXPECT_EQ(ch2.estimateCompletion(0, 1000), done);
+}
+
+TEST(BandwidthChannel, EstimateDoesNotMutate)
+{
+    BandwidthChannel ch("t", 1e9);
+    Tick est = ch.estimateCompletion(0, 1'000'000);
+    EXPECT_EQ(ch.busyUntil(), 0);
+    EXPECT_EQ(ch.bytesTransferred(), 0u);
+    EXPECT_EQ(ch.submit(0, 1'000'000), est);
+}
+
+TEST(BandwidthChannel, BusyTimeAccumulates)
+{
+    BandwidthChannel ch("t", 1e9, 100);
+    ch.submit(0, 1000);
+    ch.submit(50'000, 1000);
+    EXPECT_EQ(ch.busyTime(), 2 * (100 + 1000));
+}
+
+TEST(BandwidthChannel, ResetClearsState)
+{
+    BandwidthChannel ch("t", 1e9);
+    ch.submit(0, 12345);
+    ch.reset();
+    EXPECT_EQ(ch.busyUntil(), 0);
+    EXPECT_EQ(ch.bytesTransferred(), 0u);
+    EXPECT_EQ(ch.numTransfers(), 0u);
+    EXPECT_EQ(ch.busyTime(), 0);
+}
+
+TEST(BandwidthChannel, ZeroBandwidthPanics)
+{
+    EXPECT_THROW(BandwidthChannel("bad", 0.0), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::sim

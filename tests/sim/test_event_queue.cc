@@ -1,0 +1,80 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace sentinel::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    EXPECT_EQ(q.drain(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{ 1, 2, 3 }));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&order, i](Tick) { order.push_back(i); });
+    q.drain();
+    EXPECT_EQ(order, (std::vector<int>{ 0, 1, 2, 3, 4 }));
+}
+
+TEST(EventQueue, RunUntilHonorsHorizon)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&](Tick) { ++fired; });
+    q.schedule(10, [&](Tick) { ++fired; });
+    q.schedule(11, [&](Tick) { ++fired; });
+    EXPECT_EQ(q.runUntil(10), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextEventTick(), 11);
+}
+
+TEST(EventQueue, CallbackCanScheduleWithinHorizon)
+{
+    EventQueue q;
+    std::vector<Tick> fired_at;
+    q.schedule(10, [&](Tick t) {
+        fired_at.push_back(t);
+        q.schedule(t + 5, [&](Tick t2) { fired_at.push_back(t2); });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(fired_at, (std::vector<Tick>{ 10, 15 }));
+}
+
+TEST(EventQueue, NowTracksLastEvent)
+{
+    EventQueue q;
+    q.schedule(42, [](Tick) {});
+    EXPECT_EQ(q.now(), 0);
+    q.drain();
+    EXPECT_EQ(q.now(), 42);
+}
+
+TEST(EventQueue, EmptyQueueProperties)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), -1);
+    EXPECT_EQ(q.runUntil(1000), 0u);
+}
+
+TEST(EventQueue, NegativeTickPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(-1, [](Tick) {}), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::sim

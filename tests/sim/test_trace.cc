@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+namespace sentinel::sim {
+namespace {
+
+TEST(TraceRecorder, BucketsBandwidth)
+{
+    // 1 ms buckets.
+    TraceRecorder tr(1 * kMsec);
+    tr.record("fast", 0, 1'000'000);
+    tr.record("fast", 500 * kUsec, 1'000'000);  // same bucket
+    tr.record("fast", 1 * kMsec, 500'000);      // next bucket
+
+    auto bw = tr.bandwidthSeries("fast");
+    ASSERT_EQ(bw.size(), 2u);
+    // 2 MB in 1 ms = 2e9 B/s.
+    EXPECT_DOUBLE_EQ(bw[0], 2e9);
+    EXPECT_DOUBLE_EQ(bw[1], 5e8);
+}
+
+TEST(TraceRecorder, SeriesAreIndependent)
+{
+    TraceRecorder tr(kMsec);
+    tr.record("fast", 0, 100);
+    tr.record("slow", 2 * kMsec, 200);
+
+    auto names = tr.seriesNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "fast");
+    EXPECT_EQ(names[1], "slow");
+
+    // Both series are padded to the global bucket horizon.
+    auto fast = tr.bandwidthSeries("fast");
+    auto slow = tr.bandwidthSeries("slow");
+    ASSERT_EQ(fast.size(), 3u);
+    ASSERT_EQ(slow.size(), 3u);
+    EXPECT_GT(fast[0], 0.0);
+    EXPECT_DOUBLE_EQ(fast[2], 0.0);
+    EXPECT_GT(slow[2], 0.0);
+}
+
+TEST(TraceRecorder, UnknownSeriesIsAllZero)
+{
+    TraceRecorder tr(kMsec);
+    tr.record("fast", 0, 100);
+    auto missing = tr.bandwidthSeries("nope");
+    ASSERT_EQ(missing.size(), 1u);
+    EXPECT_DOUBLE_EQ(missing[0], 0.0);
+}
+
+TEST(TraceRecorder, ClearResets)
+{
+    TraceRecorder tr(kMsec);
+    tr.record("fast", 0, 100);
+    tr.clear();
+    EXPECT_EQ(tr.numBuckets(), 0u);
+    EXPECT_TRUE(tr.seriesNames().empty());
+}
+
+TEST(TraceRecorder, InvalidConstructionPanics)
+{
+    EXPECT_THROW(TraceRecorder(0), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::sim

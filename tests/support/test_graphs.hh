@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared graph fixtures for unit tests.
+ *
+ * makeToyGraph() builds a miniature but structurally faithful training
+ * step: two forward layers and their mirrored backward layers, with
+ * preallocated weights/input, saved activations consumed by backward
+ * layers, short-lived per-layer temporaries, and an SGD update.
+ */
+
+#ifndef SENTINEL_TESTS_SUPPORT_TEST_GRAPHS_HH
+#define SENTINEL_TESTS_SUPPORT_TEST_GRAPHS_HH
+
+#include <cstdint>
+
+#include "dataflow/graph.hh"
+
+namespace sentinel::testing {
+
+/** Tensor ids of interest in the toy graph. */
+struct ToyGraphIds {
+    df::TensorId input;
+    df::TensorId w0;
+    df::TensorId w1;
+    df::TensorId a0;     ///< activation of layer 0, used by backward layer 3
+    df::TensorId a1;     ///< activation of layer 1, used by backward layer 2
+    df::TensorId temp0;  ///< short-lived temp in layer 0
+    df::TensorId temp1;  ///< short-lived small temp in layer 1
+    df::TensorId g1;     ///< gradient flowing 2 -> 3
+};
+
+/**
+ * Two forward + two backward layers.
+ *
+ * Layer 0: conv(input, w0) -> a0 (uses short-lived temp0)
+ * Layer 1: matmul(a0, w1) -> a1 (uses short-lived small temp1)
+ * Layer 2: backward of layer 1: reads a1, w1, writes g1; updates w1
+ * Layer 3: backward of layer 0: reads a0, w0, g1; updates w0
+ */
+inline df::Graph
+makeToyGraph(ToyGraphIds *ids_out = nullptr, int batch = 4)
+{
+    using namespace df;
+    Graph g("toy", batch);
+
+    const std::uint64_t kActBytes = 16 * 4096;  // 16 pages
+    const std::uint64_t kWBytes = 2 * 4096;     // 2 pages
+    const std::uint64_t kTempBytes = 8 * 4096;  // 8 pages, short-lived
+    const std::uint64_t kSmall = 1024;          // sub-page, short-lived
+
+    ToyGraphIds ids;
+    ids.input = g.addTensor("input", kActBytes, TensorKind::Input, true);
+    ids.w0 = g.addTensor("w0", kWBytes, TensorKind::Weight, true);
+    ids.w1 = g.addTensor("w1", kWBytes, TensorKind::Weight, true);
+    ids.a0 = g.addTensor("a0", kActBytes, TensorKind::Activation);
+    ids.a1 = g.addTensor("a1", kActBytes, TensorKind::Activation);
+    ids.temp0 = g.addTensor("temp0", kTempBytes, TensorKind::Temp);
+    ids.temp1 = g.addTensor("temp1", kSmall, TensorKind::Temp);
+    ids.g1 = g.addTensor("g1", kActBytes, TensorKind::ActivationGrad);
+
+    auto r = [](TensorId t, std::uint64_t bytes, double eps = 1.0) {
+        return TensorUse{ t, false, bytes, eps };
+    };
+    auto w = [](TensorId t, std::uint64_t bytes, double eps = 1.0) {
+        return TensorUse{ t, true, bytes, eps };
+    };
+
+    // Layer 0 (forward)
+    g.addOp("l0/pad", OpType::Pad, 0, 1e6,
+            { r(ids.input, kActBytes), w(ids.temp0, kTempBytes) });
+    g.addOp("l0/conv", OpType::Conv2d, 0, 5e7,
+            { r(ids.temp0, kTempBytes), r(ids.w0, kWBytes, 8.0),
+              w(ids.a0, kActBytes) });
+
+    // Layer 1 (forward)
+    g.addOp("l1/scale", OpType::BatchNorm, 1, 1e6,
+            { r(ids.a0, kActBytes), w(ids.temp1, kSmall, 32.0) });
+    g.addOp("l1/matmul", OpType::MatMul, 1, 5e7,
+            { r(ids.a0, kActBytes), r(ids.temp1, kSmall, 32.0),
+              r(ids.w1, kWBytes, 8.0), w(ids.a1, kActBytes) });
+
+    // Layer 2 (backward of layer 1)
+    g.addOp("l1/bwd", OpType::ConvBackward, 2, 8e7,
+            { r(ids.a1, kActBytes), r(ids.w1, kWBytes, 8.0),
+              w(ids.g1, kActBytes) });
+    g.addOp("l1/update", OpType::SgdUpdate, 2, 1e6,
+            { r(ids.g1, kActBytes), w(ids.w1, kWBytes, 8.0) });
+
+    // Layer 3 (backward of layer 0)
+    g.addOp("l0/bwd", OpType::ConvBackward, 3, 8e7,
+            { r(ids.a0, kActBytes), r(ids.g1, kActBytes),
+              r(ids.w0, kWBytes, 8.0) });
+    g.addOp("l0/update", OpType::SgdUpdate, 3, 1e6,
+            { w(ids.w0, kWBytes, 8.0) });
+
+    g.finalize();
+    if (ids_out)
+        *ids_out = ids;
+    return g;
+}
+
+} // namespace sentinel::testing
+
+#endif // SENTINEL_TESTS_SUPPORT_TEST_GRAPHS_HH

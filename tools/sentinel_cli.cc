@@ -1,0 +1,327 @@
+/**
+ * @file
+ * sentinel-cli: command-line driver for the reproduction.
+ *
+ * Subcommands:
+ *   run          one (model, batch, platform, policy) cell
+ *   compare      every policy on one configuration
+ *   plan         the interval planner's candidate table (Fig. 5 math)
+ *   maxbatch     max-batch search on the GPU platform (Table V cell)
+ *   models       list the model zoo
+ *
+ * Examples:
+ *   sentinel-cli run --model resnet32 --batch 32 --policy sentinel
+ *   sentinel-cli compare --model bert_large --fraction 0.2
+ *   sentinel-cli plan --model resnet32 --batch 32 --fraction 0.2
+ *   sentinel-cli maxbatch --model resnet32 --policy sentinel --mem-mb 64
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/interval_planner.hh"
+#include "core/sentinel_policy.hh"
+#include "mem/hm.hh"
+#include "profile/profiler.hh"
+#include "profile/serialize.hh"
+
+using namespace sentinel;
+
+namespace {
+
+/** Tiny --key value parser; unknown keys are fatal. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+                SENTINEL_FATAL("expected --key value pairs, got '%s'",
+                               key.c_str());
+            }
+            values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &dflt) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? dflt : it->second;
+    }
+
+    int
+    getInt(const std::string &key, int dflt) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? dflt : std::atoi(it->second.c_str());
+    }
+
+    double
+    getDouble(const std::string &key, double dflt) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? dflt : std::atof(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+harness::ExperimentConfig
+configFrom(const Args &args)
+{
+    harness::ExperimentConfig cfg;
+    cfg.model = args.get("model", "resnet32");
+    cfg.batch =
+        args.getInt("batch", models::modelSpec(cfg.model).small_batch);
+    cfg.platform = args.get("platform", "cpu") == "gpu"
+                       ? harness::Platform::Gpu
+                       : harness::Platform::Optane;
+    cfg.fast_fraction = args.getDouble("fraction", 0.2);
+    int mem_mb = args.getInt("mem-mb", 0);
+    if (mem_mb > 0)
+        cfg.fast_bytes = static_cast<std::uint64_t>(mem_mb) << 20;
+    cfg.steps = args.getInt("steps", 9);
+    cfg.warmup = args.getInt("warmup", 6);
+    cfg.sentinel.forced_mil = args.getInt("mil", 0);
+    return cfg;
+}
+
+void
+printMetrics(const harness::Metrics &m)
+{
+    if (!m.supported) {
+        std::printf("%-12s unsupported on this graph\n",
+                    m.policy.c_str());
+        return;
+    }
+    std::printf("%-12s %10.2f ms/step %10.1f samples/s  exposed "
+                "%8.2f ms  recompute %6.2f ms  migrated %8.1f MB  "
+                "slow %8.1f MB%s\n",
+                m.policy.c_str(), m.step_time_ms, m.throughput,
+                m.exposed_ms, m.recompute_ms, m.migrated_mb(),
+                m.bytes_slow_mb, m.feasible ? "" : "  [INFEASIBLE]");
+}
+
+int
+cmdRun(const Args &args)
+{
+    harness::ExperimentConfig cfg = configFrom(args);
+    std::string policy = args.get("policy", "sentinel");
+    harness::Metrics m = harness::runExperiment(cfg, policy);
+    printMetrics(m);
+    if (m.mil > 0) {
+        std::printf("sentinel: MIL=%d pool=%.1fMB case3=%d trials=%d\n",
+                    m.mil, m.pool_mb, m.case3_events, m.trial_steps);
+    }
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    harness::ExperimentConfig cfg = configFrom(args);
+    const auto &policies = cfg.platform == harness::Platform::Gpu
+                               ? harness::gpuPolicies()
+                               : harness::cpuPolicies();
+    for (const auto &p : policies)
+        printMetrics(harness::runExperiment(cfg, p));
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    harness::ExperimentConfig cfg = configFrom(args);
+    df::Graph g = models::makeModel(cfg.model, cfg.batch);
+    std::uint64_t fast =
+        cfg.fast_bytes != 0
+            ? cfg.fast_bytes
+            : mem::roundUpToPages(static_cast<std::uint64_t>(
+                  static_cast<double>(g.peakMemoryBytes()) *
+                  cfg.fast_fraction));
+    core::RuntimeConfig rc =
+        harness::platformConfig(cfg.platform, fast);
+
+    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
+    prof::Profiler profiler(rc.profiler);
+    auto profile = profiler.profile(g, hm, rc.exec);
+
+    core::PlannerInputs in;
+    in.db = &profile.db;
+    in.fast_capacity = fast;
+    in.promote_bw = rc.migration.promote_bw;
+    in.fast_read_bw = rc.fast.read_bw;
+    in.slow_read_bw = rc.slow.read_bw;
+    core::IntervalPlanner planner(in);
+    auto result = planner.plan(fast * 3 / 5);
+
+    Table t(strprintf("Planner candidates (%s, batch %d, S=%.1f MB, "
+                      "RS=%.1f MB)",
+                      cfg.model.c_str(), cfg.batch,
+                      static_cast<double>(fast) / 1e6,
+                      static_cast<double>(result.rs_bytes) / 1e6),
+            { "MIL", "feasible", "max prefetch (MB)",
+              "max working set (MB)", "est exposed (ms)",
+              "Eq.2 (ms)", "chosen" });
+    for (const auto &c : result.candidates) {
+        t.row()
+            .cell(c.mil)
+            .cell(c.feasible ? "yes" : "no")
+            .cell(static_cast<double>(c.max_prefetch) / 1e6, 1)
+            .cell(static_cast<double>(c.max_working_set) / 1e6, 1)
+            .cell(toMillis(c.est_exposed), 3)
+            .cell(c.eq2_objective * 1e3, 3)
+            .cell(c.mil == result.best.mil ? "<==" : "");
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdMaxBatch(const Args &args)
+{
+    std::string model = args.get("model", "resnet32");
+    std::string policy = args.get("policy", "sentinel");
+    int mem_mb = args.getInt("mem-mb", 0);
+    std::uint64_t dev;
+    if (mem_mb > 0) {
+        dev = static_cast<std::uint64_t>(mem_mb) << 20;
+    } else {
+        df::Graph g = models::makeModel(
+            model, models::modelSpec(model).small_batch);
+        dev = mem::roundUpToPages(g.peakMemoryBytes() / 2);
+    }
+    int cap = args.getInt("cap", 1024);
+    int b = harness::maxBatchSearch(model, policy, dev, cap);
+    std::printf("%s with %s on %.1f MB of device memory: max batch %d\n",
+                model.c_str(), policy.c_str(),
+                static_cast<double>(dev) / 1e6, b);
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    harness::ExperimentConfig cfg = configFrom(args);
+    std::string out = args.get("out", "");
+    std::string in = args.get("in", "");
+
+    if (!in.empty()) {
+        // Reuse a persisted profile: plan and train without the
+        // instrumented step.
+        prof::ProfileDatabase db = prof::loadProfile(in);
+        df::Graph g = models::makeModel(cfg.model, cfg.batch);
+        SENTINEL_ASSERT(db.numTensors() == g.numTensors() &&
+                            db.numLayers() == g.numLayers(),
+                        "profile '%s' does not match %s at batch %d",
+                        in.c_str(), cfg.model.c_str(), cfg.batch);
+        std::uint64_t fast = mem::roundUpToPages(
+            static_cast<std::uint64_t>(
+                static_cast<double>(g.peakMemoryBytes()) *
+                cfg.fast_fraction));
+        core::RuntimeConfig rc =
+            harness::platformConfig(cfg.platform, fast);
+        mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
+        core::SentinelPolicy policy(db, rc.sentinel);
+        df::Executor ex(g, hm, rc.exec, policy);
+        auto stats = ex.run(cfg.steps);
+        std::printf("trained %d steps from persisted profile: %.2f "
+                    "ms/step steady (MIL=%d)\n",
+                    cfg.steps, toMillis(stats.back().step_time),
+                    policy.migrationPlan().mil);
+        return 0;
+    }
+
+    df::Graph g = models::makeModel(cfg.model, cfg.batch);
+    core::RuntimeConfig rc = harness::platformConfig(
+        cfg.platform, mem::roundUpToPages(g.peakMemoryBytes() / 5));
+    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
+    prof::Profiler profiler(rc.profiler);
+    auto r = profiler.profile(g, hm, rc.exec);
+    std::printf("profiled %s (batch %d): %zu tensors, slowdown %.1fx, "
+                "memory overhead %.2f%%\n",
+                cfg.model.c_str(), cfg.batch, r.db.numTensors(),
+                r.profilingSlowdown(), 100.0 * r.memoryOverhead());
+    if (!out.empty()) {
+        if (!prof::saveProfile(r.db, out))
+            SENTINEL_FATAL("could not write '%s'", out.c_str());
+        std::printf("profile written to %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdModels()
+{
+    Table t("Model zoo", { "name", "small batch", "large batch",
+                           "layers", "peak (small batch)" });
+    for (const auto &spec : models::modelZoo()) {
+        df::Graph g = models::makeModel(spec.name, spec.small_batch);
+        t.row()
+            .cell(spec.name)
+            .cell(spec.small_batch)
+            .cell(spec.large_batch)
+            .cell(g.numLayers())
+            .cell(formatBytes(
+                static_cast<double>(g.peakMemoryBytes())));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "sentinel-cli <command> [--key value ...]\n\n"
+        "commands:\n"
+        "  run       --model M --batch N --policy P [--platform "
+        "cpu|gpu]\n"
+        "            [--fraction F | --mem-mb M] [--steps S] [--mil K]\n"
+        "  compare   same options; runs every policy of the platform\n"
+        "  plan      print the interval planner's candidate table\n"
+        "  maxbatch  --model M --policy P [--mem-mb M] [--cap N]\n"
+        "  profile   --model M --batch N [--out FILE | --in FILE]\n"
+        "  models    list the model zoo\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    try {
+        Args args(argc, argv, 2);
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "compare")
+            return cmdCompare(args);
+        if (cmd == "plan")
+            return cmdPlan(args);
+        if (cmd == "maxbatch")
+            return cmdMaxBatch(args);
+        if (cmd == "profile")
+            return cmdProfile(args);
+        if (cmd == "models")
+            return cmdModels();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 1;
+}
