@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamic_mil.dir/bench_ablation_dynamic_mil.cc.o"
+  "CMakeFiles/bench_ablation_dynamic_mil.dir/bench_ablation_dynamic_mil.cc.o.d"
+  "bench_ablation_dynamic_mil"
+  "bench_ablation_dynamic_mil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic_mil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

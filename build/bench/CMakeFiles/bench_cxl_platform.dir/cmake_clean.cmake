@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cxl_platform.dir/bench_cxl_platform.cc.o"
+  "CMakeFiles/bench_cxl_platform.dir/bench_cxl_platform.cc.o.d"
+  "bench_cxl_platform"
+  "bench_cxl_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cxl_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

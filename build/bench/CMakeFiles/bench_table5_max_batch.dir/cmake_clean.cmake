@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_max_batch.dir/bench_table5_max_batch.cc.o"
+  "CMakeFiles/bench_table5_max_batch.dir/bench_table5_max_batch.cc.o.d"
+  "bench_table5_max_batch"
+  "bench_table5_max_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_max_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_training.dir/gpu_training.cpp.o"
+  "CMakeFiles/gpu_training.dir/gpu_training.cpp.o.d"
+  "gpu_training"
+  "gpu_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/arena.cc" "src/alloc/CMakeFiles/sentinel_alloc.dir/arena.cc.o" "gcc" "src/alloc/CMakeFiles/sentinel_alloc.dir/arena.cc.o.d"
+  "/root/repo/src/alloc/reserved_pool.cc" "src/alloc/CMakeFiles/sentinel_alloc.dir/reserved_pool.cc.o" "gcc" "src/alloc/CMakeFiles/sentinel_alloc.dir/reserved_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/sentinel_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

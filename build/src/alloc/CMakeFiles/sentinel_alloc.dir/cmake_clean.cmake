@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_alloc.dir/arena.cc.o"
+  "CMakeFiles/sentinel_alloc.dir/arena.cc.o.d"
+  "CMakeFiles/sentinel_alloc.dir/reserved_pool.cc.o"
+  "CMakeFiles/sentinel_alloc.dir/reserved_pool.cc.o.d"
+  "libsentinel_alloc.a"
+  "libsentinel_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autotm.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/autotm.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/autotm.cc.o.d"
+  "/root/repo/src/baselines/capuchin.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/capuchin.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/capuchin.cc.o.d"
+  "/root/repo/src/baselines/ial.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/ial.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/ial.cc.o.d"
+  "/root/repo/src/baselines/memory_mode.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/memory_mode.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/memory_mode.cc.o.d"
+  "/root/repo/src/baselines/reference.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/reference.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/reference.cc.o.d"
+  "/root/repo/src/baselines/swap_schedule.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/swap_schedule.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/swap_schedule.cc.o.d"
+  "/root/repo/src/baselines/swapadvisor.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/swapadvisor.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/swapadvisor.cc.o.d"
+  "/root/repo/src/baselines/unified_memory.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/unified_memory.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/unified_memory.cc.o.d"
+  "/root/repo/src/baselines/vdnn.cc" "src/baselines/CMakeFiles/sentinel_baselines.dir/vdnn.cc.o" "gcc" "src/baselines/CMakeFiles/sentinel_baselines.dir/vdnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/sentinel_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sentinel_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sentinel_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sentinel_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

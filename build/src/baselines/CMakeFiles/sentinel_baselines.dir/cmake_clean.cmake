@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_baselines.dir/autotm.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/autotm.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/capuchin.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/capuchin.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/ial.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/ial.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/memory_mode.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/memory_mode.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/reference.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/reference.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/swap_schedule.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/swap_schedule.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/swapadvisor.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/swapadvisor.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/unified_memory.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/unified_memory.cc.o.d"
+  "CMakeFiles/sentinel_baselines.dir/vdnn.cc.o"
+  "CMakeFiles/sentinel_baselines.dir/vdnn.cc.o.d"
+  "libsentinel_baselines.a"
+  "libsentinel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

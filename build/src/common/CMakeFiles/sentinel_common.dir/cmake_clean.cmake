@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_common.dir/logging.cc.o"
+  "CMakeFiles/sentinel_common.dir/logging.cc.o.d"
+  "CMakeFiles/sentinel_common.dir/stats.cc.o"
+  "CMakeFiles/sentinel_common.dir/stats.cc.o.d"
+  "CMakeFiles/sentinel_common.dir/table.cc.o"
+  "CMakeFiles/sentinel_common.dir/table.cc.o.d"
+  "libsentinel_common.a"
+  "libsentinel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

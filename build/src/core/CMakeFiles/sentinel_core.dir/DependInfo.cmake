@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bucketed.cc" "src/core/CMakeFiles/sentinel_core.dir/bucketed.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/bucketed.cc.o.d"
+  "/root/repo/src/core/interval_planner.cc" "src/core/CMakeFiles/sentinel_core.dir/interval_planner.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/interval_planner.cc.o.d"
+  "/root/repo/src/core/migration_plan.cc" "src/core/CMakeFiles/sentinel_core.dir/migration_plan.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/migration_plan.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/sentinel_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sentinel_policy.cc" "src/core/CMakeFiles/sentinel_core.dir/sentinel_policy.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/sentinel_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/sentinel_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sentinel_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sentinel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sentinel_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sentinel_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_core.dir/bucketed.cc.o"
+  "CMakeFiles/sentinel_core.dir/bucketed.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/interval_planner.cc.o"
+  "CMakeFiles/sentinel_core.dir/interval_planner.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/migration_plan.cc.o"
+  "CMakeFiles/sentinel_core.dir/migration_plan.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/runtime.cc.o"
+  "CMakeFiles/sentinel_core.dir/runtime.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/sentinel_policy.cc.o"
+  "CMakeFiles/sentinel_core.dir/sentinel_policy.cc.o.d"
+  "libsentinel_core.a"
+  "libsentinel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

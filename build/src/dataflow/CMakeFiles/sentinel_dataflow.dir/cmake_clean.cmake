@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_dataflow.dir/cost_model.cc.o"
+  "CMakeFiles/sentinel_dataflow.dir/cost_model.cc.o.d"
+  "CMakeFiles/sentinel_dataflow.dir/executor.cc.o"
+  "CMakeFiles/sentinel_dataflow.dir/executor.cc.o.d"
+  "CMakeFiles/sentinel_dataflow.dir/graph.cc.o"
+  "CMakeFiles/sentinel_dataflow.dir/graph.cc.o.d"
+  "libsentinel_dataflow.a"
+  "libsentinel_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_harness.dir/experiment.cc.o"
+  "CMakeFiles/sentinel_harness.dir/experiment.cc.o.d"
+  "libsentinel_harness.a"
+  "libsentinel_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

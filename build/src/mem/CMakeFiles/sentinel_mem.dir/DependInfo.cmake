@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/access_tracker.cc" "src/mem/CMakeFiles/sentinel_mem.dir/access_tracker.cc.o" "gcc" "src/mem/CMakeFiles/sentinel_mem.dir/access_tracker.cc.o.d"
+  "/root/repo/src/mem/dram_cache.cc" "src/mem/CMakeFiles/sentinel_mem.dir/dram_cache.cc.o" "gcc" "src/mem/CMakeFiles/sentinel_mem.dir/dram_cache.cc.o.d"
+  "/root/repo/src/mem/hm.cc" "src/mem/CMakeFiles/sentinel_mem.dir/hm.cc.o" "gcc" "src/mem/CMakeFiles/sentinel_mem.dir/hm.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/sentinel_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/sentinel_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/tier.cc" "src/mem/CMakeFiles/sentinel_mem.dir/tier.cc.o" "gcc" "src/mem/CMakeFiles/sentinel_mem.dir/tier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_mem.dir/access_tracker.cc.o"
+  "CMakeFiles/sentinel_mem.dir/access_tracker.cc.o.d"
+  "CMakeFiles/sentinel_mem.dir/dram_cache.cc.o"
+  "CMakeFiles/sentinel_mem.dir/dram_cache.cc.o.d"
+  "CMakeFiles/sentinel_mem.dir/hm.cc.o"
+  "CMakeFiles/sentinel_mem.dir/hm.cc.o.d"
+  "CMakeFiles/sentinel_mem.dir/page_table.cc.o"
+  "CMakeFiles/sentinel_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/sentinel_mem.dir/tier.cc.o"
+  "CMakeFiles/sentinel_mem.dir/tier.cc.o.d"
+  "libsentinel_mem.a"
+  "libsentinel_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

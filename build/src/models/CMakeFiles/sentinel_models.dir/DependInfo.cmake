@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bert.cc" "src/models/CMakeFiles/sentinel_models.dir/bert.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/bert.cc.o.d"
+  "/root/repo/src/models/common.cc" "src/models/CMakeFiles/sentinel_models.dir/common.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/common.cc.o.d"
+  "/root/repo/src/models/dcgan.cc" "src/models/CMakeFiles/sentinel_models.dir/dcgan.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/dcgan.cc.o.d"
+  "/root/repo/src/models/lstm.cc" "src/models/CMakeFiles/sentinel_models.dir/lstm.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/lstm.cc.o.d"
+  "/root/repo/src/models/mobilenet.cc" "src/models/CMakeFiles/sentinel_models.dir/mobilenet.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/mobilenet.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/models/CMakeFiles/sentinel_models.dir/registry.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/registry.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/sentinel_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/sentinel_models.dir/resnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/sentinel_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sentinel_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

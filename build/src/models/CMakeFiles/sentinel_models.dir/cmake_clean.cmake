@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_models.dir/bert.cc.o"
+  "CMakeFiles/sentinel_models.dir/bert.cc.o.d"
+  "CMakeFiles/sentinel_models.dir/common.cc.o"
+  "CMakeFiles/sentinel_models.dir/common.cc.o.d"
+  "CMakeFiles/sentinel_models.dir/dcgan.cc.o"
+  "CMakeFiles/sentinel_models.dir/dcgan.cc.o.d"
+  "CMakeFiles/sentinel_models.dir/lstm.cc.o"
+  "CMakeFiles/sentinel_models.dir/lstm.cc.o.d"
+  "CMakeFiles/sentinel_models.dir/mobilenet.cc.o"
+  "CMakeFiles/sentinel_models.dir/mobilenet.cc.o.d"
+  "CMakeFiles/sentinel_models.dir/registry.cc.o"
+  "CMakeFiles/sentinel_models.dir/registry.cc.o.d"
+  "CMakeFiles/sentinel_models.dir/resnet.cc.o"
+  "CMakeFiles/sentinel_models.dir/resnet.cc.o.d"
+  "libsentinel_models.a"
+  "libsentinel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

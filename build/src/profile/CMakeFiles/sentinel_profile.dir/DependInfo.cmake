@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/profile_db.cc" "src/profile/CMakeFiles/sentinel_profile.dir/profile_db.cc.o" "gcc" "src/profile/CMakeFiles/sentinel_profile.dir/profile_db.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "src/profile/CMakeFiles/sentinel_profile.dir/profiler.cc.o" "gcc" "src/profile/CMakeFiles/sentinel_profile.dir/profiler.cc.o.d"
+  "/root/repo/src/profile/serialize.cc" "src/profile/CMakeFiles/sentinel_profile.dir/serialize.cc.o" "gcc" "src/profile/CMakeFiles/sentinel_profile.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/sentinel_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sentinel_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sentinel_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_profile.dir/profile_db.cc.o"
+  "CMakeFiles/sentinel_profile.dir/profile_db.cc.o.d"
+  "CMakeFiles/sentinel_profile.dir/profiler.cc.o"
+  "CMakeFiles/sentinel_profile.dir/profiler.cc.o.d"
+  "CMakeFiles/sentinel_profile.dir/serialize.cc.o"
+  "CMakeFiles/sentinel_profile.dir/serialize.cc.o.d"
+  "libsentinel_profile.a"
+  "libsentinel_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_sim.dir/bandwidth_channel.cc.o"
+  "CMakeFiles/sentinel_sim.dir/bandwidth_channel.cc.o.d"
+  "CMakeFiles/sentinel_sim.dir/event_queue.cc.o"
+  "CMakeFiles/sentinel_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/sentinel_sim.dir/trace.cc.o"
+  "CMakeFiles/sentinel_sim.dir/trace.cc.o.d"
+  "libsentinel_sim.a"
+  "libsentinel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

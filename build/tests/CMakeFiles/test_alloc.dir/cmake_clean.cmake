@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc.dir/alloc/test_arena.cc.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_arena.cc.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_reserved_pool.cc.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_reserved_pool.cc.o.d"
+  "test_alloc"
+  "test_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

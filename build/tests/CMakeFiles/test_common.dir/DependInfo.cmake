@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_logging.cc" "tests/CMakeFiles/test_common.dir/common/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_logging.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_table.cc" "tests/CMakeFiles/test_common.dir/common/test_table.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sentinel_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sentinel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sentinel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sentinel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sentinel_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sentinel_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sentinel_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sentinel_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sentinel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

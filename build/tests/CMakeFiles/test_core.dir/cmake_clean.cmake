@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_bucketed.cc.o"
+  "CMakeFiles/test_core.dir/core/test_bucketed.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_interval_planner.cc.o"
+  "CMakeFiles/test_core.dir/core/test_interval_planner.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_migration_plan.cc.o"
+  "CMakeFiles/test_core.dir/core/test_migration_plan.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_sentinel_policy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_sentinel_policy.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/dataflow/test_cost_model.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_cost_model.cc.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_executor.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_executor.cc.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_executor_stalls.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_executor_stalls.cc.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_graph.cc.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_graph.cc.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

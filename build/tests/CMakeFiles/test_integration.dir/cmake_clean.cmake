@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_paper_claims.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_claims.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_policy_properties.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_policy_properties.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

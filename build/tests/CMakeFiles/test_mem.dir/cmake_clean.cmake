@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_access_tracker.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_access_tracker.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dram_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_dram_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_hm.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_hm.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_page.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_page.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_page_table.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_page_table.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tier.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tier.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

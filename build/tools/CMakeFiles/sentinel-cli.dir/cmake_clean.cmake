@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel-cli.dir/sentinel_cli.cc.o"
+  "CMakeFiles/sentinel-cli.dir/sentinel_cli.cc.o.d"
+  "sentinel-cli"
+  "sentinel-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
