@@ -16,6 +16,8 @@
 #include "core/sentinel_policy.hh"
 #include "profile/profiler.hh"
 #include "sim/trace.hh"
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/session.hh"
 
 using namespace sentinel;
 
@@ -107,5 +109,27 @@ main(int argc, char **argv)
         "IAL (Fig. 9).\n",
         sen_r.avg_fast / 1e9, ial_r.avg_fast / 1e9, fast_ratio,
         sen_r.avg_slow / 1e9, ial_r.avg_slow / 1e9);
+
+    // Optional second argument: dump the same steady-state Sentinel
+    // step as a Chrome-trace JSON (op/migration/stall timeline, the
+    // event-level view behind this figure's bucketed series).
+    if (argc > 2) {
+        telemetry::Session session;
+        core::SentinelPolicy traced(profile.db);
+        traced.setTelemetry(&session);
+        mem::HeterogeneousMemory hm(cfg.fast, cfg.slow, cfg.migration);
+        hm.setTelemetry(&session);
+        df::Executor ex(graph, hm, cfg.exec, traced);
+        ex.setTelemetry(&session);
+        ex.run(7);
+        if (telemetry::saveChromeTrace(session.events(), argv[2])) {
+            std::cout << strprintf(
+                "\nChrome trace of %d steady steps written to %s "
+                "(%zu events)\n", 7, argv[2], session.events().size());
+        } else {
+            std::cout << strprintf("\ncould not write %s\n", argv[2]);
+            return 1;
+        }
+    }
     return 0;
 }

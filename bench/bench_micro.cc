@@ -17,6 +17,7 @@
 #include "mem/hm.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
+#include "telemetry/session.hh"
 
 using namespace sentinel;
 
@@ -102,6 +103,29 @@ BM_ExecutorStepFastOnly(benchmark::State &state)
         benchmark::DoNotOptimize(ex.runStep().step_time);
 }
 BENCHMARK(BM_ExecutorStepFastOnly);
+
+// Same step with a telemetry session attached: the delta against
+// BM_ExecutorStepFastOnly is the *enabled* tracing cost (events +
+// counters).  Disabled telemetry is just the null checks already in
+// BM_ExecutorStepFastOnly's path, which is why the acceptance bar is
+// "no regression with telemetry off".
+void
+BM_ExecutorStepTelemetry(benchmark::State &state)
+{
+    df::Graph g = models::makeModel("resnet20", 8);
+    auto hm = makeHm(2ull << 30);
+    auto policy = baselines::makeFastOnly();
+    telemetry::Session session;
+    hm.setTelemetry(&session);
+    df::Executor ex(g, hm, df::ExecParams{}, *policy);
+    ex.setTelemetry(&session);
+    ex.runStep();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.runStep().step_time);
+    state.counters["events"] = static_cast<double>(
+        session.events().totalEmitted());
+}
+BENCHMARK(BM_ExecutorStepTelemetry);
 
 void
 BM_ProfilingStep(benchmark::State &state)

@@ -54,8 +54,11 @@ Runtime::Runtime(df::Graph graph, RuntimeConfig cfg)
     : graph_(std::move(graph)), cfg_(std::move(cfg))
 {
     SENTINEL_ASSERT(graph_.finalized(), "graph must be finalized");
+    if (cfg_.telemetry.enabled)
+        telemetry_ = std::make_unique<telemetry::Session>(cfg_.telemetry);
     hm_ = std::make_unique<mem::HeterogeneousMemory>(cfg_.fast, cfg_.slow,
                                                      cfg_.migration);
+    hm_->setTelemetry(telemetry_.get());
 }
 
 void
@@ -80,8 +83,10 @@ Runtime::ensureExecutor()
         return;
     policy_ = std::make_unique<SentinelPolicy>(profile_->db,
                                                cfg_.sentinel);
+    policy_->setTelemetry(telemetry_.get());
     executor_ = std::make_unique<df::Executor>(graph_, *hm_, cfg_.exec,
                                                *policy_);
+    executor_->setTelemetry(telemetry_.get());
 }
 
 const prof::ProfileResult &

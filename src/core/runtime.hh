@@ -25,6 +25,7 @@
 #include "dataflow/graph.hh"
 #include "mem/hm.hh"
 #include "profile/profiler.hh"
+#include "telemetry/session.hh"
 
 namespace sentinel::core {
 
@@ -35,6 +36,14 @@ struct RuntimeConfig {
     df::ExecParams exec;
     prof::ProfilerOptions profiler;
     SentinelOptions sentinel;
+
+    /**
+     * Structured event tracing (off by default).  When enabled the
+     * runtime owns a telemetry::Session wired into the executor, the
+     * memory system, and the Sentinel policy; read it back through
+     * Runtime::telemetrySession() to export Chrome traces / metrics.
+     */
+    telemetry::TelemetryConfig telemetry;
 
     /**
      * DDR4 + Optane DC PMM preset (the paper's Table II CPU platform),
@@ -74,12 +83,16 @@ class Runtime
     /** Valid after the first train() call. */
     const SentinelPolicy &policy() const;
 
+    /** Telemetry session, or null when cfg.telemetry.enabled is false. */
+    telemetry::Session *telemetrySession() { return telemetry_.get(); }
+
   private:
     void ensureProfiled();
     void ensureExecutor();
 
     df::Graph graph_;
     RuntimeConfig cfg_;
+    std::unique_ptr<telemetry::Session> telemetry_;
     std::optional<prof::ProfileResult> profile_;
     std::unique_ptr<mem::HeterogeneousMemory> hm_;
     std::unique_ptr<SentinelPolicy> policy_;

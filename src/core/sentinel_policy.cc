@@ -228,6 +228,12 @@ SentinelPolicy::issuePrefetch(df::Executor &ex, int interval)
     const auto &list =
         plan_.prefetch_at[static_cast<std::size_t>(interval)];
     pending_prefetch_.assign(list.begin(), list.end());
+    if (telemetry_) {
+        for (df::TensorId id : list)
+            telemetry_->emit(telemetry::EventType::PrefetchIssued,
+                             ex.now(), 0, ex.graph().tensor(id).bytes,
+                             id);
+    }
     drainPrefetchQueue(ex);
 }
 
@@ -342,6 +348,9 @@ SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
         return;
     }
     int interval = plan_.intervalOfLayer(layer);
+    if (telemetry_)
+        telemetry_->emit(telemetry::EventType::IntervalBegin, ex.now(), 0,
+                         0, static_cast<std::uint32_t>(interval));
 
     // Case-3 detection: the prefetch issued for *this* interval (at the
     // start of the previous one) has not finished.  Ignore the first

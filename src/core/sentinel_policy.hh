@@ -42,6 +42,7 @@
 #include "dataflow/executor.hh"
 #include "dataflow/policy.hh"
 #include "profile/profile_db.hh"
+#include "telemetry/session.hh"
 
 namespace sentinel::core {
 
@@ -120,6 +121,12 @@ class SentinelPolicy : public df::MemoryPolicy
      */
     mem::VirtAddr staticAddress(df::TensorId id) const;
 
+    /**
+     * Attach a telemetry session (null detaches): interval boundaries
+     * and prefetch intents are then emitted as structured events.
+     */
+    void setTelemetry(telemetry::Session *session) { telemetry_ = session; }
+
   private:
     enum class TrialState {
         Idle,       ///< no Case 3 seen yet
@@ -171,6 +178,8 @@ class SentinelPolicy : public df::MemoryPolicy
     Tick trial_stall_time_ = 0;
     int case3_events_ = 0;
     int trial_steps_ = 0;
+
+    telemetry::Session *telemetry_ = nullptr;
 
     static constexpr mem::VirtAddr kInvalidAddr = ~0ull;
 };

@@ -37,11 +37,36 @@ Executor::pageRefCount(mem::PageId page) const
 }
 
 void
+Executor::setTelemetry(telemetry::Session *session)
+{
+    telemetry_ = session;
+    if (session) {
+        telemetry::MetricRegistry &m = session->metrics();
+        fast_bytes_ctr_ = &m.counter("exec.bytes_fast");
+        slow_bytes_ctr_ = &m.counter("exec.bytes_slow");
+        fast_peak_gauge_ = &m.gauge("mem.fast_peak_bytes");
+        stall_hist_ = &m.histogram("exec.stall_ns");
+        op_hist_ = &m.histogram("exec.op_ns");
+    } else {
+        fast_bytes_ctr_ = nullptr;
+        slow_bytes_ctr_ = nullptr;
+        fast_peak_gauge_ = nullptr;
+        stall_hist_ = nullptr;
+        op_hist_ = nullptr;
+    }
+}
+
+void
 Executor::chargeExposed(Tick t)
 {
     SENTINEL_ASSERT(t >= 0, "negative exposed charge");
     if (t == 0)
         return;
+    if (telemetry_) {
+        telemetry_->emit(telemetry::EventType::Stall, now_, t, 0,
+                         static_cast<std::uint32_t>(step_counter_));
+        stall_hist_->record(static_cast<std::uint64_t>(t));
+    }
     now_ += t;
     stats_.exposed_migration += t;
     stats_.num_stalls += 1;
@@ -58,6 +83,9 @@ void
 Executor::chargePolicy(Tick t)
 {
     SENTINEL_ASSERT(t >= 0, "negative policy charge");
+    if (telemetry_ && t > 0)
+        telemetry_->emit(telemetry::EventType::PolicyDecision, now_, t, 0,
+                         static_cast<std::uint32_t>(step_counter_));
     now_ += t;
     stats_.policy_time += t;
 }
@@ -118,6 +146,8 @@ Executor::notePeakFastUsage()
 {
     stats_.peak_fast_used =
         std::max(stats_.peak_fast_used, hm_.tier(mem::Tier::Fast).used());
+    if (telemetry_)
+        fast_peak_gauge_->noteMax(hm_.tier(mem::Tier::Fast).used());
 }
 
 void
@@ -125,6 +155,11 @@ Executor::execOp(const Operation &op)
 {
     Tick compute = computeTime(op, params_);
     Tick mem_total = 0;
+    Tick op_start = now_;
+
+    if (telemetry_)
+        telemetry_->emit(telemetry::EventType::OpBegin, now_, 0,
+                         op.totalTraffic(), op.id);
 
     for (const TensorUse &use : op.uses) {
         const TensorPlacement &pl = placementOf(use.tensor);
@@ -160,10 +195,14 @@ Executor::execOp(const Operation &op)
                                     use.is_write, hm_.tierParams(tier));
             if (tier == mem::Tier::Fast) {
                 stats_.bytes_fast += per_page_traffic;
+                if (telemetry_)
+                    fast_bytes_ctr_->add(per_page_traffic);
             } else {
                 stats_.bytes_slow += per_page_traffic;
-                stats_.slow_bytes_by_kind[static_cast<int>(
-                    graph_.tensor(use.tensor).kind)] += per_page_traffic;
+                stats_.addSlowBytes(graph_.tensor(use.tensor).kind,
+                                    per_page_traffic);
+                if (telemetry_)
+                    slow_bytes_ctr_->add(per_page_traffic);
             }
             if (trace_)
                 trace_->record(mem::tierName(tier), now_, per_page_traffic);
@@ -171,6 +210,10 @@ Executor::execOp(const Operation &op)
             if (tracker_) {
                 Tick fault = tracker_->onAccess(p, use.is_write, episodes);
                 if (fault > 0) {
+                    if (telemetry_)
+                        telemetry_->emit(
+                            telemetry::EventType::ProfilingFault, now_,
+                            fault, 0, static_cast<std::uint32_t>(p));
                     now_ += fault;
                     stats_.fault_overhead += fault;
                 }
@@ -182,6 +225,10 @@ Executor::execOp(const Operation &op)
     now_ += t;
     stats_.compute_time += compute;
     stats_.mem_time += mem_total;
+    if (telemetry_) {
+        telemetry_->emit(telemetry::EventType::OpEnd, now_, 0, 0, op.id);
+        op_hist_->record(static_cast<std::uint64_t>(now_ - op_start));
+    }
     notePeakFastUsage();
 }
 
@@ -193,6 +240,10 @@ Executor::runStep()
     Tick step_start = now_;
     promoted_at_step_start_ = hm_.stats().promoted_bytes;
     demoted_at_step_start_ = hm_.stats().demoted_bytes;
+
+    if (telemetry_)
+        telemetry_->emit(telemetry::EventType::StepBegin, now_, 0, 0,
+                         static_cast<std::uint32_t>(step_counter_));
 
     if (!training_started_) {
         policy_.onTrainingStart(*this);
@@ -224,6 +275,10 @@ Executor::runStep()
     stats_.promoted_bytes =
         hm_.stats().promoted_bytes - promoted_at_step_start_;
     stats_.demoted_bytes = hm_.stats().demoted_bytes - demoted_at_step_start_;
+
+    if (telemetry_)
+        telemetry_->emit(telemetry::EventType::StepEnd, now_, 0, 0,
+                         static_cast<std::uint32_t>(step_counter_));
 
     ++step_counter_;
     return stats_;

@@ -10,7 +10,9 @@
  * Optional attachments:
  *  - an AccessTracker models the paper's PTE-poisoning profiler
  *    (counts page accesses, charges fault overhead to the step);
- *  - a TraceRecorder captures per-tier traffic for Fig. 9.
+ *  - a TraceRecorder captures per-tier traffic for Fig. 9;
+ *  - a telemetry::Session records structured events (op/step spans,
+ *    stalls, faults) and counters for Chrome-trace/CSV export.
  */
 
 #ifndef SENTINEL_DATAFLOW_EXECUTOR_HH
@@ -29,6 +31,7 @@
 #include "mem/access_tracker.hh"
 #include "mem/hm.hh"
 #include "sim/trace.hh"
+#include "telemetry/session.hh"
 
 namespace sentinel::df {
 
@@ -79,6 +82,16 @@ class Executor
     void setAccessTracker(mem::AccessTracker *tracker) { tracker_ = tracker; }
     void setTraceRecorder(sim::TraceRecorder *rec) { trace_ = rec; }
 
+    /**
+     * Attach a telemetry session (null detaches).  When attached, the
+     * executor emits step/op spans, stall, fault, and policy-decision
+     * events and maintains per-tier traffic counters plus a stall
+     * latency histogram.  Telemetry never perturbs simulated time:
+     * stats with and without a session are bit-identical.
+     */
+    void setTelemetry(telemetry::Session *session);
+    telemetry::Session *telemetry() { return telemetry_; }
+
   private:
     void allocateTensor(TensorId id);
     void freeTensor(TensorId id);
@@ -103,6 +116,13 @@ class Executor
 
     mem::AccessTracker *tracker_ = nullptr;
     sim::TraceRecorder *trace_ = nullptr;
+
+    telemetry::Session *telemetry_ = nullptr;
+    telemetry::Counter *fast_bytes_ctr_ = nullptr;
+    telemetry::Counter *slow_bytes_ctr_ = nullptr;
+    telemetry::Gauge *fast_peak_gauge_ = nullptr;
+    telemetry::Histogram *stall_hist_ = nullptr;
+    telemetry::Histogram *op_hist_ = nullptr;
 };
 
 } // namespace sentinel::df

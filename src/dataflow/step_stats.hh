@@ -11,9 +11,12 @@
 #ifndef SENTINEL_DATAFLOW_STEP_STATS_HH
 #define SENTINEL_DATAFLOW_STEP_STATS_HH
 
+#include <array>
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/units.hh"
+#include "dataflow/tensor.hh"
 
 namespace sentinel::df {
 
@@ -48,8 +51,31 @@ struct StepStats {
     std::uint64_t bytes_fast = 0;
     std::uint64_t bytes_slow = 0;
 
+    /** Number of distinct TensorKind values (array extent below). */
+    static constexpr std::size_t kNumTensorKinds = 8;
+
     /** Slow-tier traffic by tensor kind (indexed by TensorKind). */
-    std::uint64_t slow_bytes_by_kind[8] = { 0, 0, 0, 0, 0, 0, 0, 0 };
+    std::array<std::uint64_t, kNumTensorKinds> slow_bytes_by_kind{};
+
+    /** Bounds-checked accumulation into slow_bytes_by_kind. */
+    void
+    addSlowBytes(TensorKind kind, std::uint64_t bytes)
+    {
+        auto i = static_cast<std::size_t>(kind);
+        SENTINEL_ASSERT(i < kNumTensorKinds, "TensorKind %zu out of range",
+                        i);
+        slow_bytes_by_kind[i] += bytes;
+    }
+
+    /** Bounds-checked read of slow_bytes_by_kind. */
+    std::uint64_t
+    slowBytesFor(TensorKind kind) const
+    {
+        auto i = static_cast<std::size_t>(kind);
+        SENTINEL_ASSERT(i < kNumTensorKinds, "TensorKind %zu out of range",
+                        i);
+        return slow_bytes_by_kind[i];
+    }
 
     /** Migration volume during this step. */
     std::uint64_t promoted_bytes = 0;

@@ -130,6 +130,12 @@ runExperiment(const ExperimentConfig &cfg, const std::string &policy)
 
     mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
     df::Executor ex(graph, hm, rc.exec, *pol);
+    if (cfg.telemetry) {
+        hm.setTelemetry(cfg.telemetry);
+        ex.setTelemetry(cfg.telemetry);
+        if (auto *sp = dynamic_cast<core::SentinelPolicy *>(pol.get()))
+            sp->setTelemetry(cfg.telemetry);
+    }
 
     std::vector<df::StepStats> stats;
     try {

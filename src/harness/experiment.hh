@@ -48,6 +48,15 @@ struct ExperimentConfig {
 
     /** Sentinel knobs (ablations, forced MIL for Fig. 5). */
     core::SentinelOptions sentinel;
+
+    /**
+     * Optional caller-owned telemetry session.  When set, the training
+     * executor, memory system, and (for the sentinel policy) the
+     * policy itself emit structured events into it; the profiling
+     * pre-step is left untraced so the exported timeline covers one
+     * monotonic training clock.
+     */
+    telemetry::Session *telemetry = nullptr;
 };
 
 struct Metrics {

@@ -99,6 +99,9 @@ HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
         stats_.demoted_bytes += kPageSize;
         stats_.demoted_pages += 1;
     }
+    if (telemetry_)
+        noteMigration(dst, ready, arrival, kPageSize,
+                      static_cast<std::uint32_t>(page));
     return arrival;
 }
 
@@ -109,6 +112,8 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
     commitUpTo(ready);
     sim::BandwidthChannel &ch = dst == Tier::Fast ? promote_ : demote_;
     std::size_t scheduled = 0;
+    Tick last_arrival = ready;
+    std::uint32_t first_page = 0;
     for (PageId page : pages) {
         const PageEntry &e = table_.entry(page);
         if (e.in_flight || e.tier == dst)
@@ -122,6 +127,9 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
                            : ch.submitWithStartup(ready, kPageSize, 0);
         std::uint64_t seq = table_.beginMigration(page, dst, arrival);
         pending_.push(Pending{ arrival, page, seq, dst });
+        if (scheduled == 0)
+            first_page = static_cast<std::uint32_t>(page);
+        last_arrival = arrival;
         ++scheduled;
 
         if (dst == Tier::Fast) {
@@ -132,7 +140,41 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
             stats_.demoted_pages += 1;
         }
     }
+    // One event per batch (matching the one-transfer cost model), not
+    // per page — keeps the ring proportional to decisions, not volume.
+    if (telemetry_ && scheduled > 0)
+        noteMigration(dst, ready, last_arrival, scheduled * kPageSize,
+                      first_page);
     return scheduled;
+}
+
+void
+HeterogeneousMemory::noteMigration(Tier dst, Tick ready, Tick arrival,
+                                   std::uint64_t bytes,
+                                   std::uint32_t first_page)
+{
+    if (dst == Tier::Fast) {
+        telemetry_->emit(telemetry::EventType::Promotion, ready,
+                         arrival - ready, bytes, first_page);
+        promoted_ctr_->add(bytes);
+    } else {
+        telemetry_->emit(telemetry::EventType::Demotion, ready,
+                         arrival - ready, bytes, first_page);
+        demoted_ctr_->add(bytes);
+    }
+}
+
+void
+HeterogeneousMemory::setTelemetry(telemetry::Session *session)
+{
+    telemetry_ = session;
+    if (session) {
+        promoted_ctr_ = &session->metrics().counter("mem.promoted_bytes");
+        demoted_ctr_ = &session->metrics().counter("mem.demoted_bytes");
+    } else {
+        promoted_ctr_ = nullptr;
+        demoted_ctr_ = nullptr;
+    }
 }
 
 bool

@@ -27,6 +27,7 @@
 #include "mem/page_table.hh"
 #include "mem/tier.hh"
 #include "sim/bandwidth_channel.hh"
+#include "telemetry/session.hh"
 
 namespace sentinel::mem {
 
@@ -137,10 +138,21 @@ class HeterogeneousMemory
     const sim::BandwidthChannel &promoteChannel() const { return promote_; }
     const sim::BandwidthChannel &demoteChannel() const { return demote_; }
 
+    /**
+     * Attach a telemetry session (null detaches).  Every scheduled
+     * migration batch then emits one Promotion/Demotion event and
+     * updates the per-direction byte counters; disabled telemetry is a
+     * single null check on the migration paths.
+     */
+    void setTelemetry(telemetry::Session *session);
+
     /** Clear pages, reservations, channels and stats. */
     void reset();
 
   private:
+    void noteMigration(Tier dst, Tick ready, Tick arrival,
+                       std::uint64_t bytes, std::uint32_t first_page);
+
     struct Pending {
         Tick arrival;
         PageId page;
@@ -163,6 +175,10 @@ class HeterogeneousMemory
     std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
         pending_;
     HmStats stats_;
+
+    telemetry::Session *telemetry_ = nullptr;
+    telemetry::Counter *promoted_ctr_ = nullptr;
+    telemetry::Counter *demoted_ctr_ = nullptr;
 };
 
 } // namespace sentinel::mem

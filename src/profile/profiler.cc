@@ -148,6 +148,7 @@ Profiler::profile(const df::Graph &graph, mem::HeterogeneousMemory &hm,
     df::Executor ex(graph, hm, params, policy);
     mem::AccessTracker tracker(opts_.fault_cost);
     ex.setAccessTracker(&tracker);
+    ex.setTelemetry(telemetry_);
 
     result.profiling_step = ex.runStep();
 
@@ -227,6 +228,7 @@ Profiler::profilePageLevel(const df::Graph &graph,
     df::Executor ex(graph, hm, params, policy);
     mem::AccessTracker tracker(opts_.fault_cost);
     ex.setAccessTracker(&tracker);
+    ex.setTelemetry(telemetry_);
     ex.runStep();
 
     std::vector<PageLevelEntry> out;

@@ -1,0 +1,28 @@
+#include "telemetry/event_sink.hh"
+
+#include <bit>
+
+namespace sentinel::telemetry {
+
+EventSink::EventSink(std::size_t capacity)
+{
+    if (capacity < 2)
+        capacity = 2;
+    capacity = std::bit_ceil(capacity);
+    buf_.resize(capacity);
+    mask_ = capacity - 1;
+}
+
+std::vector<Event>
+EventSink::snapshot() const
+{
+    std::vector<Event> out;
+    std::size_t n = size();
+    out.reserve(n);
+    std::uint64_t first = head_ - n;
+    for (std::uint64_t i = first; i < head_; ++i)
+        out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+    return out;
+}
+
+} // namespace sentinel::telemetry

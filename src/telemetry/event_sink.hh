@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bounded event storage: a fixed-capacity overwrite-oldest ring.
+ *
+ * The sink is built for the simulator's single-threaded hot loop but
+ * keeps a lock-free-friendly layout (one monotonically increasing
+ * write cursor over a power-of-two slot array, no pointers, no
+ * per-emit allocation) so a future multi-threaded executor can swap in
+ * atomic cursors without changing the interface.
+ *
+ * Overflow policy: the newest events win.  A trace is most useful near
+ * the point where something interesting happened, which is usually the
+ * end of the run; `dropped()` reports how much history was lost.
+ */
+
+#ifndef SENTINEL_TELEMETRY_EVENT_SINK_HH
+#define SENTINEL_TELEMETRY_EVENT_SINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/event.hh"
+
+namespace sentinel::telemetry {
+
+class EventSink
+{
+  public:
+    /** @param capacity slot count; rounded up to a power of two. */
+    explicit EventSink(std::size_t capacity);
+
+    /** Record @p e, overwriting the oldest event when full. */
+    void
+    emit(const Event &e)
+    {
+        buf_[static_cast<std::size_t>(head_) & mask_] = e;
+        ++head_;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Events currently retained (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return head_ < buf_.size() ? static_cast<std::size_t>(head_)
+                                   : buf_.size();
+    }
+
+    /** Total events ever emitted, including overwritten ones. */
+    std::uint64_t totalEmitted() const { return head_; }
+
+    /** Events lost to overflow. */
+    std::uint64_t
+    dropped() const
+    {
+        return head_ > buf_.size() ? head_ - buf_.size() : 0;
+    }
+
+    /** Retained events, oldest first. */
+    std::vector<Event> snapshot() const;
+
+    void clear() { head_ = 0; }
+
+  private:
+    std::vector<Event> buf_;
+    std::uint64_t head_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace sentinel::telemetry
+
+#endif // SENTINEL_TELEMETRY_EVENT_SINK_HH

@@ -1,0 +1,47 @@
+#include "telemetry/export.hh"
+
+#include <fstream>
+
+namespace sentinel::telemetry {
+
+void
+writeMetricsCsv(const MetricRegistry &metrics, std::ostream &os)
+{
+    os << "name,kind,count,sum,min,max,p50,p99\n";
+    for (const MetricRow &r : metrics.snapshot()) {
+        os << r.name << ',' << r.kind << ',' << r.count << ',' << r.sum
+           << ',' << r.min << ',' << r.max << ',' << r.p50 << ','
+           << r.p99 << '\n';
+    }
+}
+
+void
+writeMetricsJson(const MetricRegistry &metrics, std::ostream &os)
+{
+    std::vector<MetricRow> rows = metrics.snapshot();
+    os << "{\"metrics\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const MetricRow &r = rows[i];
+        os << (i ? ",\n" : "\n") << "{\"name\":\"" << r.name
+           << "\",\"kind\":\"" << r.kind << "\",\"count\":" << r.count
+           << ",\"sum\":" << r.sum << ",\"min\":" << r.min
+           << ",\"max\":" << r.max << ",\"p50\":" << r.p50
+           << ",\"p99\":" << r.p99 << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+saveMetrics(const MetricRegistry &metrics, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        writeMetricsCsv(metrics, out);
+    else
+        writeMetricsJson(metrics, out);
+    return static_cast<bool>(out);
+}
+
+} // namespace sentinel::telemetry

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Flat metric exports: one CSV row / JSON object per instrument.
+ *
+ * The CSV loads directly into pandas/gnuplot for the paper-style
+ * figures; the JSON is for dashboards and the golden-file tests.
+ */
+
+#ifndef SENTINEL_TELEMETRY_EXPORT_HH
+#define SENTINEL_TELEMETRY_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace sentinel::telemetry {
+
+/** CSV with header: name,kind,count,sum,min,max,p50,p99 */
+void writeMetricsCsv(const MetricRegistry &metrics, std::ostream &os);
+
+/** JSON: {"metrics":[{name,kind,count,sum,min,max,p50,p99},...]} */
+void writeMetricsJson(const MetricRegistry &metrics, std::ostream &os);
+
+/** Write CSV (.csv) or JSON (anything else) to @p path. */
+bool saveMetrics(const MetricRegistry &metrics, const std::string &path);
+
+} // namespace sentinel::telemetry
+
+#endif // SENTINEL_TELEMETRY_EXPORT_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Counters, high-water gauges, and log2 histograms, collected in a
+ * name-addressed registry that can be snapshotted at any point of a
+ * run (the evaluation reads it mid-training to chart per-interval
+ * occupancy and stall distributions).
+ *
+ * Instruments are owned by the registry and returned by stable
+ * pointer/reference, so hot paths resolve a name once (at attach time)
+ * and then update through the cached pointer — no map lookup per
+ * sample.
+ */
+
+#ifndef SENTINEL_TELEMETRY_METRICS_HH
+#define SENTINEL_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sentinel::telemetry {
+
+/** Monotonic accumulator (bytes promoted, events counted, ...). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** High-water mark (peak fast-memory occupancy, queue depth, ...). */
+class Gauge
+{
+  public:
+    void
+    noteMax(std::uint64_t v)
+    {
+        if (v > max_)
+            max_ = v;
+    }
+    std::uint64_t max() const { return max_; }
+    void reset() { max_ = 0; }
+
+  private:
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Power-of-two-bucketed distribution (stall latency, op duration).
+ * Bucket i holds values whose bit width is i, i.e. [2^(i-1), 2^i);
+ * bucket 0 holds zeros.  Percentiles are bucket upper bounds, which is
+ * plenty for "p99 stall is ~2 ms" style reporting.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 65;
+
+    void record(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    /** Upper bound of the bucket containing quantile @p p in [0,1]. */
+    std::uint64_t percentile(double p) const;
+
+    const std::array<std::uint64_t, kBuckets> &
+    buckets() const
+    {
+        return buckets_;
+    }
+
+    void reset();
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+/** One exported metric (a row of the CSV / an object in the JSON). */
+struct MetricRow {
+    std::string name;
+    std::string kind; ///< "counter" | "gauge" | "histogram"
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+};
+
+class MetricRegistry
+{
+  public:
+    /** Find-or-create; the returned reference is stable for life. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Point-in-time view of every instrument, sorted by name. */
+    std::vector<MetricRow> snapshot() const;
+
+    bool empty() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace sentinel::telemetry
+
+#endif // SENTINEL_TELEMETRY_METRICS_HH

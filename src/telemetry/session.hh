@@ -1,0 +1,73 @@
+/**
+ * @file
+ * One telemetry session: an event sink plus a metric registry.
+ *
+ * Instrumented components (`df::Executor`, `mem::HeterogeneousMemory`,
+ * `core::SentinelPolicy`, `prof::Profiler`) hold a `Session *` that is
+ * null by default.  Disabled telemetry therefore costs exactly one
+ * well-predicted branch per hook — no allocation, no virtual call, no
+ * formatting — which is what keeps bench_micro's step time unchanged
+ * when tracing is off.
+ *
+ * Sessions are externally owned (by `core::Runtime`, a bench, or a
+ * test) and can outlive the executors they observed, so exports can
+ * happen after the run tears down.
+ */
+
+#ifndef SENTINEL_TELEMETRY_SESSION_HH
+#define SENTINEL_TELEMETRY_SESSION_HH
+
+#include <cstdint>
+
+#include "telemetry/event_sink.hh"
+#include "telemetry/metrics.hh"
+
+namespace sentinel::telemetry {
+
+struct TelemetryConfig {
+    /** Master switch; components are only attached when true. */
+    bool enabled = false;
+
+    /** Ring capacity in events (rounded up to a power of two). */
+    std::size_t ring_capacity = 1u << 16;
+};
+
+class Session
+{
+  public:
+    explicit Session(TelemetryConfig cfg = { true, 1u << 16 })
+        : cfg_(cfg), sink_(cfg.ring_capacity)
+    {
+    }
+
+    const TelemetryConfig &config() const { return cfg_; }
+
+    EventSink &events() { return sink_; }
+    const EventSink &events() const { return sink_; }
+
+    MetricRegistry &metrics() { return metrics_; }
+    const MetricRegistry &metrics() const { return metrics_; }
+
+    /** Convenience emitter used by the instrumentation hooks. */
+    void
+    emit(EventType type, Tick ts, Tick dur = 0, std::uint64_t bytes = 0,
+         std::uint32_t id = 0, std::uint8_t track = 0)
+    {
+        sink_.emit(Event{ ts, dur, bytes, id, type, track });
+    }
+
+    /**
+     * Drop recorded events (metric instruments stay in place — attached
+     * components hold stable pointers into the registry).
+     */
+    void clearEvents() { sink_.clear(); }
+
+  private:
+    TelemetryConfig cfg_;
+    EventSink sink_;
+    MetricRegistry metrics_;
+};
+
+} // namespace sentinel::telemetry
+
+#endif // SENTINEL_TELEMETRY_SESSION_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Counter/Gauge/Histogram semantics, registry snapshot ordering, and
+ * the CSV/JSON metric exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/export.hh"
+#include "telemetry/metrics.hh"
+
+using namespace sentinel::telemetry;
+
+namespace {
+
+TEST(Counter, Accumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksHighWaterMark)
+{
+    Gauge g;
+    g.noteMax(10);
+    g.noteMax(3); // lower sample must not pull the mark down
+    EXPECT_EQ(g.max(), 10u);
+    g.noteMax(99);
+    EXPECT_EQ(g.max(), 99u);
+}
+
+TEST(Histogram, CountSumMinMax)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u); // empty histogram reports 0, not ~0
+    for (std::uint64_t v : { 3ull, 17ull, 1000ull, 0ull })
+        h.record(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1020u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Histogram, PercentileIsBucketUpperBound)
+{
+    Histogram h;
+    // 99 samples in the [64,128) bucket, one huge outlier.
+    for (int i = 0; i < 99; ++i)
+        h.record(100);
+    h.record(1ull << 40);
+    // p50 lands in the 100s bucket: upper bound 2^7 - 1 = 127.
+    EXPECT_EQ(h.percentile(0.5), 127u);
+    // p100 lands in the outlier's bucket.
+    EXPECT_GE(h.percentile(1.0), 1ull << 40);
+    // Monotonic in p.
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+}
+
+TEST(MetricRegistry, FindOrCreateReturnsStableInstrument)
+{
+    MetricRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    Counter &a = reg.counter("x");
+    a.add(5);
+    Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 5u);
+    EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricRegistry, SnapshotSortedAndTyped)
+{
+    MetricRegistry reg;
+    reg.counter("z.count").add(7);
+    reg.gauge("a.peak").noteMax(123);
+    reg.histogram("m.lat").record(64);
+    reg.histogram("m.lat").record(64);
+
+    auto rows = reg.snapshot();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "a.peak");
+    EXPECT_EQ(rows[0].kind, "gauge");
+    EXPECT_EQ(rows[0].max, 123u);
+    EXPECT_EQ(rows[1].name, "m.lat");
+    EXPECT_EQ(rows[1].kind, "histogram");
+    EXPECT_EQ(rows[1].count, 2u);
+    EXPECT_EQ(rows[1].sum, 128u);
+    EXPECT_EQ(rows[2].name, "z.count");
+    EXPECT_EQ(rows[2].kind, "counter");
+    EXPECT_EQ(rows[2].sum, 7u);
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerMetric)
+{
+    MetricRegistry reg;
+    reg.counter("mem.promoted_bytes").add(4096);
+    reg.gauge("mem.fast_peak_bytes").noteMax(1 << 20);
+
+    std::ostringstream os;
+    writeMetricsCsv(reg, os);
+    std::string csv = os.str();
+
+    std::istringstream is(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "name,kind,count,sum,min,max,p50,p99");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("mem.fast_peak_bytes,gauge,", 0), 0u);
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("mem.promoted_bytes,counter,", 0), 0u);
+    EXPECT_NE(line.find("4096"), std::string::npos);
+    EXPECT_FALSE(std::getline(is, line)); // exactly header + 2 rows
+}
+
+TEST(Export, JsonWrapsMetricsArray)
+{
+    MetricRegistry reg;
+    reg.counter("c").add(1);
+
+    std::ostringstream os;
+    writeMetricsJson(reg, os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"c\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+}
+
+} // namespace

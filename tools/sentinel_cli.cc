@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,12 +30,15 @@
 #include "mem/hm.hh"
 #include "profile/profiler.hh"
 #include "profile/serialize.hh"
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/export.hh"
+#include "telemetry/session.hh"
 
 using namespace sentinel;
 
 namespace {
 
-/** Tiny --key value parser; unknown keys are fatal. */
+/** Tiny --key value / --key=value parser; unknown keys are fatal. */
 class Args
 {
   public:
@@ -42,9 +46,17 @@ class Args
     {
         for (int i = first; i < argc; ++i) {
             std::string key = argv[i];
-            if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+            if (key.rfind("--", 0) != 0) {
                 SENTINEL_FATAL("expected --key value pairs, got '%s'",
                                key.c_str());
+            }
+            std::size_t eq = key.find('=');
+            if (eq != std::string::npos) {
+                values_[key.substr(2, eq - 2)] = key.substr(eq + 1);
+                continue;
+            }
+            if (i + 1 >= argc) {
+                SENTINEL_FATAL("missing value for '%s'", key.c_str());
             }
             values_[key.substr(2)] = argv[++i];
         }
@@ -111,16 +123,75 @@ printMetrics(const harness::Metrics &m)
                 m.bytes_slow_mb, m.feasible ? "" : "  [INFEASIBLE]");
 }
 
+/**
+ * Labeler for traces produced by the run command: ops and prefetch
+ * targets get their graph names instead of bare ids.
+ */
+telemetry::EventLabeler
+graphLabeler(const df::Graph &g)
+{
+    return [&g](const telemetry::Event &e) -> std::string {
+        switch (e.type) {
+          case telemetry::EventType::OpBegin:
+          case telemetry::EventType::OpEnd:
+            if (e.id < g.numOps())
+                return g.op(e.id).name;
+            break;
+          case telemetry::EventType::PrefetchIssued:
+            if (e.id < g.numTensors())
+                return "prefetch " + g.tensor(e.id).name;
+            break;
+          default:
+            break;
+        }
+        return {};
+    };
+}
+
 int
 cmdRun(const Args &args)
 {
     harness::ExperimentConfig cfg = configFrom(args);
     std::string policy = args.get("policy", "sentinel");
+    std::string trace_out = args.get("trace-out", "");
+    std::string metrics_out = args.get("metrics-out", "");
+
+    std::optional<telemetry::Session> session;
+    if (!trace_out.empty() || !metrics_out.empty()) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.enabled = true;
+        tcfg.ring_capacity = static_cast<std::size_t>(
+            args.getInt("ring-capacity", 1 << 18));
+        session.emplace(tcfg);
+        cfg.telemetry = &*session;
+    }
+
     harness::Metrics m = harness::runExperiment(cfg, policy);
     printMetrics(m);
     if (m.mil > 0) {
         std::printf("sentinel: MIL=%d pool=%.1fMB case3=%d trials=%d\n",
                     m.mil, m.pool_mb, m.case3_events, m.trial_steps);
+    }
+
+    if (session) {
+        // Rebuild the (deterministic) graph to resolve op/tensor names.
+        df::Graph g = models::makeModel(cfg.model, cfg.batch);
+        if (!trace_out.empty()) {
+            if (!telemetry::saveChromeTrace(session->events(), trace_out,
+                                            graphLabeler(g)))
+                SENTINEL_FATAL("could not write '%s'", trace_out.c_str());
+            std::printf("trace written to %s (%zu events, %llu dropped); "
+                        "open in https://ui.perfetto.dev\n",
+                        trace_out.c_str(), session->events().size(),
+                        static_cast<unsigned long long>(
+                            session->events().dropped()));
+        }
+        if (!metrics_out.empty()) {
+            if (!telemetry::saveMetrics(session->metrics(), metrics_out))
+                SENTINEL_FATAL("could not write '%s'",
+                               metrics_out.c_str());
+            std::printf("metrics written to %s\n", metrics_out.c_str());
+        }
     }
     return 0;
 }
@@ -282,16 +353,22 @@ void
 usage()
 {
     std::printf(
-        "sentinel-cli <command> [--key value ...]\n\n"
+        "sentinel-cli <command> [--key value | --key=value ...]\n\n"
         "commands:\n"
         "  run       --model M --batch N --policy P [--platform "
         "cpu|gpu]\n"
         "            [--fraction F | --mem-mb M] [--steps S] [--mil K]\n"
+        "            [--trace-out FILE.json] [--metrics-out FILE.csv]\n"
+        "            (run is the default command when the first arg\n"
+        "             starts with --)\n"
         "  compare   same options; runs every policy of the platform\n"
         "  plan      print the interval planner's candidate table\n"
         "  maxbatch  --model M --policy P [--mem-mb M] [--cap N]\n"
         "  profile   --model M --batch N [--out FILE | --in FILE]\n"
-        "  models    list the model zoo\n");
+        "  models    list the model zoo\n\n"
+        "telemetry: --trace-out writes a Chrome-trace JSON (load it in\n"
+        "chrome://tracing or https://ui.perfetto.dev); --metrics-out\n"
+        "writes counters/histograms as CSV (.csv) or JSON.\n");
 }
 
 } // namespace
@@ -305,6 +382,12 @@ main(int argc, char **argv)
     }
     std::string cmd = argv[1];
     try {
+        // "sentinel-cli --model resnet32 --trace-out=step.json" is
+        // shorthand for the run command.
+        if (cmd.rfind("--", 0) == 0) {
+            Args args(argc, argv, 1);
+            return cmdRun(args);
+        }
         Args args(argc, argv, 2);
         if (cmd == "run")
             return cmdRun(args);
