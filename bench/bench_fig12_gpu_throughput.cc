@@ -17,7 +17,7 @@ using namespace sentinel;
 int
 main(int argc, char **argv)
 {
-    std::string only = argc > 1 ? argv[1] : "";
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::banner("Fig. 12 - GPU training throughput (normalized to UM)",
                   "Fig. 12, Sec. VII-C");
 
@@ -25,8 +25,12 @@ main(int argc, char **argv)
             { "model", "batch", "UM", "vDNN", "AutoTM", "SwapAdvisor",
               "Capuchin", "Sentinel" });
 
+    const std::vector<std::string> policies = {
+        "um", "vdnn", "autotm", "swapadvisor", "capuchin", "sentinel",
+    };
+    std::vector<harness::SweepCell> cells;
     for (const auto &model : bench::evaluationModels()) {
-        if (!only.empty() && model != only)
+        if (!args.only.empty() && model != args.only)
             continue;
         const auto &spec = models::modelSpec(model);
         df::Graph probe = models::makeModel(model, spec.small_batch);
@@ -41,18 +45,25 @@ main(int argc, char **argv)
             cfg.batch = batch;
             cfg.platform = harness::Platform::Gpu;
             cfg.fast_bytes = dev;
+            for (const auto &p : policies)
+                cells.push_back({ cfg, p });
+        }
+    }
+    std::vector<harness::Metrics> results =
+        harness::runSweep(cells, args.jobs);
 
-            auto um = harness::runExperiment(cfg, "um");
-            auto &row =
-                t.row().cell(model).cell(batch).cell(1.0, 2);
-            for (const char *p : { "vdnn", "autotm", "swapadvisor",
-                                   "capuchin", "sentinel" }) {
-                auto m = harness::runExperiment(cfg, p);
-                if (!m.supported || !m.feasible)
-                    row.cell("X");
-                else
-                    row.cell(m.throughput / um.throughput, 2);
-            }
+    for (std::size_t ri = 0; ri < results.size();
+         ri += policies.size()) {
+        const harness::Metrics *row_m = &results[ri];
+        const auto &um = row_m[0];
+        auto &row =
+            t.row().cell(um.model).cell(um.batch).cell(1.0, 2);
+        for (std::size_t pi = 1; pi < policies.size(); ++pi) {
+            const auto &m = row_m[pi];
+            if (!m.supported || !m.feasible)
+                row.cell("X");
+            else
+                row.cell(m.throughput / um.throughput, 2);
         }
     }
     t.printWithCsv(std::cout);

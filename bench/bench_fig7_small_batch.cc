@@ -15,7 +15,7 @@ using namespace sentinel;
 int
 main(int argc, char **argv)
 {
-    std::string only = argc > 1 ? argv[1] : "";
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::banner("Fig. 7 + Table IV - small-batch comparison on Optane "
                   "HM",
                   "Fig. 7 / Table IV, Sec. VII-B");
@@ -27,20 +27,34 @@ main(int argc, char **argv)
                { "model", "IAL", "AutoTM", "Sentinel",
                  "Sentinel exposed (ms)" });
 
-    double gap_sum = 0.0;
-    int gap_n = 0;
+    const std::vector<std::string> policies = {
+        "slow-only", "ial", "autotm", "sentinel", "fast-only",
+    };
+    std::vector<std::string> selected;
+    std::vector<harness::SweepCell> cells;
     for (const auto &model : bench::evaluationModels()) {
-        if (!only.empty() && model != only)
+        if (!args.only.empty() && model != args.only)
             continue;
+        selected.push_back(model);
         harness::ExperimentConfig cfg;
         cfg.model = model;
         cfg.batch = models::modelSpec(model).small_batch;
+        for (const auto &p : policies)
+            cells.push_back({ cfg, p });
+    }
+    std::vector<harness::Metrics> results =
+        harness::runSweep(cells, args.jobs);
 
-        auto slow = harness::runExperiment(cfg, "slow-only");
-        auto ial = harness::runExperiment(cfg, "ial");
-        auto autotm = harness::runExperiment(cfg, "autotm");
-        auto sentinel = harness::runExperiment(cfg, "sentinel");
-        auto fast = harness::runExperiment(cfg, "fast-only");
+    double gap_sum = 0.0;
+    int gap_n = 0;
+    for (std::size_t mi = 0; mi < selected.size(); ++mi) {
+        const std::string &model = selected[mi];
+        const harness::Metrics *row = &results[mi * policies.size()];
+        const auto &slow = row[0];
+        const auto &ial = row[1];
+        const auto &autotm = row[2];
+        const auto &sentinel = row[3];
+        const auto &fast = row[4];
 
         double gap = sentinel.step_time_ms / fast.step_time_ms - 1.0;
         gap_sum += gap;

@@ -14,7 +14,7 @@ using namespace sentinel;
 int
 main(int argc, char **argv)
 {
-    std::string only = argc > 1 ? argv[1] : "";
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::banner("Fig. 8 - large-batch training on Optane HM",
                   "Fig. 8, Sec. VII-B");
 
@@ -23,25 +23,38 @@ main(int argc, char **argv)
             { "model", "batch", "NUMA", "Memory Mode", "AutoTM",
               "Sentinel" });
 
+    const std::vector<std::string> policies = { "numa", "memory-mode",
+                                                "autotm", "sentinel" };
+    std::vector<std::string> selected;
+    std::vector<harness::SweepCell> cells;
+    for (const auto &model : bench::evaluationModels()) {
+        if (!args.only.empty() && model != args.only)
+            continue;
+        selected.push_back(model);
+        harness::ExperimentConfig cfg;
+        cfg.model = model;
+        cfg.batch = models::modelSpec(model).large_batch;
+        for (const auto &p : policies)
+            cells.push_back({ cfg, p });
+    }
+    std::vector<harness::Metrics> results =
+        harness::runSweep(cells, args.jobs);
+
     double sent_over_numa = 0.0;
     double sent_over_mm = 0.0;
     double sent_over_autotm = 0.0;
     int n = 0;
-    for (const auto &model : bench::evaluationModels()) {
-        if (!only.empty() && model != only)
-            continue;
-        harness::ExperimentConfig cfg;
-        cfg.model = model;
-        cfg.batch = models::modelSpec(model).large_batch;
-
-        auto numa = harness::runExperiment(cfg, "numa");
-        auto mm = harness::runExperiment(cfg, "memory-mode");
-        auto autotm = harness::runExperiment(cfg, "autotm");
-        auto sentinel = harness::runExperiment(cfg, "sentinel");
+    for (std::size_t mi = 0; mi < selected.size(); ++mi) {
+        const std::string &model = selected[mi];
+        const harness::Metrics *row_m = &results[mi * policies.size()];
+        const auto &numa = row_m[0];
+        const auto &mm = row_m[1];
+        const auto &autotm = row_m[2];
+        const auto &sentinel = row_m[3];
 
         t.row()
             .cell(model)
-            .cell(cfg.batch)
+            .cell(numa.batch)
             .cell(1.0, 2)
             .cell(numa.step_time_ms / mm.step_time_ms, 2)
             .cell(numa.step_time_ms / autotm.step_time_ms, 2)

@@ -19,7 +19,7 @@ using namespace sentinel;
 int
 main(int argc, char **argv)
 {
-    std::string only = argc > 1 ? argv[1] : "";
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     bench::banner("Table V - maximum batch size on the GPU platform",
                   "Table V, Sec. VII-C");
 
@@ -33,25 +33,31 @@ main(int argc, char **argv)
               "Sentinel/TF" });
 
     for (const auto &model : bench::evaluationModels()) {
-        if (!only.empty() && model != only)
+        if (!args.only.empty() && model != args.only)
             continue;
         const auto &spec = models::modelSpec(model);
         df::Graph probe = models::makeModel(model, spec.small_batch);
         std::uint64_t dev =
             mem::roundUpToPages(probe.peakMemoryBytes() / 2);
 
+        // --jobs parallelizes each search's power-of-two probe ladder;
+        // the refinement phase stays sequential (and so does the
+        // answer).
         const int cap = spec.small_batch * 8;
-        int tf = harness::maxBatchSearch(model, "tf", dev, cap);
+        int tf = harness::maxBatchSearch(model, "tf", dev, cap,
+                                         args.jobs);
         int vdnn = spec.has_convs
-                       ? harness::maxBatchSearch(model, "vdnn", dev, cap)
+                       ? harness::maxBatchSearch(model, "vdnn", dev, cap,
+                                                 args.jobs)
                        : -1;
-        int autotm = harness::maxBatchSearch(model, "autotm", dev, cap);
-        int advisor =
-            harness::maxBatchSearch(model, "swapadvisor", dev, cap);
-        int capuchin =
-            harness::maxBatchSearch(model, "capuchin", dev, cap);
-        int sentinel =
-            harness::maxBatchSearch(model, "sentinel", dev, cap);
+        int autotm = harness::maxBatchSearch(model, "autotm", dev, cap,
+                                             args.jobs);
+        int advisor = harness::maxBatchSearch(model, "swapadvisor", dev,
+                                              cap, args.jobs);
+        int capuchin = harness::maxBatchSearch(model, "capuchin", dev,
+                                               cap, args.jobs);
+        int sentinel = harness::maxBatchSearch(model, "sentinel", dev,
+                                               cap, args.jobs);
 
         t.row()
             .cell(model)

@@ -10,6 +10,7 @@
 #ifndef SENTINEL_BENCH_BENCH_UTIL_HH
 #define SENTINEL_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,6 +22,32 @@
 #include "models/registry.hh"
 
 namespace sentinel::bench {
+
+/**
+ * Command line shared by the figure/table binaries: an optional
+ * positional model filter plus --jobs N to fan the experiment cells
+ * out over a worker pool (results are identical for any jobs value).
+ */
+struct BenchArgs {
+    std::string only; ///< run a single model (empty = all)
+    int jobs = 1;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string s = argv[i];
+        if (s.rfind("--jobs=", 0) == 0)
+            args.jobs = std::atoi(s.c_str() + 7);
+        else if (s == "--jobs" && i + 1 < argc)
+            args.jobs = std::atoi(argv[++i]);
+        else
+            args.only = s;
+    }
+    return args;
+}
 
 /** The five evaluation models, in the paper's presentation order. */
 inline std::vector<std::string>

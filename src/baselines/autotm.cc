@@ -35,7 +35,6 @@ void
 AutoTmPolicy::buildSchedule(df::Executor &ex)
 {
     std::uint64_t S = ex.hm().tier(mem::Tier::Fast).capacity();
-    int L = db_.numLayers();
     std::vector<std::uint64_t> ledger = transientLedger(db_);
 
     // Hotness-density order — the ILP's objective rewards exactly the

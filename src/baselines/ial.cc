@@ -73,6 +73,34 @@ IalPolicy::evictForSpace(df::Executor &ex, std::uint64_t bytes_needed)
     hm.migratePages(victims, mem::Tier::Slow, now);
 }
 
+void
+IalPolicy::onRangeAccess(df::Executor &ex, mem::PageRun run, bool is_write,
+                         std::vector<df::AccessSegment> &out)
+{
+    // IAL only acts on pages sitting idle in slow memory.  Pages that
+    // are fast-resident or already migrating take no action (and no
+    // hint-fault cost), so a leading run of them is one free segment.
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    std::uint64_t covered = 0;
+    while (covered < run.count) {
+        mem::PageRunState rs = hm.residentRange(run.first + covered,
+                                                run.count - covered, now);
+        if (rs.tier == mem::Tier::Slow && !rs.in_flight)
+            break;
+        covered += rs.count;
+    }
+    if (covered > 0) {
+        df::AccessSegment seg;
+        seg.pages = covered;
+        out.push_back(seg);
+        return;
+    }
+    // Slow-resident head: hint-fault accounting mutates per-page heat
+    // and may migrate — take the exact per-page path for one page.
+    df::MemoryPolicy::onRangeAccess(ex, run, is_write, out);
+}
+
 df::PageAccessResult
 IalPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
 {

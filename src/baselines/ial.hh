@@ -57,6 +57,8 @@ class IalPolicy : public df::MemoryPolicy
     void onPageUnmapped(df::Executor &ex, mem::PageId page) override;
     df::PageAccessResult onPageAccess(df::Executor &ex, mem::PageId page,
                                       bool is_write) override;
+    void onRangeAccess(df::Executor &ex, mem::PageRun run, bool is_write,
+                       std::vector<df::AccessSegment> &out) override;
 
     bool
     stallForInflight(df::Executor &, mem::PageId) override

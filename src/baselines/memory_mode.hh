@@ -47,6 +47,8 @@ class MemoryModePolicy : public df::MemoryPolicy
 
     df::PageAccessResult onPageAccess(df::Executor &ex, mem::PageId page,
                                       bool is_write) override;
+    void onRangeAccess(df::Executor &ex, mem::PageRun run, bool is_write,
+                       std::vector<df::AccessSegment> &out) override;
 
     const mem::DramCache &cache() const { return cache_; }
 

@@ -50,7 +50,7 @@ ScheduledSwapPolicy::allocate(df::Executor &ex,
                               const df::TensorDesc &tensor)
 {
     SENTINEL_ASSERT(scheduled_, "allocate() before buildSchedule()");
-    mem::Tier tier;
+    mem::Tier tier = mem::Tier::Slow;
     switch (placement_[tensor.id]) {
       case Placement::Slow:
         tier = mem::Tier::Slow;

@@ -12,7 +12,6 @@ SwapAdvisorPolicy::evaluate(const Genome &genome,
                             std::uint64_t fast_capacity,
                             double promote_bw, bool apply)
 {
-    int L = db_.numLayers();
     std::vector<std::uint64_t> ledger = transientLedger(db_);
 
     // Placement order: genome priority, descending.

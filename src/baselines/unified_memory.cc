@@ -78,6 +78,37 @@ UnifiedMemoryPolicy::evictLru(df::Executor &ex,
     hm.migratePages(victims, mem::Tier::Slow, now);
 }
 
+void
+UnifiedMemoryPolicy::onRangeAccess(df::Executor &ex, mem::PageRun run,
+                                   bool is_write,
+                                   std::vector<df::AccessSegment> &out)
+{
+    // Device-resident prefix: LRU touches only, no fault.  The LRU
+    // update order matches the per-page loop exactly.
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    std::uint64_t covered = 0;
+    while (covered < run.count) {
+        mem::PageRunState rs = hm.residentRange(run.first + covered,
+                                                run.count - covered, now);
+        if (rs.tier != mem::Tier::Fast)
+            break;
+        for (std::uint64_t i = 0; i < rs.count; ++i)
+            touchLru(run.first + covered + i);
+        covered += rs.count;
+    }
+    if (covered > 0) {
+        df::AccessSegment seg;
+        seg.pages = covered;
+        seg.effective = mem::Tier::Fast;
+        out.push_back(seg);
+        return;
+    }
+    // Host-resident head: the demand-fault path migrates and charges
+    // per page — defer to the exact per-page adapter.
+    df::MemoryPolicy::onRangeAccess(ex, run, is_write, out);
+}
+
 df::PageAccessResult
 UnifiedMemoryPolicy::onPageAccess(df::Executor &ex, mem::PageId page,
                                   bool)

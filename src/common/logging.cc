@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -9,7 +10,25 @@ namespace sentinel {
 
 namespace {
 
-bool g_verbose = false;
+// Relaxed is enough: verbosity is a filter, not a synchronization
+// point, and parallel sweeps only need the read to be tear-free.
+std::atomic<bool> g_verbose{false};
+
+/**
+ * Emit one fully-formatted line with a single stdio call.  stdio locks
+ * the stream internally, so concurrent emitters cannot interleave
+ * characters within each other's lines.
+ */
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(std::char_traits<char>::length(prefix) + msg.size() + 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::fputs(line.c_str(), stderr);
+}
 
 } // namespace
 
@@ -35,13 +54,13 @@ strprintf(const char *fmt, ...)
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -49,7 +68,7 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine("panic: ", strprintf("%s (%s:%d)", msg.c_str(), file, line));
     std::fflush(stderr);
     // Throwing (rather than abort()) lets tests exercise panic paths with
     // EXPECT_THROW while still terminating any uncaught failure.
@@ -59,7 +78,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine("fatal: ", strprintf("%s (%s:%d)", msg.c_str(), file, line));
     std::fflush(stderr);
     throw std::runtime_error("fatal: " + msg);
 }
@@ -67,14 +86,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_verbose)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (verbose())
+        emitLine("info: ", msg);
 }
 
 } // namespace detail

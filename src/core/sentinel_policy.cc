@@ -442,6 +442,43 @@ SentinelPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
     return out;
 }
 
+void
+SentinelPolicy::onRangeAccess(df::Executor &ex, mem::PageRun run,
+                              bool is_write,
+                              std::vector<df::AccessSegment> &out)
+{
+    if (!opts_.gpu_mode) {
+        // CPU mode never reacts to accesses (migration happens at
+        // interval boundaries): the whole run is one segment, and the
+        // executor's walk applies stallForInflight() per page across
+        // any migration boundary.
+        df::AccessSegment seg;
+        seg.pages = run.count;
+        out.push_back(seg);
+        return;
+    }
+    // GPU mode: device-resident or already-migrating prefixes take no
+    // fault; a host-resident idle page goes through the exact per-page
+    // demand-fault path.
+    mem::HeterogeneousMemory &hm = ex.hm();
+    Tick now = ex.now();
+    std::uint64_t covered = 0;
+    while (covered < run.count) {
+        mem::PageRunState rs = hm.residentRange(run.first + covered,
+                                                run.count - covered, now);
+        if (rs.tier == mem::Tier::Slow && !rs.in_flight)
+            break;
+        covered += rs.count;
+    }
+    if (covered > 0) {
+        df::AccessSegment seg;
+        seg.pages = covered;
+        out.push_back(seg);
+        return;
+    }
+    df::MemoryPolicy::onRangeAccess(ex, run, is_write, out);
+}
+
 bool
 SentinelPolicy::stallForInflight(df::Executor &, mem::PageId page)
 {

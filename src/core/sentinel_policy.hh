@@ -101,6 +101,8 @@ class SentinelPolicy : public df::MemoryPolicy
                        const df::TensorPlacement &pl) override;
     df::PageAccessResult onPageAccess(df::Executor &ex, mem::PageId page,
                                       bool is_write) override;
+    void onRangeAccess(df::Executor &ex, mem::PageRun run, bool is_write,
+                       std::vector<df::AccessSegment> &out) override;
     bool stallForInflight(df::Executor &ex, mem::PageId page) override;
 
     // --- Introspection (Table III, Fig. 13, tests) --------------------------

@@ -59,17 +59,23 @@ Executor::setTelemetry(telemetry::Session *session)
 void
 Executor::chargeExposed(Tick t)
 {
+    chargeExposedEvents(t, t > 0 ? 1 : 0);
+}
+
+void
+Executor::chargeExposedEvents(Tick t, std::uint64_t events)
+{
     SENTINEL_ASSERT(t >= 0, "negative exposed charge");
-    if (t == 0)
+    if (t == 0 && events == 0)
         return;
-    if (telemetry_) {
+    if (telemetry_ && t > 0) {
         telemetry_->emit(telemetry::EventType::Stall, now_, t, 0,
                          static_cast<std::uint32_t>(step_counter_));
         stall_hist_->record(static_cast<std::uint64_t>(t));
     }
     now_ += t;
     stats_.exposed_migration += t;
-    stats_.num_stalls += 1;
+    stats_.num_stalls += events;
 }
 
 void
@@ -106,13 +112,27 @@ Executor::allocateTensor(TensorId id)
     AllocDecision dec = policy_.allocate(*this, t);
 
     TensorPlacement pl{ dec.addr, t.bytes };
+    // Map freshly-referenced pages as maximal contiguous runs: one
+    // reservation/insert batch per run instead of one per page.
+    mem::PageId run_start = mem::kInvalidPage;
+    auto flush = [&](mem::PageId end_excl) {
+        if (run_start == mem::kInvalidPage)
+            return;
+        std::uint64_t n = end_excl - run_start;
+        hm_.mapRange(run_start, n, dec.preferred);
+        if (tracker_)
+            tracker_->trackRange(run_start, n);
+        run_start = mem::kInvalidPage;
+    };
     for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
         if (++page_refs_[p] == 1) {
-            hm_.mapPage(p, dec.preferred);
-            if (tracker_)
-                tracker_->track(p);
+            if (run_start == mem::kInvalidPage)
+                run_start = p;
+        } else {
+            flush(p);
         }
     }
+    flush(pl.endPage());
     placements_.emplace(id, pl);
     notePeakFastUsage();
     policy_.onTensorAllocated(*this, id, pl);
@@ -126,18 +146,30 @@ Executor::freeTensor(TensorId id)
                     id);
     TensorPlacement pl = it->second;
     policy_.onTensorFreed(*this, id, pl);
+    mem::PageId run_start = mem::kInvalidPage;
+    auto flush = [&](mem::PageId end_excl) {
+        if (run_start == mem::kInvalidPage)
+            return;
+        std::uint64_t n = end_excl - run_start;
+        if (tracker_)
+            tracker_->untrackRange(run_start, n);
+        hm_.unmapRange(run_start, n, now_);
+        run_start = mem::kInvalidPage;
+    };
     for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
         auto ref = page_refs_.find(p);
         SENTINEL_ASSERT(ref != page_refs_.end() && ref->second > 0,
                         "page refcount underflow");
         if (--ref->second == 0) {
             policy_.onPageUnmapped(*this, p);
-            if (tracker_)
-                tracker_->untrack(p);
-            hm_.unmapPage(p, now_);
             page_refs_.erase(ref);
+            if (run_start == mem::kInvalidPage)
+                run_start = p;
+        } else {
+            flush(p);
         }
     }
+    flush(pl.endPage());
     placements_.erase(it);
 }
 
@@ -148,6 +180,138 @@ Executor::notePeakFastUsage()
         std::max(stats_.peak_fast_used, hm_.tier(mem::Tier::Fast).used());
     if (telemetry_)
         fast_peak_gauge_->noteMax(hm_.tier(mem::Tier::Fast).used());
+}
+
+void
+Executor::accountPages(mem::Tier tier, std::uint64_t idx, std::uint64_t n,
+                       UseTraffic tr, const TensorUse &use, TensorKind kind,
+                       Tick *mem_total)
+{
+    // Remainder distribution: pages [0, rem) carry q+1 bytes, the rest
+    // q, so the per-use total is exactly use.traffic_bytes.
+    std::uint64_t fat =
+        idx < tr.rem ? std::min<std::uint64_t>(n, tr.rem - idx) : 0;
+    std::uint64_t lean = n - fat;
+    std::uint64_t bytes = tr.q * n + fat;
+    const mem::TierParams &tp = hm_.tierParams(tier);
+    if (fat > 0)
+        *mem_total += static_cast<Tick>(fat) *
+                      memoryTime(tr.q + 1, use.episodes_per_page,
+                                 use.is_write, tp);
+    if (lean > 0)
+        *mem_total += static_cast<Tick>(lean) *
+                      memoryTime(tr.q, use.episodes_per_page, use.is_write,
+                                 tp);
+    if (tier == mem::Tier::Fast) {
+        stats_.bytes_fast += bytes;
+        if (telemetry_)
+            fast_bytes_ctr_->add(bytes);
+    } else {
+        stats_.bytes_slow += bytes;
+        stats_.addSlowBytes(kind, bytes);
+        if (telemetry_)
+            slow_bytes_ctr_->add(bytes);
+    }
+    if (trace_)
+        trace_->record(mem::tierName(tier), now_, bytes);
+}
+
+void
+Executor::execUsePerPage(const TensorUse &use, const TensorPlacement &pl,
+                         UseTraffic tr, TensorKind kind, Tick *mem_total)
+{
+    std::uint64_t episodes = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, std::llround(use.episodes_per_page)));
+
+    std::uint64_t idx = 0;
+    for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p, ++idx) {
+        PageAccessResult r = policy_.onPageAccess(*this, p, use.is_write);
+        if (r.extra > 0)
+            chargeExposed(r.extra);
+
+        mem::Tier tier;
+        if (r.effective) {
+            tier = *r.effective;
+        } else {
+            if (hm_.inFlight(p, now_)) {
+                // Only prefetches toward fast memory are worth
+                // stalling for; a demotion in flight still serves
+                // reads from its (fast) source.
+                bool toward_fast =
+                    hm_.residentTier(p, now_) == mem::Tier::Slow;
+                if (toward_fast && policy_.stallForInflight(*this, p))
+                    stallUntil(hm_.arrivalTime(p));
+            }
+            tier = hm_.residentTier(p, now_);
+        }
+
+        accountPages(tier, idx, 1, tr, use, kind, mem_total);
+
+        if (tracker_) {
+            Tick fault = tracker_->onAccess(p, use.is_write, episodes);
+            if (fault > 0) {
+                if (telemetry_)
+                    telemetry_->emit(telemetry::EventType::ProfilingFault,
+                                     now_, fault, 0,
+                                     static_cast<std::uint32_t>(p));
+                now_ += fault;
+                stats_.fault_overhead += fault;
+            }
+        }
+    }
+}
+
+void
+Executor::execUseRanges(const TensorUse &use, const TensorPlacement &pl,
+                        UseTraffic tr, TensorKind kind, Tick *mem_total)
+{
+    const mem::PageId first = pl.firstPage();
+    const mem::PageId end = pl.endPage();
+    mem::PageId pos = first;
+    while (pos < end) {
+        seg_buf_.clear();
+        policy_.onRangeAccess(*this, mem::PageRun{ pos, end - pos },
+                              use.is_write, seg_buf_);
+        SENTINEL_ASSERT(!seg_buf_.empty(),
+                        "onRangeAccess covered no pages (tensor %u)",
+                        use.tensor);
+        for (const AccessSegment &seg : seg_buf_) {
+            SENTINEL_ASSERT(seg.pages > 0 && pos + seg.pages <= end,
+                            "bad access segment (%llu pages at %llu)",
+                            static_cast<unsigned long long>(seg.pages),
+                            static_cast<unsigned long long>(pos));
+            if (seg.extra > 0 || seg.stall_events > 0)
+                chargeExposedEvents(seg.extra, seg.stall_events);
+            if (seg.effective) {
+                accountPages(*seg.effective, pos - first, seg.pages, tr,
+                             use, kind, mem_total);
+                pos += seg.pages;
+                continue;
+            }
+            std::uint64_t left = seg.pages;
+            while (left > 0) {
+                mem::PageRunState rs = hm_.residentRange(pos, left, now_);
+                if (!rs.in_flight) {
+                    // The fast path: one charge for the whole run.
+                    accountPages(rs.tier, pos - first, rs.count, tr, use,
+                                 kind, mem_total);
+                    pos += rs.count;
+                    left -= rs.count;
+                    continue;
+                }
+                // Migration boundary: resolve page by page, since each
+                // page has its own arrival and a stall here can land
+                // later pages' transfers (changing their state).
+                bool toward_fast = rs.tier == mem::Tier::Slow;
+                if (toward_fast && policy_.stallForInflight(*this, pos))
+                    stallUntil(hm_.arrivalTime(pos));
+                accountPages(hm_.residentTier(pos, now_), pos - first, 1,
+                             tr, use, kind, mem_total);
+                pos += 1;
+                left -= 1;
+            }
+        }
+    }
 }
 
 void
@@ -166,59 +330,16 @@ Executor::execOp(const Operation &op)
         std::uint64_t npages = pl.numPages();
         SENTINEL_ASSERT(npages > 0, "empty placement for tensor %u",
                         use.tensor);
-        std::uint64_t per_page_traffic = use.traffic_bytes / npages;
-        std::uint64_t episodes = static_cast<std::uint64_t>(
-            std::max<std::int64_t>(1, std::llround(use.episodes_per_page)));
+        UseTraffic tr{ use.traffic_bytes / npages,
+                       use.traffic_bytes % npages };
+        TensorKind kind = graph_.tensor(use.tensor).kind;
 
-        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-            PageAccessResult r = policy_.onPageAccess(*this, p, use.is_write);
-            if (r.extra > 0)
-                chargeExposed(r.extra);
-
-            mem::Tier tier;
-            if (r.effective) {
-                tier = *r.effective;
-            } else {
-                if (hm_.inFlight(p, now_)) {
-                    // Only prefetches toward fast memory are worth
-                    // stalling for; a demotion in flight still serves
-                    // reads from its (fast) source.
-                    bool toward_fast =
-                        hm_.residentTier(p, now_) == mem::Tier::Slow;
-                    if (toward_fast && policy_.stallForInflight(*this, p))
-                        stallUntil(hm_.arrivalTime(p));
-                }
-                tier = hm_.residentTier(p, now_);
-            }
-
-            mem_total += memoryTime(per_page_traffic, use.episodes_per_page,
-                                    use.is_write, hm_.tierParams(tier));
-            if (tier == mem::Tier::Fast) {
-                stats_.bytes_fast += per_page_traffic;
-                if (telemetry_)
-                    fast_bytes_ctr_->add(per_page_traffic);
-            } else {
-                stats_.bytes_slow += per_page_traffic;
-                stats_.addSlowBytes(graph_.tensor(use.tensor).kind,
-                                    per_page_traffic);
-                if (telemetry_)
-                    slow_bytes_ctr_->add(per_page_traffic);
-            }
-            if (trace_)
-                trace_->record(mem::tierName(tier), now_, per_page_traffic);
-
-            if (tracker_) {
-                Tick fault = tracker_->onAccess(p, use.is_write, episodes);
-                if (fault > 0) {
-                    if (telemetry_)
-                        telemetry_->emit(
-                            telemetry::EventType::ProfilingFault, now_,
-                            fault, 0, static_cast<std::uint32_t>(p));
-                    now_ += fault;
-                    stats_.fault_overhead += fault;
-                }
-            }
-        }
+        // Profiling (tracker attached) charges a fault per page, which
+        // advances the clock mid-extent — stay on the exact path.
+        if (access_mode_ == AccessMode::PerPage || tracker_)
+            execUsePerPage(use, pl, tr, kind, &mem_total);
+        else
+            execUseRanges(use, pl, tr, kind, &mem_total);
     }
 
     Tick t = opTime(compute, mem_total, params_);

@@ -38,6 +38,12 @@ namespace sentinel::df {
 class Executor
 {
   public:
+    /** How execOp resolves tensor placements (see setAccessMode). */
+    enum class AccessMode {
+        Range,   ///< walk maximal same-state page runs (production)
+        PerPage, ///< legacy page-by-page loop (differential testing)
+    };
+
     Executor(const Graph &graph, mem::HeterogeneousMemory &hm,
              ExecParams params, MemoryPolicy &policy);
 
@@ -66,10 +72,21 @@ class Executor
     /** Number of live tensors overlapping @p page (0 if unmapped). */
     int pageRefCount(mem::PageId page) const;
 
+    /**
+     * Select the placement-walk strategy.  Range (the default) charges
+     * traffic once per maximal same-tier non-in-flight run; PerPage
+     * replays the historical page loop.  Both produce identical
+     * StepStats — PerPage exists so tests can prove it.
+     */
+    void setAccessMode(AccessMode mode) { access_mode_ = mode; }
+    AccessMode accessMode() const { return access_mode_; }
+
     // --- Time charging (policy hooks use these) -----------------------------
 
     /** Stall the critical path waiting for migration. */
     void chargeExposed(Tick t);
+    /** Charge @p t of exposed time covering @p events distinct stalls. */
+    void chargeExposedEvents(Tick t, std::uint64_t events);
     /** Stall until absolute time @p t (no-op if already past). */
     void stallUntil(Tick t);
     /** Charge policy decision overhead. */
@@ -93,9 +110,24 @@ class Executor
     telemetry::Session *telemetry() { return telemetry_; }
 
   private:
+    /** Per-use traffic split: page i carries q + (i < rem ? 1 : 0). */
+    struct UseTraffic {
+        std::uint64_t q = 0;   ///< traffic_bytes / npages
+        std::uint64_t rem = 0; ///< traffic_bytes % npages
+    };
+
     void allocateTensor(TensorId id);
     void freeTensor(TensorId id);
     void execOp(const Operation &op);
+    void execUsePerPage(const TensorUse &use, const TensorPlacement &pl,
+                        UseTraffic tr, TensorKind kind, Tick *mem_total);
+    void execUseRanges(const TensorUse &use, const TensorPlacement &pl,
+                       UseTraffic tr, TensorKind kind, Tick *mem_total);
+    /** Charge traffic/time/telemetry for @p n pages starting at
+     *  placement-relative index @p idx, all served from @p tier. */
+    void accountPages(mem::Tier tier, std::uint64_t idx, std::uint64_t n,
+                      UseTraffic tr, const TensorUse &use, TensorKind kind,
+                      Tick *mem_total);
     void notePeakFastUsage();
 
     const Graph &graph_;
@@ -113,6 +145,9 @@ class Executor
 
     std::unordered_map<TensorId, TensorPlacement> placements_;
     std::unordered_map<mem::PageId, int> page_refs_;
+
+    AccessMode access_mode_ = AccessMode::Range;
+    std::vector<AccessSegment> seg_buf_; ///< reused per onRangeAccess call
 
     mem::AccessTracker *tracker_ = nullptr;
     sim::TraceRecorder *trace_ = nullptr;

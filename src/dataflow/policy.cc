@@ -1,0 +1,21 @@
+#include "dataflow/policy.hh"
+
+namespace sentinel::df {
+
+void
+MemoryPolicy::onRangeAccess(Executor &ex, mem::PageRun run, bool is_write,
+                            std::vector<AccessSegment> &out)
+{
+    // Per-page adapter: one page per invocation, through the legacy
+    // hook.  The executor's range walk then degenerates to the exact
+    // page-by-page sequence un-batched policies were written against.
+    PageAccessResult r = onPageAccess(ex, run.first, is_write);
+    AccessSegment seg;
+    seg.pages = 1;
+    seg.extra = r.extra;
+    seg.stall_events = r.extra > 0 ? 1 : 0;
+    seg.effective = r.effective;
+    out.push_back(seg);
+}
+
+} // namespace sentinel::df

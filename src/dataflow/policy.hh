@@ -21,8 +21,10 @@
 #ifndef SENTINEL_DATAFLOW_POLICY_HH
 #define SENTINEL_DATAFLOW_POLICY_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/units.hh"
 #include "dataflow/placement.hh"
@@ -46,6 +48,28 @@ struct PageAccessResult {
      * page table (e.g. a Memory-Mode DRAM cache hit, or a page the
      * policy just faulted in synchronously).
      */
+    std::optional<mem::Tier> effective;
+};
+
+/**
+ * One policy-resolved segment of a batched range access: the leading
+ * @c pages of the range all receive the same treatment.
+ */
+struct AccessSegment {
+    /** Pages covered, counted from the range's first page (>= 1). */
+    std::uint64_t pages = 0;
+
+    /** Critical-path cost for the whole segment (sum over its pages). */
+    Tick extra = 0;
+
+    /**
+     * How many distinct stall events @c extra aggregates (a per-page
+     * fault loop collapsed into one segment still counts every fault),
+     * so StepStats::num_stalls matches the per-page path exactly.
+     */
+    std::uint64_t stall_events = 0;
+
+    /** As PageAccessResult::effective, applied to the whole segment. */
     std::optional<mem::Tier> effective;
 };
 
@@ -99,6 +123,21 @@ class MemoryPolicy
     {
         return {};
     }
+
+    /**
+     * Batched access hook: resolve a prefix of @p run into one or more
+     * segments appended to @p out.  The executor re-invokes with the
+     * uncovered remainder, so covering a single page is always legal.
+     *
+     * The default adapter routes exactly one page through
+     * onPageAccess(), reproducing the legacy page-by-page interleaving
+     * (policy hook, stall, clock advance per page) bit-for-bit — any
+     * policy that doesn't override this keeps working unchanged.
+     * Policies that override it MUST only batch pages whose treatment
+     * cannot depend on the clock advancing between them.
+     */
+    virtual void onRangeAccess(Executor &ex, mem::PageRun run, bool is_write,
+                               std::vector<AccessSegment> &out);
 
     /**
      * A touched page is in flight toward fast memory.  Return true to

@@ -12,6 +12,7 @@
 #include "baselines/unified_memory.hh"
 #include "baselines/vdnn.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
 
@@ -210,9 +211,39 @@ runAll(const ExperimentConfig &cfg,
     return out;
 }
 
+std::vector<Metrics>
+runAllParallel(const ExperimentConfig &cfg,
+               const std::vector<std::string> &policies, int jobs)
+{
+    if (cfg.telemetry)
+        return runAll(cfg, policies);
+    std::vector<Metrics> out(policies.size());
+    parallelFor(policies.size(), jobs, [&](std::size_t i) {
+        out[i] = runExperiment(cfg, policies[i]);
+    });
+    return out;
+}
+
+std::vector<Metrics>
+runSweep(const std::vector<SweepCell> &cells, int jobs)
+{
+    std::vector<Metrics> out(cells.size());
+    std::vector<std::size_t> concurrent;
+    std::vector<std::size_t> serial;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        (cells[i].cfg.telemetry ? serial : concurrent).push_back(i);
+    parallelFor(concurrent.size(), jobs, [&](std::size_t k) {
+        std::size_t i = concurrent[k];
+        out[i] = runExperiment(cells[i].cfg, cells[i].policy);
+    });
+    for (std::size_t i : serial)
+        out[i] = runExperiment(cells[i].cfg, cells[i].policy);
+    return out;
+}
+
 int
 maxBatchSearch(const std::string &model, const std::string &policy,
-               std::uint64_t fast_bytes, int cap)
+               std::uint64_t fast_bytes, int cap, int jobs)
 {
     auto feasible = [&](int batch) {
         if (policy == "tf") {
@@ -231,16 +262,39 @@ maxBatchSearch(const std::string &model, const std::string &policy,
         return m.supported && m.feasible;
     };
 
-    if (!feasible(1))
-        return 0;
-    // Exponential probe, then binary search.
-    int lo = 1;
-    int hi = 2;
-    while (hi <= cap && feasible(hi)) {
-        lo = hi;
-        hi *= 2;
+    int lo;
+    int hi;
+    if (jobs > 1) {
+        // Parallel probe: evaluate the whole power-of-two ladder
+        // (1, 2, 4, ... <= cap) concurrently, then read off the same
+        // bracket the serial probe would have found.  A few rungs above
+        // the answer are wasted work; on a multi-core host the ladder
+        // finishes in roughly the time of its slowest rung.
+        std::vector<int> ladder;
+        for (int b = 1; b <= cap; b *= 2)
+            ladder.push_back(b);
+        std::vector<char> ok(ladder.size(), 0);
+        parallelFor(ladder.size(), jobs,
+                    [&](std::size_t i) { ok[i] = feasible(ladder[i]); });
+        if (!ok[0])
+            return 0;
+        std::size_t k = 1;
+        while (k < ladder.size() && ok[k])
+            ++k;
+        lo = ladder[k - 1];
+        hi = k < ladder.size() ? ladder[k] : cap + 1;
+    } else {
+        if (!feasible(1))
+            return 0;
+        // Exponential probe, then binary search.
+        lo = 1;
+        hi = 2;
+        while (hi <= cap && feasible(hi)) {
+            lo = hi;
+            hi *= 2;
+        }
+        hi = std::min(hi, cap + 1);
     }
-    hi = std::min(hi, cap + 1);
     while (lo + 1 < hi) {
         int mid = lo + (hi - lo) / 2;
         if (feasible(mid))

@@ -108,12 +108,44 @@ std::vector<Metrics> runAll(const ExperimentConfig &cfg,
                             const std::vector<std::string> &policies);
 
 /**
+ * runAll, fanned out over up to @p jobs worker threads.  Each cell is
+ * an independent simulation (its own graph, memory system, and
+ * simulated clock), so the result vector is byte-identical to the
+ * serial runAll regardless of scheduling.  Falls back to the serial
+ * path when cfg.telemetry is set (a shared session cannot record two
+ * interleaved clocks).
+ */
+std::vector<Metrics> runAllParallel(const ExperimentConfig &cfg,
+                                    const std::vector<std::string> &policies,
+                                    int jobs);
+
+/** One cell of a figure/table sweep: a configuration plus a policy. */
+struct SweepCell {
+    ExperimentConfig cfg;
+    std::string policy;
+};
+
+/**
+ * Run every cell, up to @p jobs at a time.  Results are input-ordered
+ * (out[i] belongs to cells[i]) and independent of the interleaving.
+ * Cells carrying a telemetry session are run serially, after the
+ * parallel batch.
+ */
+std::vector<Metrics> runSweep(const std::vector<SweepCell> &cells,
+                              int jobs);
+
+/**
  * Largest batch (<= @p cap) the policy can train with @p fast_bytes of
  * device memory (Table V).  Feasibility = the steady-state step serves
  * every access from device memory and nothing OOMs.
+ *
+ * With @p jobs > 1 the exponential probe evaluates the whole
+ * power-of-two ladder concurrently; the binary-search refinement (an
+ * inherently sequential chain) then runs serially.  The returned batch
+ * is identical for any jobs value.
  */
 int maxBatchSearch(const std::string &model, const std::string &policy,
-                   std::uint64_t fast_bytes, int cap = 2048);
+                   std::uint64_t fast_bytes, int cap = 2048, int jobs = 1);
 
 } // namespace sentinel::harness
 

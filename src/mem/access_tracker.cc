@@ -5,27 +5,47 @@ namespace sentinel::mem {
 void
 AccessTracker::track(PageId page)
 {
-    tracked_[page] = true;
+    pages_[page].tracked = true;
+}
+
+void
+AccessTracker::trackRange(PageId first, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        pages_[first + i].tracked = true;
 }
 
 void
 AccessTracker::untrack(PageId page)
 {
-    tracked_.erase(page);
+    auto it = pages_.find(page);
+    if (it != pages_.end())
+        it->second.tracked = false;
+}
+
+void
+AccessTracker::untrackRange(PageId first, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        untrack(first + i);
 }
 
 bool
 AccessTracker::isTracked(PageId page) const
 {
-    return tracked_.find(page) != tracked_.end();
+    auto it = pages_.find(page);
+    return it != pages_.end() && it->second.tracked;
 }
 
 Tick
 AccessTracker::onAccess(PageId page, bool is_write, std::uint64_t count)
 {
-    if (!isTracked(page) || count == 0)
+    if (count == 0)
         return 0;
-    PageAccessCounts &c = counts_[page];
+    auto it = pages_.find(page);
+    if (it == pages_.end() || !it->second.tracked)
+        return 0;
+    PageAccessCounts &c = it->second.counts;
     if (is_write)
         c.writes += count;
     else
@@ -37,15 +57,14 @@ AccessTracker::onAccess(PageId page, bool is_write, std::uint64_t count)
 PageAccessCounts
 AccessTracker::counts(PageId page) const
 {
-    auto it = counts_.find(page);
-    return it == counts_.end() ? PageAccessCounts{} : it->second;
+    auto it = pages_.find(page);
+    return it == pages_.end() ? PageAccessCounts{} : it->second.counts;
 }
 
 void
 AccessTracker::reset()
 {
-    tracked_.clear();
-    counts_.clear();
+    pages_.clear();
     total_faults_ = 0;
 }
 

@@ -33,6 +33,12 @@ struct PageAccessCounts {
     std::uint64_t total() const { return reads + writes; }
 };
 
+/** Tracking state + counters for one page (one map, not two). */
+struct PageTrackState {
+    PageAccessCounts counts;
+    bool tracked = false; ///< PTE currently poisoned
+};
+
 class AccessTracker
 {
   public:
@@ -45,11 +51,23 @@ class AccessTracker
     {
     }
 
+    /**
+     * Pre-size the page map.  Callers that know the graph's page
+     * footprint (the profiler does) avoid rehashing mid-step.
+     */
+    void reserve(std::size_t expected_pages) { pages_.reserve(expected_pages); }
+
     /** Begin tracking @p page (poison its PTE). */
     void track(PageId page);
 
+    /** Begin tracking [first, first+count). */
+    void trackRange(PageId first, std::uint64_t count);
+
     /** Stop tracking @p page (counts are retained). */
     void untrack(PageId page);
+
+    /** Stop tracking [first, first+count). */
+    void untrackRange(PageId first, std::uint64_t count);
 
     bool isTracked(PageId page) const;
 
@@ -64,11 +82,11 @@ class AccessTracker
     /** Counts for @p page (zeros if never tracked). */
     PageAccessCounts counts(PageId page) const;
 
-    /** All pages with recorded counts. */
-    const std::unordered_map<PageId, PageAccessCounts> &
+    /** All pages ever tracked, with their recorded counts. */
+    const std::unordered_map<PageId, PageTrackState> &
     allCounts() const
     {
-        return counts_;
+        return pages_;
     }
 
     std::uint64_t totalFaults() const { return total_faults_; }
@@ -78,8 +96,7 @@ class AccessTracker
 
   private:
     Tick fault_cost_;
-    std::unordered_map<PageId, bool> tracked_;
-    std::unordered_map<PageId, PageAccessCounts> counts_;
+    std::unordered_map<PageId, PageTrackState> pages_;
     std::uint64_t total_faults_ = 0;
 };
 

@@ -76,6 +76,20 @@ DramCache::access(PageId page, bool is_write)
     return result;
 }
 
+DramCacheRangeResult
+DramCache::accessRange(PageId first, std::uint64_t count, bool is_write)
+{
+    DramCacheRangeResult out;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DramCacheResult r = access(first + i, is_write);
+        if (!r.hit)
+            ++out.misses;
+        if (r.writeback_bytes > 0)
+            ++out.writebacks;
+    }
+    return out;
+}
+
 void
 DramCache::reset()
 {

@@ -36,6 +36,12 @@ struct DramCacheResult {
     std::uint64_t writeback_bytes = 0;
 };
 
+/** Aggregate outcome of a page-range access. */
+struct DramCacheRangeResult {
+    std::uint64_t misses = 0;     ///< pages filled (kPageSize each)
+    std::uint64_t writebacks = 0; ///< dirty victims written back
+};
+
 class DramCache
 {
   public:
@@ -49,6 +55,13 @@ class DramCache
 
     /** Access @p page; updates cache state and returns the outcome. */
     DramCacheResult access(PageId page, bool is_write);
+
+    /**
+     * Access [first, first+count) in page order — state updates are
+     * identical to count access() calls; only the outcome is batched.
+     */
+    DramCacheRangeResult accessRange(PageId first, std::uint64_t count,
+                                     bool is_write);
 
     bool contains(PageId page) const;
 

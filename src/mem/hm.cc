@@ -7,10 +7,12 @@
 namespace sentinel::mem {
 
 HeterogeneousMemory::HeterogeneousMemory(TierParams fast, TierParams slow,
-                                         MigrationParams migration)
+                                         MigrationParams migration,
+                                         PageTable::Backend backend)
     : fast_(std::move(fast)), slow_(std::move(slow)),
       promote_("promote", migration.promote_bw, migration.startup),
-      demote_("demote", migration.demote_bw, migration.startup)
+      demote_("demote", migration.demote_bw, migration.startup),
+      table_(backend)
 {
 }
 
@@ -41,6 +43,39 @@ HeterogeneousMemory::mapPage(PageId page, Tier preferred)
 }
 
 void
+HeterogeneousMemory::mapRange(PageId first, std::uint64_t count,
+                              Tier preferred)
+{
+    if (count == 0)
+        return;
+    // How many leading pages fit in the preferred tier; the rest spill
+    // to the fallback, exactly as a per-page mapPage() loop would place
+    // them (preferred fills first, then every later page falls back).
+    std::uint64_t n_pref =
+        std::min<std::uint64_t>(count, tier(preferred).free() / kPageSize);
+    if (n_pref > 0) {
+        bool ok = tier(preferred).tryReserve(n_pref * kPageSize);
+        SENTINEL_ASSERT(ok, "range reservation failed");
+        table_.mapRange(first, n_pref, preferred);
+    }
+    std::uint64_t rest = count - n_pref;
+    if (rest > 0) {
+        Tier fallback = otherTier(preferred);
+        if (!tier(fallback).tryReserve(rest * kPageSize))
+            SENTINEL_FATAL(
+                "out of memory: both tiers full mapping %llu pages at %llu "
+                "(fast %llu/%llu, slow %llu/%llu)",
+                static_cast<unsigned long long>(rest),
+                static_cast<unsigned long long>(first + n_pref),
+                static_cast<unsigned long long>(fast_.used()),
+                static_cast<unsigned long long>(fast_.capacity()),
+                static_cast<unsigned long long>(slow_.used()),
+                static_cast<unsigned long long>(slow_.capacity()));
+        table_.mapRange(first + n_pref, rest, fallback);
+    }
+}
+
+void
 HeterogeneousMemory::unmapPage(PageId page, Tick now)
 {
     commitUpTo(now);
@@ -55,6 +90,28 @@ HeterogeneousMemory::unmapPage(PageId page, Tick now)
     table_.unmap(page);
 }
 
+void
+HeterogeneousMemory::unmapRange(PageId first, std::uint64_t count, Tick now)
+{
+    commitUpTo(now);
+    std::uint64_t fast_pages = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PageId p = first + i;
+        const PageEntry &e = table_.entry(p);
+        if (e.in_flight) {
+            tier(e.dest).release(kPageSize);
+            table_.cancelMigration(p);
+        }
+        if (e.tier == Tier::Fast)
+            ++fast_pages;
+    }
+    if (fast_pages > 0)
+        fast_.release(fast_pages * kPageSize);
+    if (count - fast_pages > 0)
+        slow_.release((count - fast_pages) * kPageSize);
+    table_.unmapRange(first, count);
+}
+
 Tier
 HeterogeneousMemory::residentTier(PageId page, Tick now)
 {
@@ -67,6 +124,21 @@ HeterogeneousMemory::inFlight(PageId page, Tick now)
 {
     commitUpTo(now);
     return table_.entry(page).in_flight;
+}
+
+PageRunState
+HeterogeneousMemory::residentRange(PageId first, std::uint64_t count,
+                                   Tick now)
+{
+    commitUpTo(now);
+    return table_.runState(first, count);
+}
+
+bool
+HeterogeneousMemory::inFlightAny(PageId first, std::uint64_t count, Tick now)
+{
+    commitUpTo(now);
+    return table_.anyInFlight(first, count);
 }
 
 Tick

@@ -50,7 +50,9 @@ class HeterogeneousMemory
 {
   public:
     HeterogeneousMemory(TierParams fast, TierParams slow,
-                        MigrationParams migration);
+                        MigrationParams migration,
+                        PageTable::Backend backend =
+                            PageTable::defaultBackend());
 
     // --- Mapping -------------------------------------------------------
 
@@ -65,8 +67,22 @@ class HeterogeneousMemory
      */
     Tier mapPage(PageId page, Tier preferred);
 
+    /**
+     * Map [first, first+count) into @p preferred, spilling the suffix
+     * to the other tier once @p preferred fills — page-for-page what a
+     * mapPage() loop would do, but with one reservation per tier.
+     * Fatal if both tiers run out.
+     */
+    void mapRange(PageId first, std::uint64_t count, Tier preferred);
+
     /** Unmap @p page, releasing its space (commits arrivals first). */
     void unmapPage(PageId page, Tick now);
+
+    /**
+     * Unmap [first, first+count), cancelling in-flight migrations and
+     * releasing the whole range's space with one release per tier.
+     */
+    void unmapRange(PageId first, std::uint64_t count, Tick now);
 
     bool isMapped(PageId page) const { return table_.isMapped(page); }
 
@@ -80,6 +96,15 @@ class HeterogeneousMemory
 
     /** True if @p page has a migration still in flight at @p now. */
     bool inFlight(PageId page, Tick now);
+
+    /**
+     * Longest prefix of [first, first+count) whose pages share one
+     * (tier, in_flight) state at @p now — the executor's extent walk.
+     */
+    PageRunState residentRange(PageId first, std::uint64_t count, Tick now);
+
+    /** True if any page of [first, first+count) is migrating at @p now. */
+    bool inFlightAny(PageId first, std::uint64_t count, Tick now);
 
     /** Arrival time of the in-flight migration (page must be in flight). */
     Tick arrivalTime(PageId page) const;

@@ -56,6 +56,21 @@ roundUpToPages(std::uint64_t bytes)
     return pageCeil(bytes) * kPageSize;
 }
 
+/**
+ * A contiguous run of pages: [first, first + count).
+ *
+ * Tensors occupy contiguous page ranges, so the hot paths (executor
+ * access loop, mapping, migration bookkeeping) operate on runs and only
+ * fall back to single pages across migration boundaries.
+ */
+struct PageRun {
+    PageId first = kInvalidPage;
+    std::uint64_t count = 0;
+
+    constexpr PageId endPage() const { return first + count; }
+    constexpr bool empty() const { return count == 0; }
+};
+
 /** The two tiers of a heterogeneous memory system. */
 enum class Tier : std::uint8_t {
     Fast = 0, ///< DRAM (CPU systems) or HBM (GPU systems)

@@ -1,48 +1,219 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sentinel::mem {
 
+PageTable::Backend
+PageTable::defaultBackend()
+{
+#ifdef SENTINEL_DENSE_PT_OFF
+    return Backend::Hash;
+#else
+    return Backend::Dense;
+#endif
+}
+
+PageTable::PageTable(Backend backend) : backend_(backend) {}
+
+PageTable::DenseSlot *
+PageTable::denseFind(PageId page) const
+{
+    std::uint64_t chunk = page >> kChunkBits;
+    if (chunk >= chunks_.size() || !chunks_[chunk])
+        return nullptr;
+    return &chunks_[chunk][page & kChunkMask];
+}
+
+PageTable::DenseSlot &
+PageTable::denseSlot(PageId page)
+{
+    SENTINEL_ASSERT(page < kMaxPages, "page %llu beyond dense table range",
+                    static_cast<unsigned long long>(page));
+    std::uint64_t chunk = page >> kChunkBits;
+    if (chunk >= chunks_.size())
+        chunks_.resize(chunk + 1);
+    if (!chunks_[chunk])
+        chunks_[chunk] = std::make_unique<DenseSlot[]>(kChunkPages);
+    return chunks_[chunk][page & kChunkMask];
+}
+
 void
 PageTable::map(PageId page, Tier tier)
 {
-    auto [it, inserted] = entries_.emplace(page, PageEntry{});
-    SENTINEL_ASSERT(inserted, "page %llu already mapped",
+    if (backend_ == Backend::Hash) {
+        auto [it, inserted] = entries_.emplace(page, PageEntry{});
+        SENTINEL_ASSERT(inserted, "page %llu already mapped",
+                        static_cast<unsigned long long>(page));
+        it->second.tier = tier;
+        ++num_mapped_;
+        return;
+    }
+    DenseSlot &s = denseSlot(page);
+    SENTINEL_ASSERT(s.epoch != epoch_, "page %llu already mapped",
                     static_cast<unsigned long long>(page));
-    it->second.tier = tier;
+    s.entry = PageEntry{};
+    s.entry.tier = tier;
+    s.epoch = epoch_;
+    ++num_mapped_;
+}
+
+void
+PageTable::mapRange(PageId first, std::uint64_t count, Tier tier)
+{
+    if (backend_ == Backend::Hash) {
+        for (std::uint64_t i = 0; i < count; ++i)
+            map(first + i, tier);
+        return;
+    }
+    PageId p = first;
+    std::uint64_t left = count;
+    while (left > 0) {
+        DenseSlot *s = &denseSlot(p);
+        std::uint64_t in_chunk =
+            std::min<std::uint64_t>(left, kChunkPages - (p & kChunkMask));
+        for (std::uint64_t i = 0; i < in_chunk; ++i, ++s) {
+            SENTINEL_ASSERT(s->epoch != epoch_, "page %llu already mapped",
+                            static_cast<unsigned long long>(p + i));
+            s->entry = PageEntry{};
+            s->entry.tier = tier;
+            s->epoch = epoch_;
+        }
+        num_mapped_ += in_chunk;
+        p += in_chunk;
+        left -= in_chunk;
+    }
 }
 
 void
 PageTable::unmap(PageId page)
 {
-    auto erased = entries_.erase(page);
-    SENTINEL_ASSERT(erased == 1, "unmap of unmapped page %llu",
+    if (backend_ == Backend::Hash) {
+        auto erased = entries_.erase(page);
+        SENTINEL_ASSERT(erased == 1, "unmap of unmapped page %llu",
+                        static_cast<unsigned long long>(page));
+        --num_mapped_;
+        return;
+    }
+    DenseSlot *s = denseFind(page);
+    SENTINEL_ASSERT(s && s->epoch == epoch_, "unmap of unmapped page %llu",
                     static_cast<unsigned long long>(page));
+    s->epoch = 0;
+    --num_mapped_;
+}
+
+void
+PageTable::unmapRange(PageId first, std::uint64_t count)
+{
+    if (backend_ == Backend::Hash) {
+        for (std::uint64_t i = 0; i < count; ++i)
+            unmap(first + i);
+        return;
+    }
+    PageId p = first;
+    std::uint64_t left = count;
+    while (left > 0) {
+        DenseSlot *s = denseFind(p);
+        std::uint64_t in_chunk =
+            std::min<std::uint64_t>(left, kChunkPages - (p & kChunkMask));
+        for (std::uint64_t i = 0; i < in_chunk; ++i, ++s) {
+            SENTINEL_ASSERT(s && s->epoch == epoch_,
+                            "unmap of unmapped page %llu",
+                            static_cast<unsigned long long>(p + i));
+            s->epoch = 0;
+        }
+        num_mapped_ -= in_chunk;
+        p += in_chunk;
+        left -= in_chunk;
+    }
 }
 
 bool
 PageTable::isMapped(PageId page) const
 {
-    return entries_.find(page) != entries_.end();
+    if (backend_ == Backend::Hash)
+        return entries_.find(page) != entries_.end();
+    const DenseSlot *s = denseFind(page);
+    return s && s->epoch == epoch_;
 }
 
 const PageEntry &
 PageTable::entry(PageId page) const
 {
-    auto it = entries_.find(page);
-    SENTINEL_ASSERT(it != entries_.end(), "entry() of unmapped page %llu",
+    if (backend_ == Backend::Hash) {
+        auto it = entries_.find(page);
+        SENTINEL_ASSERT(it != entries_.end(),
+                        "entry() of unmapped page %llu",
+                        static_cast<unsigned long long>(page));
+        return it->second;
+    }
+    const DenseSlot *s = denseFind(page);
+    SENTINEL_ASSERT(s && s->epoch == epoch_, "entry() of unmapped page %llu",
                     static_cast<unsigned long long>(page));
-    return it->second;
+    return s->entry;
+}
+
+PageRunState
+PageTable::runState(PageId first, std::uint64_t count) const
+{
+    SENTINEL_ASSERT(count > 0, "runState() of empty range");
+    const PageEntry &e0 = entry(first);
+    PageRunState rs{e0.tier, e0.in_flight, 1};
+    if (backend_ == Backend::Hash) {
+        while (rs.count < count) {
+            const PageEntry &e = entry(first + rs.count);
+            if (e.tier != rs.tier || e.in_flight != rs.in_flight)
+                break;
+            ++rs.count;
+        }
+        return rs;
+    }
+    // Dense: stream chunk by chunk so the inner loop is a linear scan.
+    PageId p = first + 1;
+    std::uint64_t left = count - 1;
+    while (left > 0) {
+        const DenseSlot *s = denseFind(p);
+        std::uint64_t in_chunk =
+            std::min<std::uint64_t>(left, kChunkPages - (p & kChunkMask));
+        for (std::uint64_t i = 0; i < in_chunk; ++i, ++s) {
+            SENTINEL_ASSERT(s && s->epoch == epoch_,
+                            "runState() over unmapped page %llu",
+                            static_cast<unsigned long long>(p + i));
+            if (s->entry.tier != rs.tier || s->entry.in_flight != rs.in_flight)
+                return rs;
+            ++rs.count;
+        }
+        p += in_chunk;
+        left -= in_chunk;
+    }
+    return rs;
+}
+
+bool
+PageTable::anyInFlight(PageId first, std::uint64_t count) const
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        if (entry(first + i).in_flight)
+            return true;
+    return false;
 }
 
 PageEntry &
 PageTable::mutableEntry(PageId page)
 {
-    auto it = entries_.find(page);
-    SENTINEL_ASSERT(it != entries_.end(), "access to unmapped page %llu",
+    if (backend_ == Backend::Hash) {
+        auto it = entries_.find(page);
+        SENTINEL_ASSERT(it != entries_.end(),
+                        "access to unmapped page %llu",
+                        static_cast<unsigned long long>(page));
+        return it->second;
+    }
+    DenseSlot *s = denseFind(page);
+    SENTINEL_ASSERT(s && s->epoch == epoch_, "access to unmapped page %llu",
                     static_cast<unsigned long long>(page));
-    return it->second;
+    return s->entry;
 }
 
 std::uint64_t
@@ -62,14 +233,22 @@ PageTable::beginMigration(PageId page, Tier dest, Tick arrival)
 bool
 PageTable::commitMigration(PageId page, std::uint64_t seq)
 {
-    auto it = entries_.find(page);
-    if (it == entries_.end())
-        return false; // freed while in flight
-    PageEntry &e = it->second;
-    if (!e.in_flight || e.seq != seq)
+    PageEntry *e = nullptr;
+    if (backend_ == Backend::Hash) {
+        auto it = entries_.find(page);
+        if (it == entries_.end())
+            return false; // freed while in flight
+        e = &it->second;
+    } else {
+        DenseSlot *s = denseFind(page);
+        if (!s || s->epoch != epoch_)
+            return false; // freed while in flight
+        e = &s->entry;
+    }
+    if (!e->in_flight || e->seq != seq)
         return false; // cancelled or superseded
-    e.tier = e.dest;
-    e.in_flight = false;
+    e->tier = e->dest;
+    e->in_flight = false;
     return true;
 }
 
@@ -79,6 +258,20 @@ PageTable::cancelMigration(PageId page)
     PageEntry &e = mutableEntry(page);
     SENTINEL_ASSERT(e.in_flight, "cancel of non-migrating page");
     e.in_flight = false;
+}
+
+void
+PageTable::clear()
+{
+    entries_.clear();
+    num_mapped_ = 0;
+    // O(1) dense clear: bump the epoch; old slots become unmapped.  On
+    // the (astronomically rare) wrap, drop the chunks so stale epochs
+    // cannot alias the restarted counter.
+    if (++epoch_ == 0) {
+        chunks_.clear();
+        epoch_ = 1;
+    }
 }
 
 } // namespace sentinel::mem

@@ -6,13 +6,26 @@
  * the migration engine's transfer completes (arrival tick); the
  * HeterogeneousMemory facade lazily commits arrivals as simulated time
  * advances.
+ *
+ * Two backends share one interface:
+ *
+ *  - Dense (default): a chunked direct-indexed array of entries.  Page
+ *    ids index a lazily-allocated chunk directory, so lookups are two
+ *    loads instead of a hash probe, and range walks stream through
+ *    contiguous memory.  Mapped-ness is tracked with a per-entry epoch
+ *    so clear() is O(1).
+ *  - Hash: the original std::unordered_map, kept as a debug fallback
+ *    (configure with -DSENTINEL_DENSE_PT=OFF, or construct with
+ *    Backend::Hash) for differential testing against the dense path.
  */
 
 #ifndef SENTINEL_MEM_PAGE_TABLE_HH
 #define SENTINEL_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/units.hh"
 #include "mem/page.hh"
@@ -28,20 +41,57 @@ struct PageEntry {
     std::uint64_t seq = 0;      ///< migration epoch, guards stale commits
 };
 
+/**
+ * State of the maximal uniform prefix of a page range: @c count leading
+ * pages that share one (tier, in_flight) state.
+ */
+struct PageRunState {
+    Tier tier = Tier::Slow;
+    bool in_flight = false;
+    std::uint64_t count = 0;
+};
+
 /** A flat map of mapped pages. */
 class PageTable
 {
   public:
+    enum class Backend {
+        Dense, ///< chunked direct-indexed array (production)
+        Hash,  ///< std::unordered_map (debug fallback)
+    };
+
+    /** Build-time default: Dense unless -DSENTINEL_DENSE_PT=OFF. */
+    static Backend defaultBackend();
+
+    explicit PageTable(Backend backend = defaultBackend());
+
+    Backend backend() const { return backend_; }
+
     /** Map @p page into @p tier.  The page must not be mapped. */
     void map(PageId page, Tier tier);
 
+    /** Map [first, first+count) into @p tier; none may be mapped. */
+    void mapRange(PageId first, std::uint64_t count, Tier tier);
+
     /** Remove @p page.  The page must be mapped. */
     void unmap(PageId page);
+
+    /** Remove [first, first+count); all must be mapped, none in flight. */
+    void unmapRange(PageId first, std::uint64_t count);
 
     bool isMapped(PageId page) const;
 
     /** Entry for @p page (must be mapped). */
     const PageEntry &entry(PageId page) const;
+
+    /**
+     * Longest prefix of [first, first+count) whose pages share one
+     * (tier, in_flight) state.  All pages must be mapped.
+     */
+    PageRunState runState(PageId first, std::uint64_t count) const;
+
+    /** True if any page of [first, first+count) is migrating. */
+    bool anyInFlight(PageId first, std::uint64_t count) const;
 
     /**
      * Mark @p page as migrating to @p dest, arriving at @p arrival.
@@ -58,14 +108,46 @@ class PageTable
     /** Abort an in-flight migration, leaving the page at its source. */
     void cancelMigration(PageId page);
 
-    std::size_t numMapped() const { return entries_.size(); }
+    std::size_t numMapped() const { return num_mapped_; }
 
-    void clear() { entries_.clear(); }
+    void clear();
 
   private:
+    /**
+     * Chunk geometry: 2^16 pages (2 MiB of entries) per chunk keeps the
+     * directory small even for the policies that place tensors at
+     * multi-TiB virtual bases, while one tensor's pages stay within a
+     * handful of chunks.
+     */
+    static constexpr unsigned kChunkBits = 16;
+    static constexpr std::uint64_t kChunkPages = 1ull << kChunkBits;
+    static constexpr std::uint64_t kChunkMask = kChunkPages - 1;
+    /** 2^36 pages = a 256 TiB virtual space; bounds directory growth. */
+    static constexpr std::uint64_t kMaxPages = 1ull << 36;
+
+    struct DenseSlot {
+        PageEntry entry;
+        /** Slot is mapped iff epoch == epoch_ (clear() bumps epoch_). */
+        std::uint32_t epoch = 0;
+    };
+
+    /** Slot for @p page, or nullptr if its chunk was never touched. */
+    DenseSlot *denseFind(PageId page) const;
+    /** Slot for @p page, allocating its chunk on demand. */
+    DenseSlot &denseSlot(PageId page);
+
     PageEntry &mutableEntry(PageId page);
 
+    Backend backend_;
+
+    // Dense backend state.
+    std::vector<std::unique_ptr<DenseSlot[]>> chunks_;
+    std::uint32_t epoch_ = 1;
+
+    // Hash backend state.
     std::unordered_map<PageId, PageEntry> entries_;
+
+    std::size_t num_mapped_ = 0;
     std::uint64_t next_seq_ = 1;
 };
 

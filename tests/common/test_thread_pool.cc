@@ -1,0 +1,121 @@
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace sentinel {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitRethrowsFirstException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&completed] { ++completed; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: a subsequent round is clean.
+    pool.submit([&completed] { ++completed; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 11);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must still run everything.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEachIndexExactlyOnce)
+{
+    const std::size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    parallelFor(n, 4, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, InlineWhenSingleJob)
+{
+    // jobs <= 1 must run on the calling thread, in order.
+    std::vector<std::size_t> order;
+    parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{ 0, 1, 2, 3, 4 }));
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop)
+{
+    bool ran = false;
+    parallelFor(0, 8, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, DeterministicOutputSlots)
+{
+    // The contract the harness relies on: per-index output slots give
+    // identical results for any job count.
+    const std::size_t n = 64;
+    auto work = [](std::size_t i) {
+        return static_cast<int>(i * i + 7);
+    };
+    std::vector<int> serial(n), parallel(n);
+    parallelFor(n, 1, [&](std::size_t i) { serial[i] = work(i); });
+    parallelFor(n, 8, [&](std::size_t i) { parallel[i] = work(i); });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesException)
+{
+    EXPECT_THROW(parallelFor(16, 4,
+                             [](std::size_t i) {
+                                 if (i == 7)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace sentinel

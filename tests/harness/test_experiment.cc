@@ -116,5 +116,66 @@ TEST(Harness, UnknownPolicyIsFatal)
                  std::runtime_error);
 }
 
+void
+expectIdenticalMetrics(const Metrics &a, const Metrics &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.supported, b.supported);
+    EXPECT_EQ(a.feasible, b.feasible);
+    // Exact equality, not near: each cell is an independent
+    // deterministic simulation, so threading must not change a bit.
+    EXPECT_EQ(a.step_time_ms, b.step_time_ms);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.exposed_ms, b.exposed_ms);
+    EXPECT_EQ(a.recompute_ms, b.recompute_ms);
+    EXPECT_EQ(a.fault_ms, b.fault_ms);
+    EXPECT_EQ(a.promoted_mb, b.promoted_mb);
+    EXPECT_EQ(a.demoted_mb, b.demoted_mb);
+    EXPECT_EQ(a.bytes_fast_mb, b.bytes_fast_mb);
+    EXPECT_EQ(a.bytes_slow_mb, b.bytes_slow_mb);
+    EXPECT_EQ(a.peak_fast_mb, b.peak_fast_mb);
+    EXPECT_EQ(a.mil, b.mil);
+    EXPECT_EQ(a.case3_events, b.case3_events);
+    EXPECT_EQ(a.trial_steps, b.trial_steps);
+    EXPECT_EQ(a.pool_mb, b.pool_mb);
+}
+
+TEST(Harness, ParallelRunAllMatchesSerialExactly)
+{
+    ExperimentConfig cfg = smallConfig();
+    auto serial = runAll(cfg, cpuPolicies());
+    auto parallel = runAllParallel(cfg, cpuPolicies(), 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(cpuPolicies()[i]);
+        expectIdenticalMetrics(parallel[i], serial[i]);
+    }
+}
+
+TEST(Harness, SweepIsInputOrderedAndDeterministic)
+{
+    std::vector<SweepCell> cells;
+    for (const char *policy : { "fast-only", "numa", "slow-only" }) {
+        ExperimentConfig cfg = smallConfig();
+        cells.push_back({ cfg, policy });
+    }
+    auto serial = runSweep(cells, 1);
+    auto parallel = runSweep(cells, 4);
+    ASSERT_EQ(serial.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(serial[i].policy, cells[i].policy);
+        expectIdenticalMetrics(parallel[i], serial[i]);
+    }
+}
+
+TEST(Harness, ParallelMaxBatchMatchesSerial)
+{
+    std::uint64_t mem_bytes = 96ull << 20;
+    EXPECT_EQ(maxBatchSearch("resnet20", "tf", mem_bytes, 256, 4),
+              maxBatchSearch("resnet20", "tf", mem_bytes, 256));
+}
+
 } // namespace
 } // namespace sentinel::harness

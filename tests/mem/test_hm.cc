@@ -185,6 +185,81 @@ TEST(Hm, PeakUsageTracked)
     EXPECT_EQ(hm.tier(Tier::Fast).peakUsed(), 2 * kPageSize);
 }
 
+TEST(Hm, MapRangeMatchesPerPagePlacement)
+{
+    // Bulk mapping must place pages exactly like the per-page loop:
+    // a preferred-tier prefix while capacity lasts, then fallback.
+    auto hm = makeHm(3);
+    auto ref = makeHm(3);
+    hm.mapRange(10, 5, Tier::Fast);
+    for (PageId p = 10; p < 15; ++p)
+        ref.mapPage(p, Tier::Fast);
+    for (PageId p = 10; p < 15; ++p)
+        EXPECT_EQ(hm.residentTier(p, 0), ref.residentTier(p, 0));
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), ref.tier(Tier::Fast).used());
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), ref.tier(Tier::Slow).used());
+}
+
+TEST(Hm, MapRangeBothTiersFullIsFatal)
+{
+    auto hm = makeHm(1, 1);
+    hm.mapRange(0, 2, Tier::Fast);
+    EXPECT_THROW(hm.mapRange(2, 1, Tier::Fast), std::runtime_error);
+}
+
+TEST(Hm, UnmapRangeReleasesPerTier)
+{
+    auto hm = makeHm(2);
+    hm.mapRange(0, 5, Tier::Fast); // 2 fast + 3 slow
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 2 * kPageSize);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), 3 * kPageSize);
+    hm.unmapRange(0, 5, 0);
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), 0u);
+    EXPECT_FALSE(hm.isMapped(3));
+}
+
+TEST(Hm, UnmapRangeCancelsInFlight)
+{
+    auto hm = makeHm(4);
+    hm.mapRange(0, 2, Tier::Slow);
+    hm.migratePage(0, Tier::Fast, 0);
+    hm.unmapRange(0, 2, 0); // before arrival
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+    EXPECT_EQ(hm.tier(Tier::Slow).used(), 0u);
+    hm.commitUpTo(1'000'000);
+    EXPECT_EQ(hm.tier(Tier::Fast).used(), 0u);
+}
+
+TEST(Hm, ResidentRangeSplitsOnTierAndFlight)
+{
+    auto hm = makeHm(8);
+    hm.mapRange(0, 4, Tier::Slow);
+    hm.mapRange(4, 4, Tier::Fast);
+
+    PageRunState rs = hm.residentRange(0, 8, 0);
+    EXPECT_EQ(rs.tier, Tier::Slow);
+    EXPECT_EQ(rs.count, 4u);
+    rs = hm.residentRange(4, 4, 0);
+    EXPECT_EQ(rs.tier, Tier::Fast);
+    EXPECT_EQ(rs.count, 4u);
+
+    Tick arrival = hm.migratePage(2, Tier::Fast, 0);
+    EXPECT_TRUE(hm.inFlightAny(0, 4, arrival - 1));
+    EXPECT_FALSE(hm.inFlightAny(0, 2, arrival - 1));
+    rs = hm.residentRange(0, 4, arrival - 1);
+    EXPECT_EQ(rs.count, 2u);
+    EXPECT_FALSE(rs.in_flight);
+
+    // residentRange commits landed transfers, exactly like
+    // residentTier does.
+    rs = hm.residentRange(2, 2, arrival);
+    EXPECT_EQ(rs.tier, Tier::Fast);
+    EXPECT_FALSE(rs.in_flight);
+    EXPECT_EQ(rs.count, 1u); // page 3 is still Slow
+    EXPECT_FALSE(hm.inFlightAny(0, 4, arrival));
+}
+
 TEST(Hm, ResetRestoresPristineState)
 {
     auto hm = makeHm();

@@ -200,11 +200,12 @@ int
 cmdCompare(const Args &args)
 {
     harness::ExperimentConfig cfg = configFrom(args);
+    int jobs = args.getInt("jobs", 1);
     const auto &policies = cfg.platform == harness::Platform::Gpu
                                ? harness::gpuPolicies()
                                : harness::cpuPolicies();
-    for (const auto &p : policies)
-        printMetrics(harness::runExperiment(cfg, p));
+    for (const auto &m : harness::runAllParallel(cfg, policies, jobs))
+        printMetrics(m);
     return 0;
 }
 
@@ -272,7 +273,8 @@ cmdMaxBatch(const Args &args)
         dev = mem::roundUpToPages(g.peakMemoryBytes() / 2);
     }
     int cap = args.getInt("cap", 1024);
-    int b = harness::maxBatchSearch(model, policy, dev, cap);
+    int jobs = args.getInt("jobs", 1);
+    int b = harness::maxBatchSearch(model, policy, dev, cap, jobs);
     std::printf("%s with %s on %.1f MB of device memory: max batch %d\n",
                 model.c_str(), policy.c_str(),
                 static_cast<double>(dev) / 1e6, b);
@@ -362,8 +364,10 @@ usage()
         "            (run is the default command when the first arg\n"
         "             starts with --)\n"
         "  compare   same options; runs every policy of the platform\n"
+        "            [--jobs N] fans the policies out over N threads\n"
         "  plan      print the interval planner's candidate table\n"
         "  maxbatch  --model M --policy P [--mem-mb M] [--cap N]\n"
+        "            [--jobs N] probes the batch ladder in parallel\n"
         "  profile   --model M --batch N [--out FILE | --in FILE]\n"
         "  models    list the model zoo\n\n"
         "telemetry: --trace-out writes a Chrome-trace JSON (load it in\n"
