@@ -1,16 +1,37 @@
 #include "core/interval_planner.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 
 namespace sentinel::core {
 
-IntervalPlanner::IntervalPlanner(PlannerInputs in) : in_(in)
+IntervalPlanner::IntervalPlanner(PlannerInputs in) : in_(std::move(in))
 {
     SENTINEL_ASSERT(in_.db != nullptr, "planner needs a profile");
     SENTINEL_ASSERT(in_.fast_capacity > 0, "planner needs fast capacity");
     SENTINEL_ASSERT(in_.promote_bw > 0.0, "planner needs migration BW");
+    SENTINEL_ASSERT(in_.layer_time_scale.empty() ||
+                        static_cast<int>(in_.layer_time_scale.size()) ==
+                            in_.db->numLayers(),
+                    "layer_time_scale must cover every layer");
+}
+
+std::uint64_t
+IntervalPlanner::migrationBudget(std::uint64_t rs_bytes) const
+{
+    if (in_.fast_capacity > rs_bytes)
+        return in_.fast_capacity - rs_bytes;
+    if (!warned_degraded_) {
+        warned_degraded_ = true;
+        SENTINEL_WARN("reservation %llu >= fast capacity %llu: no "
+                      "migration budget; degrading to per-layer "
+                      "migration with slow-memory overflow",
+                      static_cast<unsigned long long>(rs_bytes),
+                      static_cast<unsigned long long>(in_.fast_capacity));
+    }
+    return 0;
 }
 
 Tick
@@ -27,7 +48,12 @@ IntervalPlanner::estimatedLayerTime(int layer) const
         static_cast<double>(lp.mem) / std::max(1.0, ratio));
     Tick bound = std::max(lp.compute, mem_fast);
     Tick overheads = lp.duration - std::max(lp.compute, lp.mem);
-    return bound + std::max<Tick>(0, overheads);
+    Tick t = bound + std::max<Tick>(0, overheads);
+    if (!in_.layer_time_scale.empty())
+        t = static_cast<Tick>(
+            static_cast<double>(t) *
+            in_.layer_time_scale[static_cast<std::size_t>(layer)]);
+    return t;
 }
 
 std::uint64_t
@@ -96,9 +122,17 @@ IntervalPlanner::dynamicBoundaries(std::uint64_t rs_bytes) const
 {
     const prof::ProfileDatabase &db = *in_.db;
     int L = db.numLayers();
-    std::uint64_t budget = in_.fast_capacity > rs_bytes
-                               ? in_.fast_capacity - rs_bytes
-                               : in_.fast_capacity;
+    std::uint64_t budget = migrationBudget(rs_bytes);
+    if (budget == 0) {
+        // Same degradation as plan(): per-layer migration, overflow in
+        // slow memory.  (Previously this path silently pretended the
+        // whole fast tier was available, so dynamic intervals grew as
+        // if the reservation cost nothing.)
+        std::vector<int> starts(static_cast<std::size_t>(L));
+        for (int l = 0; l < L; ++l)
+            starts[static_cast<std::size_t>(l)] = l;
+        return starts;
+    }
 
     // Bytes whose use episode begins at each layer (they must have
     // been prefetched by then).
@@ -140,9 +174,7 @@ IntervalPlanner::plan(std::uint64_t rs_cap) const
     // layers — Sec. IV-D observes only small variance), but it must
     // leave room for migration: cap it.
     result.rs_bytes = std::min(db.shortLivedPeakBytes(), rs_cap);
-    std::uint64_t budget = in_.fast_capacity > result.rs_bytes
-                               ? in_.fast_capacity - result.rs_bytes
-                               : 0;
+    std::uint64_t budget = migrationBudget(result.rs_bytes);
 
     int max_mil = std::max(1, L / 2);
     result.candidates.reserve(static_cast<std::size_t>(max_mil));
@@ -184,6 +216,7 @@ IntervalPlanner::plan(std::uint64_t rs_cap) const
         }
         c.max_prefetch = worst_prefetch;
         c.max_working_set = worst_ws;
+        c.est_step_time = total_time + exposed;
         // Eq. 1 (paper-literal): the volume migrated for any interval
         // must fit into S - RS.  The eager mid-interval demotion keeps
         // the resident set in check (Case-2 avoidance), so the union

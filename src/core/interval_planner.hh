@@ -40,6 +40,14 @@ struct PlannerInputs {
      *  onto the steady state where hot data sits in fast memory. */
     double fast_read_bw = 1.0;
     double slow_read_bw = 1.0;
+
+    /**
+     * Optional per-layer correction factors on the profiled layer
+     * times (empty = profile as-is).  Online re-planning feeds the
+     * observed/planned ratio back here so a stale profile can be
+     * projected onto what the run actually looks like now.
+     */
+    std::vector<double> layer_time_scale;
 };
 
 /** Diagnostics for one candidate MIL (one point of Fig. 5). */
@@ -49,6 +57,7 @@ struct IntervalChoice {
     std::uint64_t max_prefetch = 0; ///< Tensor(MIL): worst interval
     std::uint64_t max_working_set = 0; ///< worst per-interval occupancy
     Tick est_exposed = 0;           ///< estimated exposed migration/step
+    Tick est_step_time = 0;         ///< estimated steady step (incl. exposed)
     Tick overlap_margin = 0;        ///< min_k (T_k - migration_k)
     double eq2_objective = 0.0;     ///< literal Eq. 2 value (seconds)
 };
@@ -87,6 +96,18 @@ class IntervalPlanner
     /** Estimated steady-state duration of interval @p k. */
     Tick intervalTime(int mil, int interval) const;
 
+    /** Estimated steady-state duration of one layer (scaled inputs
+     *  applied) — the divergence monitor's per-layer baseline. */
+    Tick layerTimeEstimate(int layer) const { return estimatedLayerTime(layer); }
+
+    /**
+     * Fast-memory budget left for migration: S - RS, degrading to 0
+     * when the reservation alone exceeds capacity (warned once; the
+     * runtime leaves overflow in slow memory).  Shared by plan() and
+     * dynamicBoundaries() so both degrade identically.
+     */
+    std::uint64_t migrationBudget(std::uint64_t rs_bytes) const;
+
     /**
      * Interval boundaries for the dynamic-length alternative of
      * Sec. IV-E: intervals grow until the bytes arriving for the next
@@ -106,6 +127,7 @@ class IntervalPlanner
     Tick estimatedLayerTime(int layer) const;
 
     PlannerInputs in_;
+    mutable bool warned_degraded_ = false;
 };
 
 } // namespace sentinel::core

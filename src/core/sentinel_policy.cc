@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <map>
+#include <unordered_set>
 
 #include "common/logging.hh"
 
@@ -18,6 +19,50 @@ std::string
 SentinelPolicy::name() const
 {
     return opts_.gpu_mode ? "sentinel-gpu" : "sentinel";
+}
+
+bool
+SentinelPolicy::trialDecided() const
+{
+    return trial_ == TrialState::Idle || trial_ == TrialState::Decided;
+}
+
+const char *
+SentinelPolicy::trialStateName() const
+{
+    switch (trial_) {
+      case TrialState::Idle:
+        return "idle";
+      case TrialState::Pending:
+        return "pending";
+      case TrialState::TrialStall:
+        return "trial-stall";
+      case TrialState::TrialLeave:
+        return "trial-leave";
+      case TrialState::Decided:
+        return "decided";
+    }
+    return "?";
+}
+
+void
+SentinelPolicy::setTelemetry(telemetry::Session *session)
+{
+    telemetry_ = session;
+    if (session) {
+        telemetry::MetricRegistry &m = session->metrics();
+        divergence_ctr_ = &m.counter("sentinel.divergence_events");
+        replan_ctr_ = &m.counter("sentinel.replans");
+        lag_ctr_ = &m.counter("sentinel.prefetch_lag_ns");
+        evict_ctr_ = &m.counter("sentinel.demand_evictions");
+        blocked_ctr_ = &m.counter("sentinel.prefetch_blocked");
+    } else {
+        divergence_ctr_ = nullptr;
+        replan_ctr_ = nullptr;
+        lag_ctr_ = nullptr;
+        evict_ctr_ = nullptr;
+        blocked_ctr_ = nullptr;
+    }
 }
 
 std::uint64_t
@@ -100,6 +145,43 @@ SentinelPolicy::buildStaticLayout(const df::Graph &graph)
 }
 
 void
+SentinelPolicy::computePlan(const PlannerInputs &in, std::uint64_t rs_cap)
+{
+    IntervalPlanner planner(in);
+    planner_result_ = planner.plan(rs_cap);
+
+    if (opts_.use_dynamic_intervals) {
+        plan_ = buildMigrationPlan(
+            db_, planner.dynamicBoundaries(planner_result_.rs_bytes));
+    } else {
+        int mil =
+            opts_.use_interval_planner ? planner_result_.best.mil : 1;
+        if (opts_.forced_mil > 0)
+            mil = opts_.forced_mil;
+        plan_ = buildMigrationPlan(db_, mil);
+    }
+    planned_ = true;
+
+    // Per-layer baseline for the divergence monitor; the step estimate
+    // is the layer sum plus the exposure the *used* MIL predicts (the
+    // forced/ablation MIL may differ from the planner's pick).
+    int L = db_.numLayers();
+    planned_layer_.assign(static_cast<std::size_t>(L), 0);
+    planned_step_time_ = 0;
+    for (int l = 0; l < L; ++l) {
+        planned_layer_[static_cast<std::size_t>(l)] =
+            planner.layerTimeEstimate(l);
+        planned_step_time_ += planned_layer_[static_cast<std::size_t>(l)];
+    }
+    Tick exposed = planner_result_.best.est_exposed;
+    for (const IntervalChoice &c : planner_result_.candidates)
+        if (c.mil == plan_.mil)
+            exposed = c.est_exposed;
+    planned_step_time_ += exposed;
+    observed_layer_.assign(static_cast<std::size_t>(L), 0);
+}
+
+void
 SentinelPolicy::onTrainingStart(df::Executor &ex)
 {
     const df::Graph &graph = ex.graph();
@@ -116,20 +198,7 @@ SentinelPolicy::onTrainingStart(df::Executor &ex)
     in.promote_bw = hm.promoteChannel().bandwidth();
     in.fast_read_bw = hm.tierParams(mem::Tier::Fast).read_bw;
     in.slow_read_bw = hm.tierParams(mem::Tier::Slow).read_bw;
-    IntervalPlanner planner(in);
-    planner_result_ = planner.plan(rs_cap);
-
-    if (opts_.use_dynamic_intervals) {
-        plan_ = buildMigrationPlan(
-            db_, planner.dynamicBoundaries(planner_result_.rs_bytes));
-    } else {
-        int mil =
-            opts_.use_interval_planner ? planner_result_.best.mil : 1;
-        if (opts_.forced_mil > 0)
-            mil = opts_.forced_mil;
-        plan_ = buildMigrationPlan(db_, mil);
-    }
-    planned_ = true;
+    computePlan(in, rs_cap);
 
     if (opts_.use_reserved_pool && planner_result_.rs_bytes > 0) {
         pool_ = std::make_unique<alloc::ReservedPool>(
@@ -145,6 +214,85 @@ SentinelPolicy::onTrainingStart(df::Executor &ex)
         mode_stall_ = true;
         trial_ = TrialState::Decided;
     }
+}
+
+void
+SentinelPolicy::replan(df::Executor &ex, int step)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+
+    // Plan against what the run looks like NOW: the live (possibly
+    // degraded) bandwidth and capacity, and the profile projected by
+    // what the layers actually took.  The divergent step's per-layer
+    // times are NOT usable directly — Case-3 stalls concentrate at
+    // interval-start layers, and feeding those ratios back would bake
+    // transient migration waits into the compute estimates (a re-plan
+    // that made things worse than the stale plan).  Environment decay
+    // already arrives through the live bandwidth/capacity inputs; the
+    // *median* layer ratio isolates genuine compute/traffic drift,
+    // which is uniform across layers.
+    PlannerInputs in;
+    in.db = &db_;
+    in.fast_capacity = hm.tier(mem::Tier::Fast).capacity();
+    in.promote_bw = hm.promoteChannel().bandwidth();
+    in.fast_read_bw = hm.tierParams(mem::Tier::Fast).read_bw;
+    in.slow_read_bw = hm.tierParams(mem::Tier::Slow).read_bw;
+    int L = db_.numLayers();
+    std::vector<double> ratios;
+    ratios.reserve(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l) {
+        auto i = static_cast<std::size_t>(l);
+        if (planned_layer_[i] > 0 && observed_layer_[i] > 0)
+            ratios.push_back(static_cast<double>(observed_layer_[i]) /
+                             static_cast<double>(planned_layer_[i]));
+    }
+    double scale = 1.0;
+    if (!ratios.empty()) {
+        auto mid = ratios.begin() +
+                   static_cast<std::ptrdiff_t>(ratios.size() / 2);
+        std::nth_element(ratios.begin(), mid, ratios.end());
+        scale = std::clamp(*mid, 0.25, 4.0);
+    }
+    in.layer_time_scale.assign(static_cast<std::size_t>(L), scale);
+
+    // The reservation cannot move — live allocations sit in the pool —
+    // so the re-plan keeps it and redistributes only the migration
+    // budget and the interval structure.
+    std::uint64_t rs_cap = pool_ ? pool_->capacity() : 0;
+    computePlan(in, rs_cap);
+
+    // Queued prefetch intents survive the re-plan: the tensors the old
+    // plan wanted soon are overwhelmingly the ones the new plan wants
+    // too, and dropping them would force demand misses into the very
+    // steps the re-armed trial is about to measure.
+
+    // The stall-vs-leave economics changed with the environment:
+    // re-arm the Case-3 test-and-trial (Sec. IV-D) from scratch.
+    if (!opts_.gpu_mode) {
+        trial_ = TrialState::Idle;
+        mode_stall_ = true;
+        trial_stall_time_ = 0;
+        trial_retries_ = 0;
+    }
+
+    // The transition step runs half-old-plan, half-new: any trial it
+    // overlaps is void (same S3 guard as a Case-2/Case-3 event).
+    ++perturb_this_step_;
+
+    ++replans_;
+    last_replan_step_ = step;
+    divergent_streak_ = 0;
+    ex.chargePolicy(opts_.replan_overhead);
+    if (telemetry_) {
+        telemetry_->emit(telemetry::EventType::Replan, ex.now(),
+                         opts_.replan_overhead, 0,
+                         static_cast<std::uint32_t>(step));
+        replan_ctr_->add(1);
+    }
+    SENTINEL_INFORM("sentinel: re-planned at step %d (mil %d, plan %s)",
+                    step, plan_.mil,
+                    planner_result_.best.feasible ? "feasible"
+                                                  : "degraded");
 }
 
 df::AllocDecision
@@ -200,9 +348,19 @@ SentinelPolicy::allocate(df::Executor &ex, const df::TensorDesc &tensor)
 }
 
 void
-SentinelPolicy::onTensorFreed(df::Executor &, df::TensorId id,
+SentinelPolicy::onTensorFreed(df::Executor &ex, df::TensorId id,
                               const df::TensorPlacement &pl)
 {
+    // allocate() sized this allocation with tensor.bytes; the free
+    // path uses the placement's byte count.  They must be the same
+    // value or the pool/arena accounting drifts a little on every
+    // step until allocations mysteriously start failing.
+    SENTINEL_ASSERT(pl.bytes == ex.graph().tensor(id).bytes,
+                    "tensor %u freed with %llu bytes but allocated "
+                    "with %llu",
+                    id, static_cast<unsigned long long>(pl.bytes),
+                    static_cast<unsigned long long>(
+                        ex.graph().tensor(id).bytes));
     auto pit = pool_allocs_.find(id);
     if (pit != pool_allocs_.end()) {
         pool_->free(pit->second, pl.bytes);
@@ -271,10 +429,51 @@ SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
             // Fast memory is full right now; in-flight demotions will
             // free space — retry at the next layer boundary (hotter
             // tensors stay at the queue's front).
+            if (telemetry_)
+                blocked_ctr_->add(1);
             return;
         }
         pending_prefetch_.pop_front();
     }
+}
+
+std::vector<df::TensorId>
+SentinelPolicy::evictionCandidates(const df::Executor &ex) const
+{
+    int L = static_cast<int>(plan_.demote_at_layer.size());
+
+    // The backward scan below wraps modulo L, so "layers behind us"
+    // includes layers *ahead* in this step (their demote point passed
+    // in the previous step).  That is mostly what we want — those
+    // tensors are idle until their next use — EXCEPT for tensors the
+    // upcoming interval is being loaded with right now: evicting a
+    // just-issued prefetch both wastes the transfer and guarantees a
+    // Case-2 miss when the interval starts.  Protect everything still
+    // queued and everything on the current interval's prefetch list.
+    std::unordered_set<df::TensorId> protect(pending_prefetch_.begin(),
+                                             pending_prefetch_.end());
+    if (!plan_.prefetch_at.empty()) {
+        int interval = plan_.intervalOfLayer(current_layer_);
+        for (df::TensorId id :
+             plan_.prefetch_at[static_cast<std::size_t>(interval)])
+            protect.insert(id);
+    }
+
+    std::vector<df::TensorId> out;
+    std::unordered_set<df::TensorId> seen;
+    for (int d = 1; d <= L; ++d) {
+        int l = (current_layer_ - d + L) % L;
+        for (df::TensorId id :
+             plan_.demote_at_layer[static_cast<std::size_t>(l)]) {
+            if (protect.count(id) || seen.count(id))
+                continue;
+            if (!ex.isAllocated(id))
+                continue;
+            seen.insert(id);
+            out.push_back(id);
+        }
+    }
+    return out;
 }
 
 void
@@ -283,36 +482,35 @@ SentinelPolicy::evictForSpace(df::Executor &ex,
 {
     mem::HeterogeneousMemory &hm = ex.hm();
     Tick now = ex.now();
-    int L = static_cast<int>(plan_.demote_at_layer.size());
     std::uint64_t reclaimed = 0;
 
-    // Walk the demotion schedule backward from the current layer:
-    // tensors whose demote point just passed have no access until at
-    // least the next interval — if any are still resident (e.g.
-    // re-promoted early by an aggressive prefetch), they are the
-    // safest victims.
-    for (int d = 1; d <= L && reclaimed < bytes_needed; ++d) {
-        int l = (current_layer_ - d + L) % L;
-        for (df::TensorId id :
-             plan_.demote_at_layer[static_cast<std::size_t>(l)]) {
-            if (reclaimed >= bytes_needed)
-                break;
-            if (!ex.isAllocated(id))
+    // Demand eviction is itself a divergence/pressure signal: the plan
+    // thought everything would fit.
+    ++perturb_this_step_;
+    if (telemetry_)
+        evict_ctr_->add(1);
+
+    // Victims ordered by the demotion schedule walked backward from the
+    // current layer: tensors whose demote point just passed have no
+    // access until at least the next interval — if any are still
+    // resident (e.g. re-promoted early by an aggressive prefetch),
+    // they are the safest victims.
+    for (df::TensorId id : evictionCandidates(ex)) {
+        if (reclaimed >= bytes_needed)
+            break;
+        const df::TensorPlacement &pl = ex.placementOf(id);
+        std::vector<mem::PageId> batch;
+        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
+            if (isPoolPage(p))
                 continue;
-            const df::TensorPlacement &pl = ex.placementOf(id);
-            std::vector<mem::PageId> batch;
-            for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-                if (isPoolPage(p))
-                    continue;
-                if (hm.residentTier(p, now) != mem::Tier::Fast ||
-                    hm.inFlight(p, now))
-                    continue;
-                batch.push_back(p);
-            }
-            reclaimed +=
-                hm.migratePages(batch, mem::Tier::Slow, now) *
-                mem::kPageSize;
+            if (hm.residentTier(p, now) != mem::Tier::Fast ||
+                hm.inFlight(p, now))
+                continue;
+            batch.push_back(p);
         }
+        reclaimed +=
+            hm.migratePages(batch, mem::Tier::Slow, now) *
+            mem::kPageSize;
     }
 }
 
@@ -343,6 +541,7 @@ void
 SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
 {
     current_layer_ = layer;
+    layer_begin_ = ex.now();
     if (!plan_.isIntervalStart(layer)) {
         drainPrefetchQueue(ex);
         return;
@@ -360,6 +559,14 @@ SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
     if (ex.currentStep() >= 3 &&
         ex.hm().promoteBusyUntil() > ex.now()) {
         ++case3_events_;
+        ++perturb_this_step_;
+        // Prefetch-completion lag: how far behind this interval's
+        // prefetch is running — one of the monitor's divergence
+        // signals (a bandwidth fault shows up here first).
+        Tick lag = ex.hm().promoteBusyUntil() - ex.now();
+        lag_this_step_ += lag;
+        if (telemetry_)
+            lag_ctr_->add(static_cast<std::uint64_t>(lag));
         if (!opts_.gpu_mode && trial_ == TrialState::Idle)
             trial_ = TrialState::Pending;
     }
@@ -370,6 +577,8 @@ SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
 void
 SentinelPolicy::onLayerEnd(df::Executor &ex, int layer)
 {
+    observed_layer_[static_cast<std::size_t>(layer)] =
+        ex.now() - layer_begin_;
     issueDemotions(ex, layer);
 }
 
@@ -377,6 +586,8 @@ void
 SentinelPolicy::onStepBegin(df::Executor &ex, int)
 {
     step_begin_ = ex.now();
+    perturb_this_step_ = 0;
+    lag_this_step_ = 0;
     switch (trial_) {
       case TrialState::Pending:
         trial_ = TrialState::TrialStall;
@@ -393,16 +604,67 @@ SentinelPolicy::onStepBegin(df::Executor &ex, int)
 }
 
 void
-SentinelPolicy::onStepEnd(df::Executor &ex, int)
+SentinelPolicy::onStepEnd(df::Executor &ex, int step)
 {
     Tick step_time = ex.now() - step_begin_;
+    bool in_trial = trial_ == TrialState::TrialStall ||
+                    trial_ == TrialState::TrialLeave;
     if (trial_ == TrialState::TrialStall) {
         trial_stall_time_ = step_time;
+        trial_stall_perturb_ = perturb_this_step_;
         trial_ = TrialState::TrialLeave;
     } else if (trial_ == TrialState::TrialLeave) {
-        // Adopt whichever variant was faster (Sec. IV-D).
-        mode_stall_ = trial_stall_time_ <= step_time;
-        trial_ = TrialState::Decided;
+        if (perturb_this_step_ != trial_stall_perturb_ &&
+            trial_retries_ < opts_.max_trial_retries) {
+            // A Case-2/Case-3 perturbation landed in exactly one of
+            // the two trial steps: the stall-vs-leave times are not
+            // comparable.  Re-run the trial instead of committing to
+            // a decision taken on noise.
+            ++trial_retries_;
+            trial_ = TrialState::Pending;
+        } else {
+            // Adopt whichever variant was faster (Sec. IV-D).
+            mode_stall_ = trial_stall_time_ <= step_time;
+            trial_ = TrialState::Decided;
+        }
+    }
+
+    // --- Divergence monitor -------------------------------------------
+    // Trial steps deliberately run off-policy (they measure variants),
+    // and the cold start always diverges; neither says the profile went
+    // stale.
+    if (!opts_.enable_divergence_monitor || in_trial || step < 3)
+        return;
+    Tick planned = planned_step_time_;
+    if (planned <= 0)
+        return;
+    double thr = opts_.divergence_threshold;
+    bool slow_step =
+        static_cast<double>(step_time) >
+        static_cast<double>(planned) * (1.0 + thr);
+    // Prefetch lag is tracked (lag counter, Case-3 events) but only an
+    // actually-slow step feeds the streak: persistent lag behind an
+    // acceptable step time means the plan is still hiding the latency,
+    // and re-planning would destabilize a working configuration.
+    if (slow_step) {
+        ++divergence_events_;
+        ++divergent_streak_;
+        if (telemetry_) {
+            telemetry_->emit(telemetry::EventType::DivergenceDetected,
+                             ex.now(), 0,
+                             static_cast<std::uint64_t>(step_time),
+                             static_cast<std::uint32_t>(step));
+            divergence_ctr_->add(1);
+        }
+    } else {
+        divergent_streak_ = 0;
+    }
+    bool cooled =
+        last_replan_step_ < 0 ||
+        step - last_replan_step_ >= opts_.replan_cooldown;
+    if (divergent_streak_ >= opts_.divergence_patience && cooled &&
+        replans_ < opts_.max_replans) {
+        replan(ex, step);
     }
 }
 

@@ -77,6 +77,34 @@ struct SentinelOptions {
 
     /** Fraction of fast memory the reservation may occupy at most. */
     double rs_cap_fraction = 0.6;
+
+    /**
+     * Online divergence monitoring: compare each steady step against
+     * the planner's estimate and re-plan mid-training when the run no
+     * longer matches the profile (degraded bandwidth, shrunk capacity,
+     * drifted layer times — the scenarios the fault injector creates).
+     */
+    bool enable_divergence_monitor = true;
+
+    /** A step counts as divergent when its observed time exceeds
+     *  (1 + divergence_threshold) x the planned step time. */
+    double divergence_threshold = 0.25;
+
+    /** Consecutive divergent steps required before re-planning. */
+    int divergence_patience = 2;
+
+    /** Minimum steps between two re-plans (let the new plan settle). */
+    int replan_cooldown = 3;
+
+    /** Hard cap on mid-training re-plans per run. */
+    int max_replans = 4;
+
+    /** Planner cost charged to the step that triggers a re-plan. */
+    Tick replan_overhead = 50 * kUsec;
+
+    /** Re-runs of an inconclusive test-and-trial (a Case-2/Case-3
+     *  perturbation landing in exactly one of the two trial steps). */
+    int max_trial_retries = 2;
 };
 
 class SentinelPolicy : public df::MemoryPolicy
@@ -113,8 +141,33 @@ class SentinelPolicy : public df::MemoryPolicy
     int trialStepsUsed() const { return trial_steps_; }
     /** Resolved Case-3 handling after test-and-trial. */
     bool stallModeChosen() const { return mode_stall_; }
+    /** True once the test-and-trial reached a decision (or never ran). */
+    bool trialDecided() const;
+    /** Human-readable trial state for harness stats. */
+    const char *trialStateName() const;
+    /** Steps the divergence monitor flagged as off-plan. */
+    int divergenceEvents() const { return divergence_events_; }
+    /** Mid-training re-plans performed. */
+    int replans() const { return replans_; }
+    /** Planner's step-time estimate the monitor compares against. */
+    Tick plannedStepTime() const { return planned_step_time_; }
     std::uint64_t reservedPoolBytes() const;
     std::uint64_t reservedPoolPeak() const;
+
+    /** Prefetches queued but not yet fully migrated (tests). */
+    const std::deque<df::TensorId> &pendingPrefetch() const
+    {
+        return pending_prefetch_;
+    }
+
+    /**
+     * Demand-eviction victim order at the current layer: the demotion
+     * schedule walked backward, minus tensors protected because they
+     * are queued or just prefetched for the upcoming interval.
+     * Exposed so tests can pin the order evictForSpace() uses.
+     */
+    std::vector<df::TensorId>
+    evictionCandidates(const df::Executor &ex) const;
 
     /**
      * Static (co-allocation) address assigned to @p id, or ~0 if the
@@ -124,10 +177,11 @@ class SentinelPolicy : public df::MemoryPolicy
     mem::VirtAddr staticAddress(df::TensorId id) const;
 
     /**
-     * Attach a telemetry session (null detaches): interval boundaries
-     * and prefetch intents are then emitted as structured events.
+     * Attach a telemetry session (null detaches): interval boundaries,
+     * prefetch intents, divergence detections and re-plans are then
+     * emitted as structured events, plus monitor counters.
      */
-    void setTelemetry(telemetry::Session *session) { telemetry_ = session; }
+    void setTelemetry(telemetry::Session *session);
 
   private:
     enum class TrialState {
@@ -139,6 +193,11 @@ class SentinelPolicy : public df::MemoryPolicy
     };
 
     void buildStaticLayout(const df::Graph &graph);
+    /** Run the planner on @p in and (re)build plan_ + the per-layer
+     *  time baseline the divergence monitor compares against. */
+    void computePlan(const PlannerInputs &in, std::uint64_t rs_cap);
+    /** Mid-training re-plan against the *observed* environment. */
+    void replan(df::Executor &ex, int step);
     void issuePrefetch(df::Executor &ex, int interval);
     /**
      * Plan-guided demand eviction: when an allocation cannot fit,
@@ -181,7 +240,30 @@ class SentinelPolicy : public df::MemoryPolicy
     int case3_events_ = 0;
     int trial_steps_ = 0;
 
+    // Test-and-trial robustness (S3): perturbations observed during
+    // each trial step; a mismatch between the two steps voids the
+    // stall-vs-leave comparison and the trial is re-run.
+    int perturb_this_step_ = 0;
+    int trial_stall_perturb_ = 0;
+    int trial_retries_ = 0;
+
+    // Divergence monitor.
+    std::vector<Tick> planned_layer_;  ///< per-layer planner estimate
+    std::vector<Tick> observed_layer_; ///< per-layer time, current step
+    Tick planned_step_time_ = 0;
+    Tick layer_begin_ = 0;
+    Tick lag_this_step_ = 0;           ///< prefetch lag at interval starts
+    int divergent_streak_ = 0;
+    int divergence_events_ = 0;
+    int replans_ = 0;
+    int last_replan_step_ = -1;
+
     telemetry::Session *telemetry_ = nullptr;
+    telemetry::Counter *divergence_ctr_ = nullptr;
+    telemetry::Counter *replan_ctr_ = nullptr;
+    telemetry::Counter *lag_ctr_ = nullptr;
+    telemetry::Counter *evict_ctr_ = nullptr;
+    telemetry::Counter *blocked_ctr_ = nullptr;
 
     static constexpr mem::VirtAddr kInvalidAddr = ~0ull;
 };

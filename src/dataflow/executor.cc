@@ -318,6 +318,13 @@ void
 Executor::execOp(const Operation &op)
 {
     Tick compute = computeTime(op, params_);
+    double traffic_scale = 1.0;
+    if (chaos_) {
+        compute = static_cast<Tick>(
+            static_cast<double>(compute) *
+            chaos_->computeScale(current_layer_));
+        traffic_scale = chaos_->trafficScale();
+    }
     Tick mem_total = 0;
     Tick op_start = now_;
 
@@ -330,8 +337,11 @@ Executor::execOp(const Operation &op)
         std::uint64_t npages = pl.numPages();
         SENTINEL_ASSERT(npages > 0, "empty placement for tensor %u",
                         use.tensor);
-        UseTraffic tr{ use.traffic_bytes / npages,
-                       use.traffic_bytes % npages };
+        std::uint64_t traffic = use.traffic_bytes;
+        if (traffic_scale != 1.0)
+            traffic = static_cast<std::uint64_t>(
+                static_cast<double>(traffic) * traffic_scale);
+        UseTraffic tr{ traffic / npages, traffic % npages };
         TensorKind kind = graph_.tensor(use.tensor).kind;
 
         // Profiling (tracker attached) charges a fault per page, which
@@ -362,6 +372,19 @@ Executor::runStep()
     promoted_at_step_start_ = hm_.stats().promoted_bytes;
     demoted_at_step_start_ = hm_.stats().demoted_bytes;
 
+    // Fold and apply this step's faults before anything (including a
+    // first-step onTrainingStart) observes the memory system, so a
+    // chaos schedule starting at step 0 degrades even the plan.
+    if (chaos_) {
+        chaos_->beginStep(step_counter_);
+        hm_.setMigrationBandwidthScale(chaos_->promoteBwScale(),
+                                       chaos_->demoteBwScale());
+        hm_.setFastCapacityScale(chaos_->fastCapacityScale());
+        const sim::StepStalls &st = chaos_->stepStalls();
+        if (st.promote > 0 || st.demote > 0)
+            hm_.stallMigration(now_, st.promote, st.demote);
+    }
+
     if (telemetry_)
         telemetry_->emit(telemetry::EventType::StepBegin, now_, 0, 0,
                          static_cast<std::uint32_t>(step_counter_));
@@ -376,6 +399,7 @@ Executor::runStep()
     policy_.onStepBegin(*this, step_counter_);
 
     for (int layer = 0; layer < graph_.numLayers(); ++layer) {
+        current_layer_ = layer;
         policy_.onLayerBegin(*this, layer);
         for (OpId op_id : graph_.opsInLayer(layer)) {
             const Operation &op = graph_.op(op_id);
@@ -389,6 +413,7 @@ Executor::runStep()
         }
         policy_.onLayerEnd(*this, layer);
     }
+    current_layer_ = -1;
 
     policy_.onStepEnd(*this, step_counter_);
 

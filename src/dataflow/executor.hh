@@ -30,6 +30,7 @@
 #include "dataflow/step_stats.hh"
 #include "mem/access_tracker.hh"
 #include "mem/hm.hh"
+#include "sim/fault_injector.hh"
 #include "sim/trace.hh"
 #include "telemetry/session.hh"
 
@@ -100,6 +101,20 @@ class Executor
     void setTraceRecorder(sim::TraceRecorder *rec) { trace_ = rec; }
 
     /**
+     * Attach a fault injector (null detaches).  At each step's start
+     * the executor folds the schedule and applies bandwidth/capacity
+     * scales and channel stalls to the memory system; per-op compute
+     * and traffic are perturbed inline.  Policies observe the faults
+     * only through their effects — exactly like a real runtime whose
+     * environment degrades under it.
+     */
+    void setFaultInjector(sim::FaultInjector *inj) { chaos_ = inj; }
+    sim::FaultInjector *faultInjector() { return chaos_; }
+
+    /** Layer currently executing (-1 outside the layer loop). */
+    int currentLayer() const { return current_layer_; }
+
+    /**
      * Attach a telemetry session (null detaches).  When attached, the
      * executor emits step/op spans, stall, fault, and policy-decision
      * events and maintains per-tier traffic counters plus a stall
@@ -151,6 +166,8 @@ class Executor
 
     mem::AccessTracker *tracker_ = nullptr;
     sim::TraceRecorder *trace_ = nullptr;
+    sim::FaultInjector *chaos_ = nullptr;
+    int current_layer_ = -1;
 
     telemetry::Session *telemetry_ = nullptr;
     telemetry::Counter *fast_bytes_ctr_ = nullptr;

@@ -15,6 +15,7 @@
 #include "common/thread_pool.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
+#include "sim/fault_injector.hh"
 
 namespace sentinel::harness {
 
@@ -92,7 +93,14 @@ makePolicy(const std::string &name, const ExperimentConfig &cfg,
 Metrics
 runExperiment(const ExperimentConfig &cfg, const std::string &policy)
 {
-    Metrics m;
+    return runExperimentSteps(cfg, policy).metrics;
+}
+
+StepTrace
+runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
+{
+    StepTrace trace;
+    Metrics &m = trace.metrics;
     m.policy = policy;
     m.model = cfg.model;
     m.batch = cfg.batch;
@@ -115,7 +123,7 @@ runExperiment(const ExperimentConfig &cfg, const std::string &policy)
     if (policy == "vdnn" && !baselines::VdnnPolicy::supports(graph)) {
         m.supported = false;
         m.feasible = false;
-        return m;
+        return trace;
     }
 
     // Profiling phase (one step on a scratch memory system).
@@ -138,19 +146,30 @@ runExperiment(const ExperimentConfig &cfg, const std::string &policy)
             sp->setTelemetry(cfg.telemetry);
     }
 
-    std::vector<df::StepStats> stats;
+    // Chaos mode: the injector perturbs only the training run.  The
+    // profile above was taken on the healthy system, so a fault spec
+    // starting at step k makes the profile stale from k onward.
+    std::optional<sim::FaultInjector> injector;
+    if (!cfg.chaos.empty()) {
+        sim::FaultSpec spec = sim::FaultSpec::parse(cfg.chaos);
+        spec.seed = cfg.chaos_seed;
+        injector.emplace(std::move(spec));
+        ex.setFaultInjector(&*injector);
+    }
+
     try {
-        stats = ex.run(cfg.steps);
+        trace.steps = ex.run(cfg.steps);
     } catch (const std::runtime_error &) {
         // Out of memory (both tiers full): the configuration is
         // infeasible for this policy.
         m.feasible = false;
-        return m;
+        trace.steps.clear();
+        return trace;
     }
 
     int measured = 0;
     double slow_traffic = 0.0;
-    for (const auto &s : stats) {
+    for (const auto &s : trace.steps) {
         if (s.step < cfg.warmup)
             continue;
         ++measured;
@@ -196,8 +215,17 @@ runExperiment(const ExperimentConfig &cfg, const std::string &policy)
         m.case3_events = sp->case3Events();
         m.trial_steps = sp->trialStepsUsed();
         m.pool_mb = static_cast<double>(sp->reservedPoolBytes()) / 1e6;
+        m.divergence_events = sp->divergenceEvents();
+        m.replans = sp->replans();
+        m.trial_decided = sp->trialDecided();
+        m.trial_state = sp->trialStateName();
+        if (!m.trial_decided)
+            SENTINEL_WARN("%s run ended mid test-and-trial (state %s); "
+                          "stall mode left at trial value %d",
+                          m.policy.c_str(), m.trial_state.c_str(),
+                          sp->stallModeChosen() ? 1 : 0);
     }
-    return m;
+    return trace;
 }
 
 std::vector<Metrics>

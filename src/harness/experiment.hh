@@ -24,6 +24,7 @@
 
 #include "core/runtime.hh"
 #include "dataflow/graph.hh"
+#include "dataflow/step_stats.hh"
 
 namespace sentinel::harness {
 
@@ -48,6 +49,15 @@ struct ExperimentConfig {
 
     /** Sentinel knobs (ablations, forced MIL for Fig. 5). */
     core::SentinelOptions sentinel;
+
+    /**
+     * Fault-injection spec (see sim::FaultSpec::parse); empty = no
+     * chaos.  Faults apply to the *training* run only — the profiling
+     * pre-step sees the healthy system, which is exactly how a profile
+     * goes stale in the wild.
+     */
+    std::string chaos;
+    std::uint64_t chaos_seed = 0x5e97195eull;
 
     /**
      * Optional caller-owned telemetry session.  When set, the training
@@ -83,6 +93,10 @@ struct Metrics {
     int case3_events = 0;
     int trial_steps = 0;
     double pool_mb = 0.0;
+    int divergence_events = 0;   ///< monitor-flagged steps
+    int replans = 0;             ///< mid-training re-plans
+    bool trial_decided = true;   ///< false: run ended mid test-and-trial
+    std::string trial_state = "idle";
 
     double
     migrated_mb() const
@@ -102,6 +116,16 @@ const std::vector<std::string> &gpuPolicies();
 /** Run one (model, batch, platform, policy) cell. */
 Metrics runExperiment(const ExperimentConfig &cfg,
                       const std::string &policy);
+
+/** runExperiment plus the raw per-step stats — the chaos degradation
+ *  report needs the step-time trajectory around each injected fault.
+ *  `steps` is empty when the run was unsupported or died infeasible. */
+struct StepTrace {
+    Metrics metrics;
+    std::vector<df::StepStats> steps;
+};
+StepTrace runExperimentSteps(const ExperimentConfig &cfg,
+                             const std::string &policy);
 
 /** Run several policies on the same configuration. */
 std::vector<Metrics> runAll(const ExperimentConfig &cfg,

@@ -12,7 +12,9 @@ HeterogeneousMemory::HeterogeneousMemory(TierParams fast, TierParams slow,
     : fast_(std::move(fast)), slow_(std::move(slow)),
       promote_("promote", migration.promote_bw, migration.startup),
       demote_("demote", migration.demote_bw, migration.startup),
-      table_(backend)
+      base_promote_bw_(migration.promote_bw),
+      base_demote_bw_(migration.demote_bw),
+      base_fast_capacity_(fast_.capacity()), table_(backend)
 {
 }
 
@@ -247,6 +249,35 @@ HeterogeneousMemory::setTelemetry(telemetry::Session *session)
         promoted_ctr_ = nullptr;
         demoted_ctr_ = nullptr;
     }
+}
+
+void
+HeterogeneousMemory::setMigrationBandwidthScale(double promote, double demote)
+{
+    SENTINEL_ASSERT(promote > 0.0 && demote > 0.0,
+                    "bandwidth scales must be positive");
+    promote_.setBandwidth(base_promote_bw_ * promote);
+    demote_.setBandwidth(base_demote_bw_ * demote);
+}
+
+void
+HeterogeneousMemory::setFastCapacityScale(double scale)
+{
+    SENTINEL_ASSERT(scale > 0.0, "capacity scale must be positive");
+    std::uint64_t cap = static_cast<std::uint64_t>(
+        static_cast<double>(base_fast_capacity_) * scale);
+    // Keep whole pages so reservation arithmetic stays page-granular.
+    fast_.setCapacity(cap / kPageSize * kPageSize);
+}
+
+void
+HeterogeneousMemory::stallMigration(Tick now, Tick promote_for,
+                                    Tick demote_for)
+{
+    if (promote_for > 0)
+        promote_.blockUntil(now + promote_for);
+    if (demote_for > 0)
+        demote_.blockUntil(now + demote_for);
 }
 
 bool

@@ -171,6 +171,21 @@ class HeterogeneousMemory
      */
     void setTelemetry(telemetry::Session *session);
 
+    // --- Fault injection -------------------------------------------------
+    //
+    // All scales are ABSOLUTE multipliers on the construction-time
+    // baseline (captured once), so re-applying the same scale every
+    // step is idempotent rather than compounding.
+
+    /** Re-rate both migration channels relative to their baselines. */
+    void setMigrationBandwidthScale(double promote, double demote);
+
+    /** Scale the fast tier's capacity relative to its baseline. */
+    void setFastCapacityScale(double scale);
+
+    /** Block migration channels for the given durations starting @p now. */
+    void stallMigration(Tick now, Tick promote_for, Tick demote_for);
+
     /** Clear pages, reservations, channels and stats. */
     void reset();
 
@@ -196,6 +211,9 @@ class HeterogeneousMemory
     MemoryTier slow_;
     sim::BandwidthChannel promote_;
     sim::BandwidthChannel demote_;
+    double base_promote_bw_ = 0.0;
+    double base_demote_bw_ = 0.0;
+    std::uint64_t base_fast_capacity_ = 0;
     PageTable table_;
     std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
         pending_;

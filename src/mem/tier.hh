@@ -56,6 +56,14 @@ class MemoryTier
     /** Return @p bytes to the tier. */
     void release(std::uint64_t bytes);
 
+    /**
+     * Change the tier's effective capacity mid-run (fault injection:
+     * a co-tenant claiming memory).  Shrinking below used() is legal —
+     * already-resident pages stay, but new reservations fail until
+     * usage drains below the new limit.
+     */
+    void setCapacity(std::uint64_t bytes) { params_.capacity = bytes; }
+
     /** Drop usage counters (new experiment). */
     void reset();
 

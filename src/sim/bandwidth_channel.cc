@@ -43,6 +43,22 @@ BandwidthChannel::estimateCompletion(Tick ready, std::uint64_t bytes) const
 }
 
 void
+BandwidthChannel::setBandwidth(double bytes_per_sec)
+{
+    SENTINEL_ASSERT(bytes_per_sec > 0.0,
+                    "channel '%s' needs positive bandwidth", name_.c_str());
+    bytes_per_sec_ = bytes_per_sec;
+}
+
+void
+BandwidthChannel::blockUntil(Tick until)
+{
+    if (until <= busy_until_) return;
+    busy_time_ += until - busy_until_;
+    busy_until_ = until;
+}
+
+void
 BandwidthChannel::reset()
 {
     busy_until_ = 0;

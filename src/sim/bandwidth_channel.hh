@@ -60,6 +60,22 @@ class BandwidthChannel
     double bandwidth() const { return bytes_per_sec_; }
     const std::string &name() const { return name_; }
 
+    /**
+     * Re-rate the link mid-run (fault injection / dynamic topology).
+     * Only transfers submitted afterwards see the new rate; work already
+     * queued keeps its completion time.
+     */
+    void setBandwidth(double bytes_per_sec);
+
+    /**
+     * Block the channel until at least @p until (one-shot outage).
+     * Transfers already submitted keep their completion times (their
+     * data is on the wire); new submissions queue behind the outage.
+     * The blocked interval counts as busy time so utilisation stats
+     * reflect it.
+     */
+    void blockUntil(Tick until);
+
     /** Forget queued work and stats (new experiment, same link). */
     void reset();
 

@@ -30,6 +30,8 @@ trackOf(EventType t)
         return { 1, 3 };
       case EventType::ProfilingFault:
       case EventType::PolicyDecision:
+      case EventType::DivergenceDetected:
+      case EventType::Replan:
         return { 1, 4 };
       case EventType::Promotion:
         return { 2, 1 };
@@ -97,6 +99,10 @@ defaultName(const Event &e)
         return "promote";
       case EventType::Demotion:
         return "demote";
+      case EventType::DivergenceDetected:
+        return strprintf("divergence @step %u", e.id);
+      case EventType::Replan:
+        return strprintf("replan @step %u", e.id);
     }
     return "event";
 }
@@ -158,7 +164,13 @@ writeEvent(std::ostream &os, const Event &e, const EventLabeler &labeler,
         break;
       case EventType::IntervalBegin:
       case EventType::PrefetchIssued:
+      case EventType::DivergenceDetected:
         ph = "i";
+        break;
+      case EventType::Replan:
+        // Replans carry their planner cost as a span; a zero-cost
+        // replan still shows as a zero-width slice on the track.
+        ph = "X";
         break;
       default:
         break;

@@ -28,6 +28,10 @@ eventTypeName(EventType t)
         return "promotion";
       case EventType::Demotion:
         return "demotion";
+      case EventType::DivergenceDetected:
+        return "divergence";
+      case EventType::Replan:
+        return "replan";
     }
     return "unknown";
 }

@@ -33,9 +33,11 @@ enum class EventType : std::uint8_t {
     PrefetchIssued, ///< policy queued a tensor promotion (id = TensorId)
     Promotion,      ///< slow->fast DMA batch (dur = transfer window)
     Demotion,       ///< fast->slow DMA batch (dur = transfer window)
+    DivergenceDetected, ///< observed step diverged from plan (id = step)
+    Replan,         ///< mid-training re-plan (id = step, dur = cost)
 };
 
-constexpr std::size_t kNumEventTypes = 11;
+constexpr std::size_t kNumEventTypes = 13;
 
 /** Stable lower-case name of @p t (used in exports and tests). */
 const char *eventTypeName(EventType t);

@@ -1,3 +1,6 @@
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "alloc/reserved_pool.hh"
@@ -78,6 +81,28 @@ TEST(ReservedPool, UnalignedConstructionPanics)
 {
     EXPECT_THROW(ReservedPool(kBase + 1, mem::kPageSize), std::logic_error);
     EXPECT_THROW(ReservedPool(kBase, 100), std::logic_error);
+}
+
+TEST(ReservedPool, RoundTripsUnalignedSizes)
+{
+    // S4 regression: the policy frees with the placement's byte count,
+    // which must equal what allocate() was given — so alloc/free has to
+    // round-trip exactly for sizes that are no multiple of the pool's
+    // internal alignment.
+    ReservedPool pool(kBase, 2 * mem::kPageSize);
+    const std::uint64_t sizes[] = { 1000, 777, 63, 1, 4097 };
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::pair<mem::VirtAddr, std::uint64_t>> live;
+        for (std::uint64_t sz : sizes) {
+            auto p = pool.allocate(sz);
+            ASSERT_NE(p, ReservedPool::kInvalidAddr);
+            live.emplace_back(p, sz);
+        }
+        for (const auto &[p, sz] : live)
+            pool.free(p, sz);
+        EXPECT_EQ(pool.bytesInUse(), 0u);
+        EXPECT_TRUE(pool.canFit(2 * mem::kPageSize));
+    }
 }
 
 } // namespace

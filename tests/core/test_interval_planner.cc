@@ -117,6 +117,28 @@ TEST(IntervalPlanner, IntervalTimesPartitionTheStep)
     EXPECT_GT(whole, 0);
 }
 
+TEST(IntervalPlanner, DegradedReservationGivesPerLayerBoundaries)
+{
+    // S2 regression: rs_bytes >= fast capacity used to make
+    // dynamicBoundaries() silently fall back to budgeting against the
+    // *full* capacity while plan() treated the budget as zero.  Both
+    // now share migrationBudget(): no budget -> per-layer intervals.
+    auto r = profileToy();
+    PlannerInputs in = inputs(r.db, 1ull << 20);
+    IntervalPlanner planner(in);
+
+    EXPECT_EQ(planner.migrationBudget(256 * 1024),
+              (1ull << 20) - 256 * 1024);
+    EXPECT_EQ(planner.migrationBudget(1ull << 20), 0u);
+    EXPECT_EQ(planner.migrationBudget(2ull << 20), 0u);
+
+    std::vector<int> starts = planner.dynamicBoundaries(1ull << 20);
+    ASSERT_EQ(starts.size(),
+              static_cast<std::size_t>(r.db.numLayers()));
+    for (int l = 0; l < r.db.numLayers(); ++l)
+        EXPECT_EQ(starts[static_cast<std::size_t>(l)], l);
+}
+
 TEST(IntervalPlanner, MissingInputsPanic)
 {
     auto r = profileToy();

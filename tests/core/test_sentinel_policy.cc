@@ -202,5 +202,31 @@ TEST(SentinelRuntime, PresetsAreSane)
     EXPECT_TRUE(gpu.profiler.gpu_pinned);
 }
 
+TEST(SentinelPolicy, EvictionCandidatesProtectUpcomingPrefetches)
+{
+    Rig rig(2ull << 20);
+    SentinelPolicy policy(rig.profile.db);
+    df::Executor ex(rig.graph, rig.hm, rig.cfg.exec, policy);
+    ex.run(4);
+
+    std::vector<df::TensorId> cands = policy.evictionCandidates(ex);
+    // Pinned: evictForSpace() walks exactly this list, in this order.
+    EXPECT_EQ(cands, policy.evictionCandidates(ex));
+    std::set<df::TensorId> seen;
+    for (df::TensorId id : cands)
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate victim " << id;
+
+    // The regression: the wrap-around scan used to walk layers *ahead*
+    // and could evict tensors queued or just prefetched for the
+    // upcoming interval — exactly the ones about to be used.
+    for (df::TensorId id : policy.pendingPrefetch())
+        EXPECT_EQ(seen.count(id), 0u) << "queued prefetch " << id;
+    const MigrationPlan &plan = policy.migrationPlan();
+    int cur = plan.intervalOfLayer(rig.graph.numLayers() - 1);
+    for (df::TensorId id :
+         plan.prefetch_at[static_cast<std::size_t>(cur)])
+        EXPECT_EQ(seen.count(id), 0u) << "just-prefetched " << id;
+}
+
 } // namespace
 } // namespace sentinel::core

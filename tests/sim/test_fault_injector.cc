@@ -1,0 +1,117 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.hh"
+
+namespace sentinel::sim {
+namespace {
+
+TEST(FaultSpec, ParsesEveryClauseKind)
+{
+    FaultSpec s = FaultSpec::parse(
+        "bw:step=6,factor=0.5,ch=promote;stall:step=7,ms=2;"
+        "shrink:step=6,factor=0.7;jitter:step=3,amp=0.2;"
+        "drift:step=5,factor=1.3");
+    ASSERT_EQ(s.events.size(), 5u);
+    EXPECT_EQ(s.events[0].kind, FaultKind::BwDegrade);
+    EXPECT_EQ(s.events[0].step, 6);
+    EXPECT_EQ(s.events[0].channel, ChannelSel::Promote);
+    EXPECT_DOUBLE_EQ(s.events[0].factor, 0.5);
+    EXPECT_EQ(s.events[1].kind, FaultKind::ChannelStall);
+    EXPECT_EQ(s.events[1].duration, 2 * kMsec);
+    EXPECT_EQ(s.events[1].channel, ChannelSel::Both);
+    EXPECT_EQ(s.events[2].kind, FaultKind::CapacityShrink);
+    EXPECT_EQ(s.events[3].kind, FaultKind::ComputeJitter);
+    EXPECT_DOUBLE_EQ(s.events[3].amplitude, 0.2);
+    EXPECT_EQ(s.events[4].kind, FaultKind::TrafficDrift);
+    EXPECT_DOUBLE_EQ(s.events[4].factor, 1.3);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    // A typo must never silently run the wrong chaos.
+    EXPECT_ANY_THROW(FaultSpec::parse(""));
+    EXPECT_ANY_THROW(FaultSpec::parse("warp:step=1,factor=0.5"));
+    EXPECT_ANY_THROW(FaultSpec::parse("bw:factor=0.5"));
+    EXPECT_ANY_THROW(FaultSpec::parse("bw:step=1,factor=0"));
+    EXPECT_ANY_THROW(FaultSpec::parse("stall:step=1"));
+    EXPECT_ANY_THROW(FaultSpec::parse("jitter:step=1,amp=1.5"));
+    EXPECT_ANY_THROW(FaultSpec::parse("bw:step=1,factor=0.5,frob=1"));
+}
+
+TEST(FaultInjector, FoldsAbsoluteStateEachStep)
+{
+    FaultInjector fi(
+        FaultSpec::parse("bw:step=3,factor=0.5;bw:step=6,factor=0.5"));
+    fi.beginStep(0);
+    EXPECT_DOUBLE_EQ(fi.promoteBwScale(), 1.0);
+    EXPECT_FALSE(fi.anyActive());
+    fi.beginStep(3);
+    EXPECT_DOUBLE_EQ(fi.promoteBwScale(), 0.5);
+    EXPECT_TRUE(fi.anyActive());
+    fi.beginStep(6);
+    EXPECT_DOUBLE_EQ(fi.promoteBwScale(), 0.25); // both live: multiply
+    // Re-folding from scratch is idempotent: repeating (or rewinding)
+    // a step cannot compound a persistent fault.
+    fi.beginStep(6);
+    EXPECT_DOUBLE_EQ(fi.promoteBwScale(), 0.25);
+    fi.beginStep(3);
+    EXPECT_DOUBLE_EQ(fi.promoteBwScale(), 0.5);
+}
+
+TEST(FaultInjector, StallFiresOnlyAtItsStep)
+{
+    FaultInjector fi(FaultSpec::parse("stall:step=4,ms=2,ch=demote"));
+    fi.beginStep(3);
+    EXPECT_EQ(fi.stepStalls().demote, 0);
+    fi.beginStep(4);
+    EXPECT_EQ(fi.stepStalls().demote, 2 * kMsec);
+    EXPECT_EQ(fi.stepStalls().promote, 0);
+    fi.beginStep(5);
+    EXPECT_EQ(fi.stepStalls().demote, 0);
+}
+
+TEST(FaultInjector, JitterIsDeterministicAndBounded)
+{
+    FaultSpec spec = FaultSpec::parse("jitter:step=0,amp=0.2");
+    FaultInjector a(spec);
+    FaultInjector b(spec);
+    a.beginStep(5);
+    b.beginStep(5);
+    bool varies = false;
+    for (int l = 0; l < 32; ++l) {
+        double s = a.computeScale(l);
+        EXPECT_DOUBLE_EQ(s, b.computeScale(l));
+        EXPECT_GE(s, 0.8);
+        EXPECT_LE(s, 1.2);
+        varies = varies || std::abs(s - 1.0) > 1e-3;
+    }
+    EXPECT_TRUE(varies);
+
+    FaultSpec other = spec;
+    other.seed = 123;
+    FaultInjector c(other);
+    c.beginStep(5);
+    bool differs = false;
+    for (int l = 0; l < 32; ++l)
+        differs = differs || c.computeScale(l) != a.computeScale(l);
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, InactiveBeforeFirstEvent)
+{
+    FaultInjector fi(FaultSpec::parse(
+        "shrink:step=8,factor=0.7;drift:step=9,factor=1.3"));
+    fi.beginStep(7);
+    EXPECT_FALSE(fi.anyActive());
+    EXPECT_DOUBLE_EQ(fi.fastCapacityScale(), 1.0);
+    EXPECT_DOUBLE_EQ(fi.trafficScale(), 1.0);
+    EXPECT_DOUBLE_EQ(fi.computeScale(0), 1.0);
+    fi.beginStep(9);
+    EXPECT_DOUBLE_EQ(fi.fastCapacityScale(), 0.7);
+    EXPECT_DOUBLE_EQ(fi.trafficScale(), 1.3);
+}
+
+} // namespace
+} // namespace sentinel::sim

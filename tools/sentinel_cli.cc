@@ -7,6 +7,8 @@
  *   compare      every policy on one configuration
  *   plan         the interval planner's candidate table (Fig. 5 math)
  *   maxbatch     max-batch search on the GPU platform (Table V cell)
+ *   chaos        fault-injection degradation report (Sentinel vs. the
+ *                platform baselines under a --chaos spec)
  *   models       list the model zoo
  *
  * Examples:
@@ -14,8 +16,10 @@
  *   sentinel-cli compare --model bert_large --fraction 0.2
  *   sentinel-cli plan --model resnet32 --batch 32 --fraction 0.2
  *   sentinel-cli maxbatch --model resnet32 --policy sentinel --mem-mb 64
+ *   sentinel-cli chaos --model resnet32 --chaos 'bw:step=6,factor=0.5'
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +34,7 @@
 #include "mem/hm.hh"
 #include "profile/profiler.hh"
 #include "profile/serialize.hh"
+#include "sim/fault_injector.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/export.hh"
 #include "telemetry/session.hh"
@@ -104,6 +109,10 @@ configFrom(const Args &args)
     cfg.steps = args.getInt("steps", 9);
     cfg.warmup = args.getInt("warmup", 6);
     cfg.sentinel.forced_mil = args.getInt("mil", 0);
+    cfg.chaos = args.get("chaos", "");
+    std::string seed = args.get("chaos-seed", "");
+    if (!seed.empty())
+        cfg.chaos_seed = std::strtoull(seed.c_str(), nullptr, 0);
     return cfg;
 }
 
@@ -171,6 +180,10 @@ cmdRun(const Args &args)
     if (m.mil > 0) {
         std::printf("sentinel: MIL=%d pool=%.1fMB case3=%d trials=%d\n",
                     m.mil, m.pool_mb, m.case3_events, m.trial_steps);
+        if (m.divergence_events > 0 || m.replans > 0 || !m.trial_decided)
+            std::printf("sentinel: divergence=%d replans=%d trial=%s\n",
+                        m.divergence_events, m.replans,
+                        m.trial_state.c_str());
     }
 
     if (session) {
@@ -332,6 +345,125 @@ cmdProfile(const Args &args)
     return 0;
 }
 
+const char *
+channelName(sim::ChannelSel ch)
+{
+    switch (ch) {
+      case sim::ChannelSel::Promote:
+        return "promote";
+      case sim::ChannelSel::Demote:
+        return "demote";
+      case sim::ChannelSel::Both:
+        break;
+    }
+    return "both";
+}
+
+std::string
+faultLabel(const sim::FaultEvent &ev)
+{
+    switch (ev.kind) {
+      case sim::FaultKind::BwDegrade:
+        return strprintf("bw x%.2g [%s]", ev.factor,
+                         channelName(ev.channel));
+      case sim::FaultKind::ChannelStall:
+        return strprintf("stall %.3gms [%s]", toMillis(ev.duration),
+                         channelName(ev.channel));
+      case sim::FaultKind::CapacityShrink:
+        return strprintf("fast x%.2g", ev.factor);
+      case sim::FaultKind::ComputeJitter:
+        return strprintf("jitter +-%.0f%%", 100.0 * ev.amplitude);
+      case sim::FaultKind::TrafficDrift:
+        return strprintf("traffic x%.2g", ev.factor);
+    }
+    return "?";
+}
+
+int
+cmdChaos(const Args &args)
+{
+    harness::ExperimentConfig cfg = configFrom(args);
+    if (cfg.chaos.empty())
+        cfg.chaos = "bw:step=6,factor=0.4";
+    // The report wants the trajectory on both sides of the fault, so
+    // the step defaults are wider than run/compare's.
+    cfg.steps = args.getInt("steps", 16);
+    cfg.warmup = args.getInt("warmup", 10);
+
+    sim::FaultSpec spec = sim::FaultSpec::parse(cfg.chaos);
+
+    std::vector<std::string> policies =
+        cfg.platform == harness::Platform::Gpu
+            ? std::vector<std::string>{ "sentinel", "um", "swapadvisor" }
+            : std::vector<std::string>{ "sentinel", "ial",
+                                        "memory-mode" };
+
+    std::vector<harness::StepTrace> traces;
+    traces.reserve(policies.size());
+    for (const auto &p : policies)
+        traces.push_back(harness::runExperimentSteps(cfg, p));
+
+    std::vector<std::string> headers = { "step", "fault" };
+    for (const auto &p : policies)
+        headers.push_back(p + " (ms)");
+    Table t(strprintf("Degradation report (%s, batch %d, chaos '%s', "
+                      "seed 0x%llx)",
+                      cfg.model.c_str(), cfg.batch, cfg.chaos.c_str(),
+                      static_cast<unsigned long long>(cfg.chaos_seed)),
+            headers);
+    for (int s = 0; s < cfg.steps; ++s) {
+        std::string marks;
+        for (const auto &ev : spec.events) {
+            if (ev.step != s)
+                continue;
+            if (!marks.empty())
+                marks += ", ";
+            marks += faultLabel(ev);
+        }
+        t.row().cell(s).cell(marks);
+        for (const auto &tr : traces) {
+            if (s < static_cast<int>(tr.steps.size()))
+                t.cell(toMillis(tr.steps[s].step_time), 2);
+            else
+                t.cell(tr.metrics.supported ? "oom" : "n/a");
+        }
+    }
+    t.printWithCsv(std::cout);
+
+    int first_fault = cfg.steps;
+    for (const auto &ev : spec.events)
+        first_fault = std::min(first_fault, ev.step);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &steps = traces[i].steps;
+        const harness::Metrics &m = traces[i].metrics;
+        if (steps.empty()) {
+            std::printf("%-12s did not complete (%s)\n",
+                        policies[i].c_str(),
+                        m.supported ? "infeasible" : "unsupported");
+            continue;
+        }
+        double pre = 0.0;
+        if (first_fault > 0 &&
+            first_fault <= static_cast<int>(steps.size()))
+            pre = toMillis(steps[first_fault - 1].step_time);
+        double worst = 0.0;
+        for (int s = first_fault;
+             s < static_cast<int>(steps.size()); ++s)
+            worst = std::max(worst, toMillis(steps[s].step_time));
+        double final_ms = toMillis(steps.back().step_time);
+        std::printf("%-12s pre-fault %8.2f ms  worst %8.2f ms  final "
+                    "%8.2f ms (%.0f%% of pre-fault)",
+                    policies[i].c_str(), pre, worst, final_ms,
+                    pre > 0.0 ? 100.0 * final_ms / pre : 0.0);
+        if (m.mil > 0)
+            std::printf("  | divergence=%d replans=%d trial=%s",
+                        m.divergence_events, m.replans,
+                        m.trial_state.c_str());
+        std::printf("\n");
+    }
+    return 0;
+}
+
 int
 cmdModels()
 {
@@ -369,7 +501,16 @@ usage()
         "  maxbatch  --model M --policy P [--mem-mb M] [--cap N]\n"
         "            [--jobs N] probes the batch ladder in parallel\n"
         "  profile   --model M --batch N [--out FILE | --in FILE]\n"
+        "  chaos     fault-injection degradation report: sentinel vs.\n"
+        "            the platform baselines under --chaos SPEC, with\n"
+        "            the per-step time trajectory around each fault\n"
         "  models    list the model zoo\n\n"
+        "fault injection: --chaos SPEC (and --chaos-seed N) perturb the\n"
+        "training run of any command, e.g.\n"
+        "  --chaos 'bw:step=6,factor=0.5;stall:step=8,ms=2'\n"
+        "clauses: bw:step=,factor=[,ch=promote|demote|both]\n"
+        "         stall:step=,ms=|us=[,ch=...]   shrink:step=,factor=\n"
+        "         jitter:step=,amp=              drift:step=,factor=\n\n"
         "telemetry: --trace-out writes a Chrome-trace JSON (load it in\n"
         "chrome://tracing or https://ui.perfetto.dev); --metrics-out\n"
         "writes counters/histograms as CSV (.csv) or JSON.\n");
@@ -403,6 +544,8 @@ main(int argc, char **argv)
             return cmdMaxBatch(args);
         if (cmd == "profile")
             return cmdProfile(args);
+        if (cmd == "chaos")
+            return cmdChaos(args);
         if (cmd == "models")
             return cmdModels();
     } catch (const std::exception &e) {
