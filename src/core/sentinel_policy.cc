@@ -65,6 +65,41 @@ SentinelPolicy::setTelemetry(telemetry::Session *session)
     }
 }
 
+std::int16_t
+SentinelPolicy::currentInterval() const
+{
+    if (!planned_ || plan_.interval_of.empty())
+        return -1;
+    return static_cast<std::int16_t>(plan_.intervalOfLayer(current_layer_));
+}
+
+void
+SentinelPolicy::auditAppend(df::Executor &ex, telemetry::AuditReason reason,
+                            std::uint32_t tensor, std::uint64_t bytes)
+{
+    auditAppendAt(ex, ex.now(), reason, tensor, bytes);
+}
+
+void
+SentinelPolicy::auditAppendAt(df::Executor &ex, Tick ts,
+                              telemetry::AuditReason reason,
+                              std::uint32_t tensor, std::uint64_t bytes)
+{
+    if (!audit_)
+        return;
+    telemetry::AuditRecord r;
+    r.ts = ts;
+    r.bytes = bytes;
+    r.tensor = tensor;
+    r.step = ex.currentStep();
+    r.layer = static_cast<std::int16_t>(ex.currentLayer());
+    r.interval = currentInterval();
+    r.mil = static_cast<std::int16_t>(planned_ ? plan_.mil : 0);
+    r.plan_gen = static_cast<std::uint8_t>(replans_);
+    r.reason = reason;
+    audit_->append(r);
+}
+
 std::uint64_t
 SentinelPolicy::reservedPoolBytes() const
 {
@@ -283,6 +318,8 @@ SentinelPolicy::replan(df::Executor &ex, int step)
     last_replan_step_ = step;
     divergent_streak_ = 0;
     ex.chargePolicy(opts_.replan_overhead);
+    auditAppend(ex, telemetry::AuditReason::kReplanDivergence,
+                telemetry::kAuditNoTensor, 0);
     if (telemetry_) {
         telemetry_->emit(telemetry::EventType::Replan, ex.now(),
                          opts_.replan_overhead, 0,
@@ -327,6 +364,8 @@ SentinelPolicy::allocate(df::Executor &ex, const df::TensorDesc &tensor)
         mem::VirtAddr addr = pool_->allocate(tensor.bytes);
         if (addr != alloc::ReservedPool::kInvalidAddr) {
             pool_allocs_[tensor.id] = addr;
+            auditAppend(ex, telemetry::AuditReason::kPinReservedPool,
+                        tensor.id, tensor.bytes);
             return { addr, mem::Tier::Fast };
         }
         // Pool exhausted: fall through to the overflow path below.
@@ -425,7 +464,12 @@ SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
         }
         // One move_pages() call per tensor: the setup cost is paid
         // once and the pages stream back-to-back.
-        if (hm.migratePages(batch, mem::Tier::Fast, now) < batch.size()) {
+        std::size_t scheduled =
+            hm.migratePages(batch, mem::Tier::Fast, now);
+        if (scheduled > 0)
+            auditAppend(ex, telemetry::AuditReason::kPrefetchNextInterval,
+                        id, scheduled * mem::kPageSize);
+        if (scheduled < batch.size()) {
             // Fast memory is full right now; in-flight demotions will
             // free space — retry at the next layer boundary (hotter
             // tensors stay at the queue's front).
@@ -508,9 +552,12 @@ SentinelPolicy::evictForSpace(df::Executor &ex,
                 continue;
             batch.push_back(p);
         }
-        reclaimed +=
-            hm.migratePages(batch, mem::Tier::Slow, now) *
-            mem::kPageSize;
+        std::size_t scheduled =
+            hm.migratePages(batch, mem::Tier::Slow, now);
+        if (scheduled > 0)
+            auditAppend(ex, telemetry::AuditReason::kEvictForSpace, id,
+                        scheduled * mem::kPageSize);
+        reclaimed += scheduled * mem::kPageSize;
     }
 }
 
@@ -533,7 +580,11 @@ SentinelPolicy::issueDemotions(df::Executor &ex, int layer)
                 continue;
             batch.push_back(p);
         }
-        hm.migratePages(batch, mem::Tier::Slow, now);
+        std::size_t scheduled =
+            hm.migratePages(batch, mem::Tier::Slow, now);
+        if (scheduled > 0)
+            auditAppend(ex, telemetry::AuditReason::kEvictDeadTensor, id,
+                        scheduled * mem::kPageSize);
     }
 }
 
@@ -542,6 +593,8 @@ SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
 {
     current_layer_ = layer;
     layer_begin_ = ex.now();
+    if (ex.attribution())
+        ex.attribution()->setInterval(currentInterval());
     if (!plan_.isIntervalStart(layer)) {
         drainPrefetchQueue(ex);
         return;
@@ -686,9 +739,17 @@ SentinelPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
     if (hm.tier(mem::Tier::Fast).free() < mem::kPageSize)
         evictForSpace(ex, 64 * mem::kPageSize);
 
+    // The executor's attribution context knows which tensor's pages are
+    // being walked; borrow it so the demand-fault record names a tensor.
+    std::uint32_t faulted = ex.attribution()
+                                ? ex.attribution()->accessTensor()
+                                : telemetry::kAuditNoTensor;
+
     std::array<mem::PageId, 1> one{ page };
     df::PageAccessResult out;
     if (hm.migratePages(one, mem::Tier::Fast, now) == 1) {
+        auditAppend(ex, telemetry::AuditReason::kPrefetchDemand, faulted,
+                    mem::kPageSize);
         out.extra = hm.arrivalTime(page) - now;
         out.effective = mem::Tier::Fast;
     } else if (hm.demoteBusyUntil() > now) {
@@ -697,6 +758,12 @@ SentinelPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
         hm.commitUpTo(hm.demoteBusyUntil());
         if (hm.migratePages(one, mem::Tier::Fast,
                             hm.demoteBusyUntil()) == 1) {
+            // The transfer starts when the demote channel frees, later
+            // than ex.now() — stamp the record at the migration's
+            // schedule time so the trace join holds.
+            auditAppendAt(ex, hm.demoteBusyUntil(),
+                          telemetry::AuditReason::kPrefetchDemand, faulted,
+                          mem::kPageSize);
             out.extra += hm.arrivalTime(page) - hm.demoteBusyUntil();
             out.effective = mem::Tier::Fast;
         }

@@ -42,6 +42,7 @@
 #include "dataflow/executor.hh"
 #include "dataflow/policy.hh"
 #include "profile/profile_db.hh"
+#include "telemetry/audit.hh"
 #include "telemetry/session.hh"
 
 namespace sentinel::core {
@@ -183,6 +184,18 @@ class SentinelPolicy : public df::MemoryPolicy
      */
     void setTelemetry(telemetry::Session *session);
 
+    /**
+     * Attach a decision audit log (null detaches).  Every prefetch,
+     * demand promotion, demotion, demand eviction, pool pin and
+     * re-plan then appends one AuditRecord carrying the tensor, the
+     * reason code, and the plan context in force — see
+     * telemetry/audit.hh.  Records for scheduled migrations share
+     * their timestamp with the corresponding Promotion/Demotion
+     * telemetry event (the trace-join key).
+     */
+    void setAudit(telemetry::AuditLog *audit) { audit_ = audit; }
+    telemetry::AuditLog *audit() { return audit_; }
+
   private:
     enum class TrialState {
         Idle,       ///< no Case 3 seen yet
@@ -210,6 +223,17 @@ class SentinelPolicy : public df::MemoryPolicy
     void drainPrefetchQueue(df::Executor &ex);
     void issueDemotions(df::Executor &ex, int layer);
     bool isPoolPage(mem::PageId page) const;
+
+    /** Migration interval containing the current layer (-1 pre-plan). */
+    std::int16_t currentInterval() const;
+    /** Append one decision record stamped with the plan context. */
+    void auditAppend(df::Executor &ex, telemetry::AuditReason reason,
+                     std::uint32_t tensor, std::uint64_t bytes);
+    /** Same, at an explicit decision time @p ts (deferred migrations
+     *  whose transfer is scheduled later than ex.now()). */
+    void auditAppendAt(df::Executor &ex, Tick ts,
+                       telemetry::AuditReason reason, std::uint32_t tensor,
+                       std::uint64_t bytes);
 
     const prof::ProfileDatabase &db_;
     SentinelOptions opts_;
@@ -259,6 +283,7 @@ class SentinelPolicy : public df::MemoryPolicy
     int last_replan_step_ = -1;
 
     telemetry::Session *telemetry_ = nullptr;
+    telemetry::AuditLog *audit_ = nullptr;
     telemetry::Counter *divergence_ctr_ = nullptr;
     telemetry::Counter *replan_ctr_ = nullptr;
     telemetry::Counter *lag_ctr_ = nullptr;

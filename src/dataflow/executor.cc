@@ -76,6 +76,8 @@ Executor::chargeExposedEvents(Tick t, std::uint64_t events)
     now_ += t;
     stats_.exposed_migration += t;
     stats_.num_stalls += events;
+    if (attr_)
+        attr_->chargeExposed(t, events);
 }
 
 void
@@ -94,6 +96,8 @@ Executor::chargePolicy(Tick t)
                          static_cast<std::uint32_t>(step_counter_));
     now_ += t;
     stats_.policy_time += t;
+    if (attr_)
+        attr_->chargePolicy(t);
 }
 
 void
@@ -102,6 +106,8 @@ Executor::chargeRecompute(Tick t)
     SENTINEL_ASSERT(t >= 0, "negative recompute charge");
     now_ += t;
     stats_.recompute_time += t;
+    if (attr_)
+        attr_->chargeRecompute(t);
 }
 
 void
@@ -109,6 +115,10 @@ Executor::allocateTensor(TensorId id)
 {
     SENTINEL_ASSERT(!isAllocated(id), "tensor %u allocated twice", id);
     const TensorDesc &t = graph_.tensor(id);
+    // Stalls raised while the policy makes room (evict-for-space waits)
+    // are charged to the tensor being allocated, not the last accessed.
+    if (attr_)
+        attr_->beginAlloc(id);
     AllocDecision dec = policy_.allocate(*this, t);
 
     TensorPlacement pl{ dec.addr, t.bytes };
@@ -136,6 +146,8 @@ Executor::allocateTensor(TensorId id)
     placements_.emplace(id, pl);
     notePeakFastUsage();
     policy_.onTensorAllocated(*this, id, pl);
+    if (attr_)
+        attr_->endAlloc();
 }
 
 void
@@ -256,6 +268,8 @@ Executor::execUsePerPage(const TensorUse &use, const TensorPlacement &pl,
                                      static_cast<std::uint32_t>(p));
                 now_ += fault;
                 stats_.fault_overhead += fault;
+                if (attr_)
+                    attr_->chargeFault(fault);
             }
         }
     }
@@ -333,6 +347,8 @@ Executor::execOp(const Operation &op)
                          op.totalTraffic(), op.id);
 
     for (const TensorUse &use : op.uses) {
+        if (attr_)
+            attr_->setAccessTensor(use.tensor);
         const TensorPlacement &pl = placementOf(use.tensor);
         std::uint64_t npages = pl.numPages();
         SENTINEL_ASSERT(npages > 0, "empty placement for tensor %u",
@@ -356,6 +372,10 @@ Executor::execOp(const Operation &op)
     now_ += t;
     stats_.compute_time += compute;
     stats_.mem_time += mem_total;
+    if (attr_) {
+        attr_->setAccessTensor(telemetry::kAttrNoTensor);
+        attr_->chargeExecution(t);
+    }
     if (telemetry_) {
         telemetry_->emit(telemetry::EventType::OpEnd, now_, 0, 0, op.id);
         op_hist_->record(static_cast<std::uint64_t>(now_ - op_start));
@@ -369,6 +389,8 @@ Executor::runStep()
     stats_ = StepStats{};
     stats_.step = step_counter_;
     Tick step_start = now_;
+    if (attr_)
+        attr_->beginStep(step_counter_, now_);
     promoted_at_step_start_ = hm_.stats().promoted_bytes;
     demoted_at_step_start_ = hm_.stats().demoted_bytes;
 
@@ -400,6 +422,8 @@ Executor::runStep()
 
     for (int layer = 0; layer < graph_.numLayers(); ++layer) {
         current_layer_ = layer;
+        if (attr_)
+            attr_->setLayer(layer);
         policy_.onLayerBegin(*this, layer);
         for (OpId op_id : graph_.opsInLayer(layer)) {
             const Operation &op = graph_.op(op_id);
@@ -414,6 +438,8 @@ Executor::runStep()
         policy_.onLayerEnd(*this, layer);
     }
     current_layer_ = -1;
+    if (attr_)
+        attr_->setLayer(-1);
 
     policy_.onStepEnd(*this, step_counter_);
 
@@ -421,6 +447,11 @@ Executor::runStep()
     stats_.promoted_bytes =
         hm_.stats().promoted_bytes - promoted_at_step_start_;
     stats_.demoted_bytes = hm_.stats().demoted_bytes - demoted_at_step_start_;
+
+    if (attr_)
+        attr_->endStep(stats_.step_time, stats_.exposed_migration,
+                       stats_.policy_time, stats_.fault_overhead,
+                       stats_.recompute_time, stats_.num_stalls);
 
     if (telemetry_)
         telemetry_->emit(telemetry::EventType::StepEnd, now_, 0, 0,

@@ -32,6 +32,7 @@
 #include "mem/hm.hh"
 #include "sim/fault_injector.hh"
 #include "sim/trace.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/session.hh"
 
 namespace sentinel::df {
@@ -124,6 +125,17 @@ class Executor
     void setTelemetry(telemetry::Session *session);
     telemetry::Session *telemetry() { return telemetry_; }
 
+    /**
+     * Attach a stall-attribution engine (null detaches).  Every
+     * simulated-clock advance inside runStep() is reported to the
+     * engine classified by cause, together with the layer / tensor /
+     * allocation context in force, so the engine can decompose
+     * StepStats totals exactly (see telemetry/attribution.hh).  Like
+     * telemetry, attribution never perturbs simulated time.
+     */
+    void setAttribution(telemetry::AttributionEngine *attr) { attr_ = attr; }
+    telemetry::AttributionEngine *attribution() { return attr_; }
+
   private:
     /** Per-use traffic split: page i carries q + (i < rem ? 1 : 0). */
     struct UseTraffic {
@@ -170,6 +182,7 @@ class Executor
     int current_layer_ = -1;
 
     telemetry::Session *telemetry_ = nullptr;
+    telemetry::AttributionEngine *attr_ = nullptr;
     telemetry::Counter *fast_bytes_ctr_ = nullptr;
     telemetry::Counter *slow_bytes_ctr_ = nullptr;
     telemetry::Gauge *fast_peak_gauge_ = nullptr;

@@ -145,6 +145,13 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
         if (auto *sp = dynamic_cast<core::SentinelPolicy *>(pol.get()))
             sp->setTelemetry(cfg.telemetry);
     }
+    if (cfg.attribution) {
+        ex.setAttribution(cfg.attribution);
+        hm.setAttribution(cfg.attribution);
+    }
+    if (cfg.audit)
+        if (auto *sp = dynamic_cast<core::SentinelPolicy *>(pol.get()))
+            sp->setAudit(cfg.audit);
 
     // Chaos mode: the injector perturbs only the training run.  The
     // profile above was taken on the healthy system, so a fault spec
@@ -243,7 +250,7 @@ std::vector<Metrics>
 runAllParallel(const ExperimentConfig &cfg,
                const std::vector<std::string> &policies, int jobs)
 {
-    if (cfg.telemetry)
+    if (cfg.telemetry || cfg.attribution || cfg.audit)
         return runAll(cfg, policies);
     std::vector<Metrics> out(policies.size());
     parallelFor(policies.size(), jobs, [&](std::size_t i) {
@@ -258,8 +265,11 @@ runSweep(const std::vector<SweepCell> &cells, int jobs)
     std::vector<Metrics> out(cells.size());
     std::vector<std::size_t> concurrent;
     std::vector<std::size_t> serial;
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        (cells[i].cfg.telemetry ? serial : concurrent).push_back(i);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        bool shared = cells[i].cfg.telemetry ||
+                      cells[i].cfg.attribution || cells[i].cfg.audit;
+        (shared ? serial : concurrent).push_back(i);
+    }
     parallelFor(concurrent.size(), jobs, [&](std::size_t k) {
         std::size_t i = concurrent[k];
         out[i] = runExperiment(cells[i].cfg, cells[i].policy);

@@ -25,6 +25,8 @@
 #include "core/runtime.hh"
 #include "dataflow/graph.hh"
 #include "dataflow/step_stats.hh"
+#include "telemetry/attribution.hh"
+#include "telemetry/audit.hh"
 
 namespace sentinel::harness {
 
@@ -67,6 +69,22 @@ struct ExperimentConfig {
      * monotonic training clock.
      */
     telemetry::Session *telemetry = nullptr;
+
+    /**
+     * Optional caller-owned stall-attribution engine.  When set, the
+     * training executor and memory system report every clock advance
+     * and migration to it; after the run the engine holds the exact
+     * per-layer / per-interval / per-tensor decomposition of the
+     * StepStats totals (see telemetry/attribution.hh).
+     */
+    telemetry::AttributionEngine *attribution = nullptr;
+
+    /**
+     * Optional caller-owned decision audit log, recorded by the
+     * sentinel policy (other policies make no plan-level decisions and
+     * leave it empty).
+     */
+    telemetry::AuditLog *audit = nullptr;
 };
 
 struct Metrics {

@@ -176,6 +176,8 @@ HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
     if (telemetry_)
         noteMigration(dst, ready, arrival, kPageSize,
                       static_cast<std::uint32_t>(page));
+    if (attr_)
+        attr_->noteMigration(dst == Tier::Fast, kPageSize);
     return arrival;
 }
 
@@ -219,6 +221,8 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
     if (telemetry_ && scheduled > 0)
         noteMigration(dst, ready, last_arrival, scheduled * kPageSize,
                       first_page);
+    if (attr_ && scheduled > 0)
+        attr_->noteMigration(dst == Tier::Fast, scheduled * kPageSize);
     return scheduled;
 }
 

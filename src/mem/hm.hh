@@ -27,6 +27,7 @@
 #include "mem/page_table.hh"
 #include "mem/tier.hh"
 #include "sim/bandwidth_channel.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/session.hh"
 
 namespace sentinel::mem {
@@ -171,6 +172,14 @@ class HeterogeneousMemory
      */
     void setTelemetry(telemetry::Session *session);
 
+    /**
+     * Attach a stall-attribution engine (null detaches; independent of
+     * the telemetry session).  Every scheduled migration reports its
+     * direction and volume so per-layer / per-interval migration bytes
+     * accrue in the attribution buckets.
+     */
+    void setAttribution(telemetry::AttributionEngine *attr) { attr_ = attr; }
+
     // --- Fault injection -------------------------------------------------
     //
     // All scales are ABSOLUTE multipliers on the construction-time
@@ -220,6 +229,7 @@ class HeterogeneousMemory
     HmStats stats_;
 
     telemetry::Session *telemetry_ = nullptr;
+    telemetry::AttributionEngine *attr_ = nullptr;
     telemetry::Counter *promoted_ctr_ = nullptr;
     telemetry::Counter *demoted_ctr_ = nullptr;
 };

@@ -26,10 +26,19 @@ modelZoo()
 const ModelSpec &
 modelSpec(const std::string &name)
 {
+    const ModelSpec *spec = findModelSpec(name);
+    if (!spec)
+        SENTINEL_FATAL("unknown model '%s'", name.c_str());
+    return *spec;
+}
+
+const ModelSpec *
+findModelSpec(const std::string &name)
+{
     for (const auto &spec : modelZoo())
         if (spec.name == name)
-            return spec;
-    SENTINEL_FATAL("unknown model '%s'", name.c_str());
+            return &spec;
+    return nullptr;
 }
 
 df::Graph

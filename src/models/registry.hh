@@ -34,6 +34,14 @@ df::Graph makeModel(const std::string &name, int batch);
 /** Spec lookup; fatal on unknown name. */
 const ModelSpec &modelSpec(const std::string &name);
 
+/**
+ * Non-fatal spec lookup: null when @p name has no Table III entry.
+ * The factory accepts more names than the zoo lists (the Fig. 11
+ * ResNet variants) — callers defaulting a batch size from the spec
+ * should fall back gracefully for those.
+ */
+const ModelSpec *findModelSpec(const std::string &name);
+
 } // namespace sentinel::models
 
 #endif // SENTINEL_MODELS_REGISTRY_HH

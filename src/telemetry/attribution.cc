@@ -1,0 +1,300 @@
+#include "telemetry/attribution.hh"
+
+#include "common/logging.hh"
+#include "telemetry/event.hh"
+
+namespace sentinel::telemetry {
+
+const char *
+attrComponentName(AttrComponent c)
+{
+    switch (c) {
+      case AttrComponent::Execution:
+        return "execution";
+      case AttrComponent::Exposed:
+        return "exposed";
+      case AttrComponent::Alloc:
+        return "alloc";
+      case AttrComponent::Policy:
+        return "policy";
+      case AttrComponent::Fault:
+        return "fault";
+      case AttrComponent::Recompute:
+        return "recompute";
+    }
+    return "?";
+}
+
+Tick
+AttrBucket::total() const
+{
+    Tick sum = 0;
+    for (Tick t : ticks)
+        sum += t;
+    return sum;
+}
+
+Tick
+AttrBucket::exposedMigration() const
+{
+    return component(AttrComponent::Exposed) +
+           component(AttrComponent::Alloc);
+}
+
+void
+AttrBucket::add(const AttrBucket &o)
+{
+    for (std::size_t i = 0; i < kNumAttrComponents; ++i)
+        ticks[i] += o.ticks[i];
+    stall_events += o.stall_events;
+    promoted_bytes += o.promoted_bytes;
+    demoted_bytes += o.demoted_bytes;
+}
+
+bool
+StepAttribution::exact() const
+{
+    return bucket.total() == step_time &&
+           bucket.exposedMigration() == exposed_migration &&
+           bucket.component(AttrComponent::Policy) == policy_time &&
+           bucket.component(AttrComponent::Fault) == fault_overhead &&
+           bucket.component(AttrComponent::Recompute) == recompute_time &&
+           bucket.stall_events == num_stalls;
+}
+
+void
+AttributionEngine::beginStep(int step, Tick now)
+{
+    (void)now;
+    SENTINEL_ASSERT(!in_step_, "beginStep(%d) while step %d still open",
+                    step, step_);
+    in_step_ = true;
+    step_ = step;
+    layer_ = -1;
+    access_tensor_ = kAttrNoTensor;
+    alloc_tensor_ = kAttrNoTensor;
+    in_alloc_ = false;
+    current_ = AttrBucket{};
+}
+
+void
+AttributionEngine::endStep(Tick step_time, Tick exposed_migration,
+                           Tick policy_time, Tick fault_overhead,
+                           Tick recompute_time, std::uint64_t num_stalls)
+{
+    SENTINEL_ASSERT(in_step_, "endStep without a matching beginStep");
+    in_step_ = false;
+
+    StepAttribution sa;
+    sa.step = step_;
+    sa.bucket = current_;
+    sa.step_time = step_time;
+    sa.exposed_migration = exposed_migration;
+    sa.policy_time = policy_time;
+    sa.fault_overhead = fault_overhead;
+    sa.recompute_time = recompute_time;
+    sa.num_stalls = num_stalls;
+
+    if (!sa.exact()) {
+        SENTINEL_PANIC(
+            "attribution drift in step %d: attributed total %lld "
+            "(exec %lld exposed %lld alloc %lld policy %lld fault %lld "
+            "recompute %lld, %llu stalls) vs StepStats step_time %lld "
+            "exposed_migration %lld policy %lld fault %lld recompute "
+            "%lld num_stalls %llu",
+            step_, static_cast<long long>(sa.bucket.total()),
+            static_cast<long long>(
+                sa.bucket.component(AttrComponent::Execution)),
+            static_cast<long long>(
+                sa.bucket.component(AttrComponent::Exposed)),
+            static_cast<long long>(
+                sa.bucket.component(AttrComponent::Alloc)),
+            static_cast<long long>(
+                sa.bucket.component(AttrComponent::Policy)),
+            static_cast<long long>(
+                sa.bucket.component(AttrComponent::Fault)),
+            static_cast<long long>(
+                sa.bucket.component(AttrComponent::Recompute)),
+            static_cast<unsigned long long>(sa.bucket.stall_events),
+            static_cast<long long>(step_time),
+            static_cast<long long>(exposed_migration),
+            static_cast<long long>(policy_time),
+            static_cast<long long>(fault_overhead),
+            static_cast<long long>(recompute_time),
+            static_cast<unsigned long long>(num_stalls));
+    }
+    steps_.push_back(sa);
+    step_ = -1;
+    layer_ = -1;
+}
+
+void
+AttributionEngine::beginAlloc(std::uint32_t tensor)
+{
+    SENTINEL_ASSERT(!in_alloc_, "nested tensor allocation");
+    in_alloc_ = true;
+    alloc_tensor_ = tensor;
+}
+
+void
+AttributionEngine::endAlloc()
+{
+    in_alloc_ = false;
+    alloc_tensor_ = kAttrNoTensor;
+}
+
+void
+AttributionEngine::charge(AttrComponent c, Tick t, std::uint64_t events)
+{
+    if (!in_step_ || (t == 0 && events == 0))
+        return;
+    current_.ticks[static_cast<std::size_t>(c)] += t;
+    current_.stall_events += events;
+
+    AttrBucket &layer = by_layer_[layer_];
+    layer.ticks[static_cast<std::size_t>(c)] += t;
+    layer.stall_events += events;
+
+    AttrBucket &interval = by_interval_[interval_];
+    interval.ticks[static_cast<std::size_t>(c)] += t;
+    interval.stall_events += events;
+
+    if (c == AttrComponent::Exposed || c == AttrComponent::Alloc) {
+        std::uint32_t tensor =
+            in_alloc_ ? alloc_tensor_ : access_tensor_;
+        TensorAttr &ta = by_tensor_[tensor];
+        if (c == AttrComponent::Alloc)
+            ta.alloc += t;
+        else
+            ta.exposed += t;
+        ta.stall_events += events;
+    }
+}
+
+void
+AttributionEngine::chargeExecution(Tick t)
+{
+    charge(AttrComponent::Execution, t, 0);
+}
+
+void
+AttributionEngine::chargeExposed(Tick t, std::uint64_t events)
+{
+    // Stalls raised while an allocation is in flight are the
+    // allocation's fault (evict-for-space waits), not the access path's.
+    charge(in_alloc_ ? AttrComponent::Alloc : AttrComponent::Exposed, t,
+           events);
+}
+
+void
+AttributionEngine::chargePolicy(Tick t)
+{
+    charge(AttrComponent::Policy, t, 0);
+}
+
+void
+AttributionEngine::chargeFault(Tick t)
+{
+    charge(AttrComponent::Fault, t, 0);
+}
+
+void
+AttributionEngine::chargeRecompute(Tick t)
+{
+    charge(AttrComponent::Recompute, t, 0);
+}
+
+void
+AttributionEngine::noteMigration(bool promote, std::uint64_t bytes)
+{
+    if (!in_step_)
+        return;
+    if (promote)
+        current_.promoted_bytes += bytes;
+    else
+        current_.demoted_bytes += bytes;
+    AttrBucket &layer = by_layer_[layer_];
+    AttrBucket &interval = by_interval_[interval_];
+    if (promote) {
+        layer.promoted_bytes += bytes;
+        interval.promoted_bytes += bytes;
+    } else {
+        layer.demoted_bytes += bytes;
+        interval.demoted_bytes += bytes;
+    }
+}
+
+AttrBucket
+AttributionEngine::totals() const
+{
+    AttrBucket sum;
+    for (const StepAttribution &sa : steps_)
+        sum.add(sa.bucket);
+    return sum;
+}
+
+bool
+AttributionEngine::allExact() const
+{
+    for (const StepAttribution &sa : steps_)
+        if (!sa.exact())
+            return false;
+    return true;
+}
+
+bool
+AttributionEngine::crossCheckEvents(const EventSink &sink,
+                                    std::string *why) const
+{
+    if (sink.dropped() > 0) {
+        // The ring lost history; the surviving Stall events are a
+        // subset and cannot be expected to sum to the attributed total.
+        if (why)
+            *why = strprintf("indeterminate: ring dropped %llu events",
+                             static_cast<unsigned long long>(
+                                 sink.dropped()));
+        return true;
+    }
+    Tick event_stall = 0;
+    std::uint64_t event_count = 0;
+    for (const Event &e : sink.snapshot()) {
+        if (e.type == EventType::Stall) {
+            event_stall += e.dur;
+            ++event_count;
+        }
+    }
+    AttrBucket sum = totals();
+    if (event_stall != sum.exposedMigration()) {
+        if (why)
+            *why = strprintf(
+                "event stream claims %lld stall ticks over %llu events, "
+                "attribution claims %lld over %llu",
+                static_cast<long long>(event_stall),
+                static_cast<unsigned long long>(event_count),
+                static_cast<long long>(sum.exposedMigration()),
+                static_cast<unsigned long long>(sum.stall_events));
+        return false;
+    }
+    if (why)
+        *why = "ok";
+    return true;
+}
+
+void
+AttributionEngine::clear()
+{
+    step_ = -1;
+    layer_ = -1;
+    interval_ = -1;
+    access_tensor_ = kAttrNoTensor;
+    alloc_tensor_ = kAttrNoTensor;
+    in_alloc_ = false;
+    in_step_ = false;
+    current_ = AttrBucket{};
+    steps_.clear();
+    by_layer_.clear();
+    by_interval_.clear();
+    by_tensor_.clear();
+}
+
+} // namespace sentinel::telemetry

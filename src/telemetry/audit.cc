@@ -1,0 +1,106 @@
+#include "telemetry/audit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::telemetry {
+
+const char *
+auditReasonName(AuditReason r)
+{
+    switch (r) {
+      case AuditReason::kPrefetchNextInterval:
+        return "kPrefetchNextInterval";
+      case AuditReason::kPrefetchDemand:
+        return "kPrefetchDemand";
+      case AuditReason::kEvictDeadTensor:
+        return "kEvictDeadTensor";
+      case AuditReason::kEvictForSpace:
+        return "kEvictForSpace";
+      case AuditReason::kPinReservedPool:
+        return "kPinReservedPool";
+      case AuditReason::kReplanDivergence:
+        return "kReplanDivergence";
+    }
+    return "?";
+}
+
+bool
+auditReasonIsPromote(AuditReason r)
+{
+    return r == AuditReason::kPrefetchNextInterval ||
+           r == AuditReason::kPrefetchDemand;
+}
+
+bool
+auditReasonIsDemote(AuditReason r)
+{
+    return r == AuditReason::kEvictDeadTensor ||
+           r == AuditReason::kEvictForSpace;
+}
+
+AuditLog::AuditLog(std::size_t capacity) : capacity_(capacity)
+{
+    SENTINEL_ASSERT(capacity > 0, "audit log needs a nonzero capacity");
+}
+
+void
+AuditLog::append(const AuditRecord &r)
+{
+    if (records_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    SENTINEL_ASSERT(records_.empty() || r.ts >= records_.back().ts,
+                    "audit records must be appended in time order "
+                    "(%lld after %lld)",
+                    static_cast<long long>(r.ts),
+                    static_cast<long long>(records_.back().ts));
+    records_.push_back(r);
+}
+
+std::vector<AuditRecord>
+AuditLog::forTensor(std::uint32_t tensor) const
+{
+    std::vector<AuditRecord> out;
+    for (const AuditRecord &r : records_)
+        if (r.tensor == tensor)
+            out.push_back(r);
+    return out;
+}
+
+const AuditRecord *
+AuditLog::lastForTensor(std::uint32_t tensor) const
+{
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+        if (it->tensor == tensor)
+            return &*it;
+    return nullptr;
+}
+
+const AuditRecord *
+AuditLog::matchMigration(Tick ts, bool promote) const
+{
+    // Records are ts-ordered: binary-search the first record at ts,
+    // then scan the (short) same-tick cluster for the direction.
+    auto it = std::lower_bound(records_.begin(), records_.end(), ts,
+                               [](const AuditRecord &r, Tick t) {
+                                   return r.ts < t;
+                               });
+    for (; it != records_.end() && it->ts == ts; ++it) {
+        if (promote ? auditReasonIsPromote(it->reason)
+                    : auditReasonIsDemote(it->reason))
+            return &*it;
+    }
+    return nullptr;
+}
+
+void
+AuditLog::clear()
+{
+    records_.clear();
+    dropped_ = 0;
+}
+
+} // namespace sentinel::telemetry

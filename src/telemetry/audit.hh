@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The migration decision audit log.
+ *
+ * Every discrete policy decision that moves, pins, or protects tensor
+ * data — a prefetch queued for the next interval, a plan-scheduled
+ * demotion of a dead tensor, a demand eviction under memory pressure,
+ * a reserved-pool pin, a mid-training re-plan — appends one compact
+ * AuditRecord.  The log answers, after the fact, questions the
+ * aggregate StepStats cannot: "why was tensor X evicted?", "which plan
+ * generation issued this transfer?", "what did the policy do at tick
+ * T?".
+ *
+ * Records are append-only and timestamp-ordered (simulated time never
+ * goes backward), so the log doubles as a join key against the event
+ * ring: a Promotion/Demotion event and the decision that caused it
+ * share a timestamp, which is how the Chrome-trace exporter attaches
+ * reason codes to migration slices (see chrome_trace.hh).
+ */
+
+#ifndef SENTINEL_TELEMETRY_AUDIT_HH
+#define SENTINEL_TELEMETRY_AUDIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace sentinel::telemetry {
+
+/** Why a decision was taken.  Stable names (auditReasonName) appear in
+ *  reports, exported JSON, and Chrome-trace args. */
+enum class AuditReason : std::uint8_t {
+    /** Tensor queued/transferred ahead of the interval that needs it. */
+    kPrefetchNextInterval,
+    /** GPU demand fault: host-resident page pulled to device on touch. */
+    kPrefetchDemand,
+    /** Plan-scheduled demotion: last use in its interval has passed. */
+    kEvictDeadTensor,
+    /** Demand eviction: fast memory could not fit a new allocation. */
+    kEvictForSpace,
+    /** Short-lived tensor pinned in the reserved fast-memory pool. */
+    kPinReservedPool,
+    /** Mid-training re-plan triggered by the divergence monitor. */
+    kReplanDivergence,
+};
+
+constexpr std::size_t kNumAuditReasons = 6;
+
+/** Stable identifier of @p r (the "kCamelCase" spelling). */
+const char *auditReasonName(AuditReason r);
+
+/** Sentinel "no tensor" id (run-level decisions such as re-plans). */
+constexpr std::uint32_t kAuditNoTensor = ~0u;
+
+/** One decision.  36ish bytes; plain data, no ownership. */
+struct AuditRecord {
+    Tick ts = 0;                ///< simulated time of the decision
+    std::uint64_t bytes = 0;    ///< payload (tensor/transfer size)
+    std::uint32_t tensor = kAuditNoTensor;
+    std::int32_t step = -1;     ///< training step
+    std::int16_t layer = -1;    ///< layer in flight (-1 outside loop)
+    std::int16_t interval = -1; ///< migration interval (-1 = none)
+    std::int16_t mil = 0;       ///< plan context: MIL in force
+    std::uint8_t plan_gen = 0;  ///< plan context: re-plan generation
+    AuditReason reason = AuditReason::kPrefetchNextInterval;
+};
+
+/** True if @p r describes a slow->fast transfer decision. */
+bool auditReasonIsPromote(AuditReason r);
+/** True if @p r describes a fast->slow transfer decision. */
+bool auditReasonIsDemote(AuditReason r);
+
+/**
+ * Bounded append-only decision log.  Unlike the event ring, the
+ * *oldest* records win on overflow: the decisions that explain a
+ * tensor's placement are usually the early ones (layout, first
+ * prefetch), and dropped() makes any loss visible.
+ */
+class AuditLog
+{
+  public:
+    explicit AuditLog(std::size_t capacity = 1u << 20);
+
+    void append(const AuditRecord &r);
+
+    const std::vector<AuditRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Records refused because the log was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Every record mentioning @p tensor, in decision order. */
+    std::vector<AuditRecord> forTensor(std::uint32_t tensor) const;
+
+    /** Most recent record mentioning @p tensor, or null. */
+    const AuditRecord *lastForTensor(std::uint32_t tensor) const;
+
+    /**
+     * The decision behind a migration batch scheduled at @p ts in the
+     * given direction, or null.  Timestamps are the join key: the
+     * policy appends its record at the same simulated instant the
+     * memory system emits the Promotion/Demotion event.  When several
+     * same-direction decisions share a tick (e.g. a multi-victim
+     * demand eviction) they necessarily carry the same reason, so the
+     * first match is authoritative.
+     */
+    const AuditRecord *matchMigration(Tick ts, bool promote) const;
+
+    void clear();
+
+  private:
+    std::vector<AuditRecord> records_;
+    std::size_t capacity_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace sentinel::telemetry
+
+#endif // SENTINEL_TELEMETRY_AUDIT_HH

@@ -115,7 +115,7 @@ toUs(Tick t)
 }
 
 void
-writeMetadata(std::ostream &os)
+writeMetadata(std::ostream &os, const std::string &process_label)
 {
     struct Meta {
         int pid;
@@ -128,25 +128,32 @@ writeMetadata(std::ostream &os)
         { 2, 1, "promote" },   { 2, 2, "demote" },  { 2, 3, "prefetch" },
     };
     for (const Meta &m : metas) {
+        // Names pass through escapeJson like everything else: the
+        // executor label can be a user-supplied model name carrying
+        // quotes or backslashes.
+        std::string name = m.name;
+        if (m.pid == 1 && m.tid == 0 && !process_label.empty())
+            name = process_label;
+        name = escapeJson(name);
         if (m.tid == 0) {
             os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
-               << m.pid << ",\"tid\":0,\"args\":{\"name\":\"" << m.name
+               << m.pid << ",\"tid\":0,\"args\":{\"name\":\"" << name
                << "\"}},\n";
         } else {
             os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
                << m.pid << ",\"tid\":" << m.tid
-               << ",\"args\":{\"name\":\"" << m.name << "\"}},\n";
+               << ",\"args\":{\"name\":\"" << name << "\"}},\n";
         }
     }
 }
 
 void
-writeEvent(std::ostream &os, const Event &e, const EventLabeler &labeler,
+writeEvent(std::ostream &os, const Event &e, const ChromeTraceOptions &opts,
            bool last)
 {
     std::string name;
-    if (labeler)
-        name = labeler(e);
+    if (opts.labeler)
+        name = opts.labeler(e);
     if (name.empty())
         name = defaultName(e);
     name = escapeJson(name);
@@ -184,13 +191,23 @@ writeEvent(std::ostream &os, const Event &e, const EventLabeler &labeler,
         os << ",\"dur\":" << toUs(e.dur);
     if (ph[0] == 'i')
         os << ",\"s\":\"t\"";
-    if (e.bytes != 0 || e.type == EventType::Promotion ||
-        e.type == EventType::Demotion) {
-        os << ",\"args\":{\"bytes\":" << e.bytes << ",\"id\":" << e.id
-           << "}";
-    } else {
-        os << ",\"args\":{\"id\":" << e.id << "}";
+    bool migration = e.type == EventType::Promotion ||
+                     e.type == EventType::Demotion;
+    os << ",\"args\":{";
+    if (e.bytes != 0 || migration)
+        os << "\"bytes\":" << e.bytes << ",";
+    os << "\"id\":" << e.id;
+    if (migration && opts.audit) {
+        // Join the migration slice with the decision that caused it
+        // (shared timestamp): the trace then answers "why" inline.
+        const AuditRecord *r = opts.audit->matchMigration(
+            e.ts, e.type == EventType::Promotion);
+        if (r) {
+            os << ",\"reason\":\"" << auditReasonName(r->reason)
+               << "\",\"tensor\":" << r->tensor;
+        }
     }
+    os << "}";
     os << "}" << (last ? "\n" : ",\n");
 }
 
@@ -198,39 +215,64 @@ writeEvent(std::ostream &os, const Event &e, const EventLabeler &labeler,
 
 void
 writeChromeTrace(const EventSink &sink, std::ostream &os,
-                 const EventLabeler &labeler)
+                 const ChromeTraceOptions &opts)
 {
     std::vector<Event> events = sink.snapshot();
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    writeMetadata(os);
+    writeMetadata(os, opts.process_label);
     for (std::size_t i = 0; i < events.size(); ++i)
-        writeEvent(os, events[i], labeler, i + 1 == events.size());
+        writeEvent(os, events[i], opts, i + 1 == events.size());
     if (events.empty()) {
         // Terminate the metadata list: re-emit one harmless record
         // without the trailing comma so the array stays valid JSON.
+        std::string name = opts.process_label.empty()
+                               ? std::string("executor")
+                               : opts.process_label;
         os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-              "\"tid\":0,\"args\":{\"name\":\"executor\"}}\n";
+              "\"tid\":0,\"args\":{\"name\":\""
+           << escapeJson(name) << "\"}}\n";
     }
     os << "]}\n";
+}
+
+void
+writeChromeTrace(const EventSink &sink, std::ostream &os,
+                 const EventLabeler &labeler)
+{
+    writeChromeTrace(sink, os, ChromeTraceOptions{ labeler, nullptr, {} });
+}
+
+std::string
+chromeTraceJson(const EventSink &sink, const ChromeTraceOptions &opts)
+{
+    std::ostringstream ss;
+    writeChromeTrace(sink, ss, opts);
+    return ss.str();
 }
 
 std::string
 chromeTraceJson(const EventSink &sink, const EventLabeler &labeler)
 {
-    std::ostringstream ss;
-    writeChromeTrace(sink, ss, labeler);
-    return ss.str();
+    return chromeTraceJson(sink, ChromeTraceOptions{ labeler, nullptr, {} });
+}
+
+bool
+saveChromeTrace(const EventSink &sink, const std::string &path,
+                const ChromeTraceOptions &opts)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(sink, out, opts);
+    return static_cast<bool>(out);
 }
 
 bool
 saveChromeTrace(const EventSink &sink, const std::string &path,
                 const EventLabeler &labeler)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    writeChromeTrace(sink, out, labeler);
-    return static_cast<bool>(out);
+    return saveChromeTrace(sink, path,
+                           ChromeTraceOptions{ labeler, nullptr, {} });
 }
 
 } // namespace sentinel::telemetry

@@ -25,6 +25,7 @@
 #include <ostream>
 #include <string>
 
+#include "telemetry/audit.hh"
 #include "telemetry/event_sink.hh"
 
 namespace sentinel::telemetry {
@@ -35,15 +36,42 @@ namespace sentinel::telemetry {
  */
 using EventLabeler = std::function<std::string(const Event &e)>;
 
+/** Optional attachments for the exporter. */
+struct ChromeTraceOptions {
+    /** Name resolver (empty result falls back to default names). */
+    EventLabeler labeler;
+
+    /**
+     * Decision audit log to join against: each Promotion/Demotion
+     * event whose timestamp matches a same-direction AuditRecord gains
+     * `"reason"` and `"tensor"` args, so the trace view and the audit
+     * log tell one story.
+     */
+    const AuditLog *audit = nullptr;
+
+    /**
+     * Display name for the executor process track (pid 1); empty keeps
+     * the default "executor".  Escaped on output — model names and
+     * user-supplied labels are safe verbatim.
+     */
+    std::string process_label;
+};
+
 /** Write the retained events of @p sink as Chrome-trace JSON. */
+void writeChromeTrace(const EventSink &sink, std::ostream &os,
+                      const ChromeTraceOptions &opts);
 void writeChromeTrace(const EventSink &sink, std::ostream &os,
                       const EventLabeler &labeler = {});
 
 /** Same, into a string (tests, small traces). */
 std::string chromeTraceJson(const EventSink &sink,
+                            const ChromeTraceOptions &opts);
+std::string chromeTraceJson(const EventSink &sink,
                             const EventLabeler &labeler = {});
 
 /** Write @p sink's events to @p path; @return false on I/O failure. */
+bool saveChromeTrace(const EventSink &sink, const std::string &path,
+                     const ChromeTraceOptions &opts);
 bool saveChromeTrace(const EventSink &sink, const std::string &path,
                      const EventLabeler &labeler = {});
 

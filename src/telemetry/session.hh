@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "telemetry/event_sink.hh"
 #include "telemetry/metrics.hh"
 
@@ -60,12 +61,45 @@ class Session
      * Drop recorded events (metric instruments stay in place — attached
      * components hold stable pointers into the registry).
      */
-    void clearEvents() { sink_.clear(); }
+    void
+    clearEvents()
+    {
+        sink_.clear();
+        synced_drops_ = 0;
+    }
+
+    /**
+     * Publish the ring's overflow count as the
+     * "telemetry.events_dropped" counter (delta since the last sync,
+     * so repeated calls never double-count) and warn once per session
+     * when history was lost.  Call at export time: silent event loss
+     * would skew any analysis — attribution cross-checks in
+     * particular — that treats the ring as complete.
+     */
+    void
+    syncDropCounter()
+    {
+        std::uint64_t d = sink_.dropped();
+        if (d <= synced_drops_)
+            return;
+        metrics_.counter("telemetry.events_dropped").add(d - synced_drops_);
+        synced_drops_ = d;
+        if (!warned_drops_) {
+            warned_drops_ = true;
+            SENTINEL_WARN("telemetry ring overflowed: %llu events lost "
+                          "(capacity %zu); raise --ring-capacity for "
+                          "complete traces",
+                          static_cast<unsigned long long>(d),
+                          sink_.capacity());
+        }
+    }
 
   private:
     TelemetryConfig cfg_;
     EventSink sink_;
     MetricRegistry metrics_;
+    std::uint64_t synced_drops_ = 0;
+    bool warned_drops_ = false;
 };
 
 } // namespace sentinel::telemetry

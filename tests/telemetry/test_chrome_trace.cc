@@ -18,6 +18,7 @@
 #include "core/sentinel_policy.hh"
 #include "dataflow/executor.hh"
 #include "profile/profiler.hh"
+#include "telemetry/audit.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/session.hh"
 
@@ -166,8 +167,14 @@ parseTraceLines(const std::string &json)
     return out;
 }
 
+/**
+ * Process label with every character class the metadata escaper must
+ * handle: quote, backslash, newline, and a control byte.
+ */
+const char kHostileLabel[] = "tiny\"3\\run\nname\x01";
+
 std::string
-runTinyGraphTrace(telemetry::Session &session)
+runTinyGraphTrace(telemetry::Session &session, telemetry::AuditLog &audit)
 {
     df::Graph graph = makeThreeLayerGraph();
     // Fast tier sized well under peak so migration must happen.
@@ -181,12 +188,17 @@ runTinyGraphTrace(telemetry::Session &session)
 
     core::SentinelPolicy policy(profile.db);
     policy.setTelemetry(&session);
+    policy.setAudit(&audit);
     mem::HeterogeneousMemory hm(cfg.fast, cfg.slow, cfg.migration);
     hm.setTelemetry(&session);
     df::Executor ex(graph, hm, cfg.exec, policy);
     ex.setTelemetry(&session);
     ex.run(6);
-    return telemetry::chromeTraceJson(session.events());
+
+    telemetry::ChromeTraceOptions opts;
+    opts.audit = &audit;
+    opts.process_label = kHostileLabel;
+    return telemetry::chromeTraceJson(session.events(), opts);
 }
 
 class ChromeTraceGolden : public ::testing::Test
@@ -196,22 +208,27 @@ class ChromeTraceGolden : public ::testing::Test
     SetUpTestSuite()
     {
         session_ = new telemetry::Session;
-        json_ = new std::string(runTinyGraphTrace(*session_));
+        audit_ = new telemetry::AuditLog;
+        json_ = new std::string(runTinyGraphTrace(*session_, *audit_));
     }
     static void
     TearDownTestSuite()
     {
         delete json_;
+        delete audit_;
         delete session_;
         json_ = nullptr;
+        audit_ = nullptr;
         session_ = nullptr;
     }
 
     static telemetry::Session *session_;
+    static telemetry::AuditLog *audit_;
     static std::string *json_;
 };
 
 telemetry::Session *ChromeTraceGolden::session_ = nullptr;
+telemetry::AuditLog *ChromeTraceGolden::audit_ = nullptr;
 std::string *ChromeTraceGolden::json_ = nullptr;
 
 TEST_F(ChromeTraceGolden, NothingDroppedAtDefaultCapacity)
@@ -289,6 +306,50 @@ TEST_F(ChromeTraceGolden, ContainsOpMigrationAndIntervalEvents)
     EXPECT_TRUE(has_migration);
     EXPECT_TRUE(has_interval);
     EXPECT_TRUE(has_step);
+}
+
+TEST_F(ChromeTraceGolden, HostileMetadataNamesAreEscaped)
+{
+    // The raw label must never appear unescaped (its quote would
+    // terminate the JSON string early)...
+    EXPECT_EQ(json_->find(kHostileLabel), std::string::npos);
+    // ...and the escaped spelling must.
+    EXPECT_NE(json_->find("tiny\\\"3\\\\run\\nname\\u0001"),
+              std::string::npos);
+}
+
+TEST_F(ChromeTraceGolden, AuditReasonsJoinMigrationEvents)
+{
+    ASSERT_GT(audit_->size(), 0u);
+    ASSERT_EQ(audit_->dropped(), 0u);
+
+    // Walk the raw lines: every migration slice that the audit log can
+    // explain must carry a valid reason code and the deciding tensor.
+    int with_reason = 0;
+    std::size_t start = 0;
+    while (start < json_->size()) {
+        auto nl = json_->find('\n', start);
+        if (nl == std::string::npos)
+            nl = json_->size();
+        std::string line = json_->substr(start, nl - start);
+        start = nl + 1;
+        std::string cat = extractString(line, "cat");
+        if (cat != "promotion" && cat != "demotion")
+            continue;
+        std::string reason = extractString(line, "reason");
+        if (reason.empty())
+            continue;
+        ++with_reason;
+        bool valid = false;
+        for (std::size_t i = 0; i < telemetry::kNumAuditReasons; ++i)
+            valid = valid ||
+                    reason == telemetry::auditReasonName(
+                                  static_cast<telemetry::AuditReason>(i));
+        EXPECT_TRUE(valid) << "unknown reason code '" << reason << "'";
+        EXPECT_NE(line.find("\"tensor\":"), std::string::npos) << line;
+    }
+    EXPECT_GT(with_reason, 0)
+        << "no migration event carried an audit reason";
 }
 
 TEST(ChromeTraceEmpty, EmptySinkStillWritesValidJson)

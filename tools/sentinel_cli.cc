@@ -4,6 +4,9 @@
  *
  * Subcommands:
  *   run          one (model, batch, platform, policy) cell
+ *   report       stall attribution + migration decision audit for one
+ *                run (per-interval breakdown, top offenders, exactness
+ *                check against the run's StepStats)
  *   compare      every policy on one configuration
  *   plan         the interval planner's candidate table (Fig. 5 math)
  *   maxbatch     max-batch search on the GPU platform (Table V cell)
@@ -22,6 +25,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "harness/report.hh"
 #include "core/interval_planner.hh"
 #include "core/sentinel_policy.hh"
 #include "mem/hm.hh"
@@ -97,8 +102,10 @@ configFrom(const Args &args)
 {
     harness::ExperimentConfig cfg;
     cfg.model = args.get("model", "resnet32");
-    cfg.batch =
-        args.getInt("batch", models::modelSpec(cfg.model).small_batch);
+    // Models outside the zoo (resnet20 and friends) have no registered
+    // spec; they still build via makeModel, so default their batch.
+    const models::ModelSpec *spec = models::findModelSpec(cfg.model);
+    cfg.batch = args.getInt("batch", spec ? spec->small_batch : 32);
     cfg.platform = args.get("platform", "cpu") == "gpu"
                        ? harness::Platform::Gpu
                        : harness::Platform::Optane;
@@ -205,6 +212,83 @@ cmdRun(const Args &args)
                                metrics_out.c_str());
             std::printf("metrics written to %s\n", metrics_out.c_str());
         }
+    }
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    harness::ExperimentConfig cfg = configFrom(args);
+    std::string policy = args.get("policy", "sentinel");
+    std::string report_out = args.get("report-out", "");
+    std::string trace_out = args.get("trace-out", "");
+    std::string tensor_arg = args.get("tensor", "");
+
+    harness::ReportOptions ropts;
+    ropts.top_k = args.getInt("top", 5);
+    ropts.jobs = args.getInt("jobs", 1);
+
+    telemetry::AttributionEngine attr;
+    telemetry::AuditLog audit;
+    cfg.attribution = &attr;
+    cfg.audit = &audit;
+
+    // A telemetry session rides along so the attribution can be
+    // cross-checked against the raw event stream (and exported with
+    // the audit reasons joined in when --trace-out is given).
+    telemetry::TelemetryConfig tcfg;
+    tcfg.enabled = true;
+    tcfg.ring_capacity =
+        static_cast<std::size_t>(args.getInt("ring-capacity", 1 << 18));
+    telemetry::Session session(tcfg);
+    cfg.telemetry = &session;
+
+    harness::StepTrace tr = harness::runExperimentSteps(cfg, policy);
+    if (!tr.metrics.supported) {
+        std::printf("%s unsupported on %s; nothing to attribute\n",
+                    policy.c_str(), cfg.model.c_str());
+        return 1;
+    }
+    session.syncDropCounter();
+
+    df::Graph g = models::makeModel(cfg.model, cfg.batch);
+    printMetrics(tr.metrics);
+    std::printf("\n%s",
+                harness::buildStallReport(g, attr, audit, ropts).c_str());
+
+    std::string why;
+    if (!attr.crossCheckEvents(session.events(), &why))
+        std::printf("event cross-check FAILED: %s\n", why.c_str());
+    else if (!why.empty())
+        std::printf("event cross-check: %s\n", why.c_str());
+
+    if (!tensor_arg.empty()) {
+        auto id = static_cast<std::uint32_t>(
+            std::strtoul(tensor_arg.c_str(), nullptr, 0));
+        std::printf("\n%s",
+                    harness::auditHistory(g, audit, id).c_str());
+    }
+
+    if (!report_out.empty()) {
+        std::ofstream os(report_out, std::ios::binary);
+        if (!os)
+            SENTINEL_FATAL("could not write '%s'", report_out.c_str());
+        os << harness::stallReportJson(g, attr, audit, ropts);
+        std::printf("report written to %s\n", report_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        telemetry::ChromeTraceOptions topts;
+        topts.labeler = graphLabeler(g);
+        topts.audit = &audit;
+        topts.process_label = cfg.model + " [" + policy + "]";
+        if (!telemetry::saveChromeTrace(session.events(), trace_out,
+                                        topts))
+            SENTINEL_FATAL("could not write '%s'", trace_out.c_str());
+        std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                    trace_out.c_str(), session.events().size(),
+                    static_cast<unsigned long long>(
+                        session.events().dropped()));
     }
     return 0;
 }
@@ -495,6 +579,12 @@ usage()
         "            [--trace-out FILE.json] [--metrics-out FILE.csv]\n"
         "            (run is the default command when the first arg\n"
         "             starts with --)\n"
+        "  report    stall attribution + decision audit for one run:\n"
+        "            per-interval breakdown, top stall offenders with\n"
+        "            the policy decision that caused each, exactness\n"
+        "            check against StepStats  [--top K] [--jobs N]\n"
+        "            [--tensor ID] [--report-out FILE.json]\n"
+        "            [--trace-out FILE.json]\n"
         "  compare   same options; runs every policy of the platform\n"
         "            [--jobs N] fans the policies out over N threads\n"
         "  plan      print the interval planner's candidate table\n"
@@ -536,6 +626,8 @@ main(int argc, char **argv)
         Args args(argc, argv, 2);
         if (cmd == "run")
             return cmdRun(args);
+        if (cmd == "report")
+            return cmdReport(args);
         if (cmd == "compare")
             return cmdCompare(args);
         if (cmd == "plan")
