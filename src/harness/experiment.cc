@@ -105,6 +105,23 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
     m.model = cfg.model;
     m.batch = cfg.batch;
 
+    if (cfg.batch <= 0)
+        throw ConfigError(
+            strprintf("config: batch must be positive (got %d)",
+                      cfg.batch));
+    if (cfg.steps <= 0)
+        throw ConfigError(
+            strprintf("config: steps must be positive (got %d)",
+                      cfg.steps));
+    if (cfg.warmup < 0 || cfg.warmup >= cfg.steps)
+        throw ConfigError(strprintf(
+            "config: warmup must lie in [0, steps) (warmup %d, steps %d)",
+            cfg.warmup, cfg.steps));
+    if (cfg.fast_bytes == 0 && cfg.fast_fraction <= 0.0)
+        throw ConfigError(strprintf(
+            "config: fast_fraction must be positive (got %g)",
+            cfg.fast_fraction));
+
     df::Graph graph = models::makeModel(cfg.model, cfg.batch);
 
     std::uint64_t peak = graph.peakMemoryBytes();
@@ -117,6 +134,34 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
     if (policy == "fast-only" && cfg.fast_bytes == 0)
         fast_bytes = mem::roundUpToPages(peak + (peak >> 2) +
                                          (64ull << 20));
+
+    if (fast_bytes < mem::kPageSize)
+        throw ConfigError(strprintf(
+            "config: fast tier (%llu bytes) is smaller than one page "
+            "(%llu); raise fast_bytes or fast_fraction",
+            static_cast<unsigned long long>(fast_bytes),
+            static_cast<unsigned long long>(mem::kPageSize)));
+    if (policy == "sentinel" && cfg.sentinel.use_reserved_pool) {
+        double frac = cfg.sentinel.rs_cap_fraction;
+        if (frac <= 0.0 || frac > 1.0)
+            throw ConfigError(strprintf(
+                "config: sentinel.rs_cap_fraction must lie in (0, 1] "
+                "(got %g)",
+                frac));
+        // The pool cap is what the policy itself would reserve; if it
+        // rounds up to the whole tier nothing is left for long-lived
+        // pages and the run degenerates.
+        std::uint64_t rs_cap = mem::roundUpToPages(
+            static_cast<std::uint64_t>(
+                static_cast<double>(fast_bytes) * frac));
+        if (rs_cap >= fast_bytes)
+            throw ConfigError(strprintf(
+                "config: reserved short-lived pool cap (%llu bytes at "
+                "rs_cap_fraction %g) would consume the whole fast tier "
+                "(%llu bytes); raise fast_bytes or lower the fraction",
+                static_cast<unsigned long long>(rs_cap), frac,
+                static_cast<unsigned long long>(fast_bytes)));
+    }
 
     core::RuntimeConfig rc = platformConfig(cfg.platform, fast_bytes);
 

@@ -19,6 +19,7 @@
 #ifndef SENTINEL_HARNESS_EXPERIMENT_HH
 #define SENTINEL_HARNESS_EXPERIMENT_HH
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,18 @@
 #include "telemetry/audit.hh"
 
 namespace sentinel::harness {
+
+/**
+ * A configuration that violates a harness precondition (fast tier
+ * smaller than one page or than the reserved short-lived pool, warmup
+ * >= steps, ...).  Deliberately NOT a std::runtime_error: the run loop
+ * maps runtime_error to "infeasible", and the fuzzer needs bad inputs
+ * distinguishable from both infeasibility and invariant violations.
+ */
+class ConfigError : public std::invalid_argument
+{
+    using std::invalid_argument::invalid_argument;
+};
 
 enum class Platform {
     Optane, ///< DDR4 (fast) + Optane DC PMM (slow), Table II left
@@ -131,7 +144,10 @@ const std::vector<std::string> &cpuPolicies();
 /** All GPU-platform policy names (Fig. 12 order). */
 const std::vector<std::string> &gpuPolicies();
 
-/** Run one (model, batch, platform, policy) cell. */
+/** Run one (model, batch, platform, policy) cell.  Throws ConfigError
+ *  when the configuration violates a harness precondition (see
+ *  ConfigError); infeasible-but-valid runs instead return metrics with
+ *  feasible = false. */
 Metrics runExperiment(const ExperimentConfig &cfg,
                       const std::string &policy);
 

@@ -118,6 +118,9 @@ ModelBuilder::op(const std::string &name, OpType type, double flops,
     SENTINEL_ASSERT(layer_ >= 0, "op('%s') before beginLayer()",
                     name.c_str());
 
+    if (n_small_temps < 0)
+        n_small_temps = default_temps_;
+
     // Small short-lived scratch: shape buffers, reduction temporaries,
     // broadcast helpers.  Sub-page sizes, one or two touches.
     for (int i = 0; i < n_small_temps; ++i) {

@@ -84,9 +84,15 @@ class ModelBuilder
      * Add an op in the current layer.  Automatically attaches
      * @p n_small_temps short-lived sub-page scratch tensors and one
      * bookkeeping-scalar read (the hot set of Observation 2).
+     * Negative @p n_small_temps means "use the builder default" (8
+     * unless setDefaultTemps() changed it).
      */
     df::OpId op(const std::string &name, df::OpType type, double flops,
-                std::vector<df::TensorUse> uses, int n_small_temps = 8);
+                std::vector<df::TensorUse> uses, int n_small_temps = -1);
+
+    /** Scratch count ops attach when they don't pass one explicitly —
+     *  the synthetic generator's short-/long-lived mix knob. */
+    void setDefaultTemps(int n) { default_temps_ = n; }
 
     // --- Composite units (each records itself for the backward pass) -----
 
@@ -157,6 +163,7 @@ class ModelBuilder
     std::vector<df::TensorId> hot_scalars_;
     std::size_t next_scalar_ = 0;
     std::uint64_t temp_counter_ = 0;
+    int default_temps_ = 8;
     std::vector<UnitRecord> units_;
 };
 

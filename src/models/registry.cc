@@ -1,11 +1,15 @@
 #include "models/registry.hh"
 
+#include <map>
+#include <mutex>
+
 #include "common/logging.hh"
 #include "models/bert.hh"
 #include "models/dcgan.hh"
 #include "models/lstm.hh"
 #include "models/mobilenet.hh"
 #include "models/resnet.hh"
+#include "models/synthetic.hh"
 
 namespace sentinel::models {
 
@@ -38,6 +42,21 @@ findModelSpec(const std::string &name)
     for (const auto &spec : modelZoo())
         if (spec.name == name)
             return &spec;
+    if (isSyntheticName(name)) {
+        std::optional<SyntheticParams> p = tryParseSyntheticName(name);
+        if (!p)
+            return nullptr;
+        // Synthetic specs are minted on demand; std::map node stability
+        // keeps the returned pointers valid for the process lifetime.
+        static std::mutex mu;
+        static std::map<std::string, ModelSpec> cache;
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache
+                      .try_emplace(name,
+                                   ModelSpec{ name, 4, 16, p->hasConvs() })
+                      .first;
+        return &it->second;
+    }
     return nullptr;
 }
 
@@ -45,6 +64,10 @@ df::Graph
 makeModel(const std::string &name, int batch)
 {
     SENTINEL_ASSERT(batch > 0, "batch must be positive");
+    // Seeded fuzz models (parseSyntheticName is fatal on a malformed
+    // name, matching the unknown-model behaviour below).
+    if (isSyntheticName(name))
+        return buildSynthetic(parseSyntheticName(name), batch);
     // The Table III zoo.
     if (name == "resnet32")
         return buildCifarResNet(32, batch);

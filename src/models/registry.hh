@@ -38,7 +38,9 @@ const ModelSpec &modelSpec(const std::string &name);
  * Non-fatal spec lookup: null when @p name has no Table III entry.
  * The factory accepts more names than the zoo lists (the Fig. 11
  * ResNet variants) — callers defaulting a batch size from the spec
- * should fall back gracefully for those.
+ * should fall back gracefully for those.  Well-formed
+ * "synthetic:<seed>[:k=v,...]" names (see models/synthetic.hh) resolve
+ * to an on-demand spec; malformed synthetic names return null.
  */
 const ModelSpec *findModelSpec(const std::string &name);
 

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Regression gate over the committed fuzz corpus: every
+ * `.sentinelrepro` in tests/fuzz/corpus/ must replay clean through the
+ * cross-policy differential oracle.  A corpus entry is either a
+ * shrunk repro of a fixed bug (it must stay fixed) or a hand-picked
+ * workload shape worth pinning; both fail loudly here when an
+ * invariant regresses.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/oracle.hh"
+
+#ifndef SENTINEL_FUZZ_CORPUS_DIR
+#error "SENTINEL_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace sentinel::harness {
+namespace {
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(SENTINEL_FUZZ_CORPUS_DIR))
+        if (entry.path().extension() == ".sentinelrepro")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty)
+{
+    EXPECT_GE(corpusFiles().size(), 1u)
+        << "no .sentinelrepro files under " << SENTINEL_FUZZ_CORPUS_DIR;
+}
+
+TEST(CorpusReplay, EveryEntryReplaysClean)
+{
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        FuzzCase fc = FuzzCase::load(path.string());
+        OracleReport rep = fc.run(/*jobs=*/2, /*check_determinism=*/false);
+        EXPECT_TRUE(rep.ok()) << rep.summary();
+    }
+}
+
+TEST(CorpusReplay, ReplayIsDeterministic)
+{
+    // The corpus is the shrinker's output format; a repro that renders
+    // two different reports on two replays is useless as a repro.
+    auto files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    FuzzCase fc = FuzzCase::load(files.front().string());
+    OracleReport a = fc.run(1, false);
+    OracleReport b = fc.run(4, false);
+    EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(CorpusReplay, SerializeRoundTrips)
+{
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        FuzzCase fc = FuzzCase::load(path.string());
+        FuzzCase back = FuzzCase::parse(fc.serialize());
+        EXPECT_EQ(fc.model, back.model);
+        EXPECT_EQ(fc.batch, back.batch);
+        EXPECT_EQ(fc.fast_fraction, back.fast_fraction);
+        EXPECT_EQ(fc.steps, back.steps);
+        EXPECT_EQ(fc.warmup, back.warmup);
+        EXPECT_EQ(fc.cpu, back.cpu);
+        EXPECT_EQ(fc.gpu, back.gpu);
+        EXPECT_EQ(fc.inject_capacity, back.inject_capacity);
+        EXPECT_EQ(fc.inject_traffic, back.inject_traffic);
+    }
+}
+
+TEST(CorpusReplay, MalformedFilesAreRejected)
+{
+    EXPECT_THROW(FuzzCase::parse(""), ConfigError);
+    EXPECT_THROW(FuzzCase::parse("model=resnet20\n"), ConfigError);
+    EXPECT_THROW(
+        FuzzCase::parse("# sentinelrepro v1\nbatch=4\n"),
+        ConfigError); // missing model
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:\n"),
+                 ConfigError);
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:1\n"
+                                 "batch=nope\n"),
+                 ConfigError);
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:1\n"
+                                 "unknown_key=1\n"),
+                 ConfigError);
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:1\n"
+                                 "steps=4\nwarmup=4\n"),
+                 ConfigError);
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:1\n"
+                                 "cpu=0\ngpu=0\n"),
+                 ConfigError);
+}
+
+TEST(CorpusReplay, InjectedViolationIsDetectedAndShrinksDeterministically)
+{
+    // The capacity chaos hook under-reports the fast tier at check
+    // time: the oracle must flag it, and the shrinker must converge to
+    // the same minimal case regardless of worker count.
+    FuzzCase fc = FuzzCase::random(7);
+    fc.gpu = false;
+    fc.inject_capacity = 0.6;
+    OracleReport rep = fc.run(2, false);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_EQ(rep.violations.front().invariant, "capacity");
+
+    FuzzCase a = shrink(fc, /*jobs=*/1);
+    FuzzCase b = shrink(fc, /*jobs=*/4);
+    EXPECT_EQ(a.serialize(), b.serialize());
+    OracleReport ra = a.run(1, false);
+    ASSERT_FALSE(ra.ok());
+    EXPECT_EQ(ra.violations.front().invariant, "capacity");
+}
+
+} // namespace
+} // namespace sentinel::harness

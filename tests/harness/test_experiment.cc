@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "mem/page.hh"
 #include "models/registry.hh"
 
 namespace sentinel::harness {
@@ -114,6 +115,73 @@ TEST(Harness, UnknownPolicyIsFatal)
 {
     EXPECT_THROW(runExperiment(smallConfig(), "tcmalloc"),
                  std::runtime_error);
+}
+
+TEST(Harness, RejectsNonPositiveBatchAndSteps)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.batch = 0;
+    EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
+    cfg = smallConfig();
+    cfg.steps = 0;
+    EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
+}
+
+TEST(Harness, RejectsWarmupOutsideSteps)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.warmup = cfg.steps;
+    EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
+    cfg.warmup = -1;
+    EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
+}
+
+TEST(Harness, RejectsSubPageFastTier)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.fast_bytes = mem::kPageSize - 1;
+    for (const auto &name : cpuPolicies())
+        EXPECT_THROW(runExperiment(cfg, name), ConfigError) << name;
+    // A zero fraction can never yield even one page.
+    cfg = smallConfig();
+    cfg.fast_fraction = 0.0;
+    EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
+}
+
+TEST(Harness, RejectsReservedPoolConsumingWholeTier)
+{
+    // One page of fast memory: the default rs_cap_fraction rounds up to
+    // the whole tier, which would leave Sentinel's long-lived plan with
+    // nothing.  Other policies accept the same (tiny but valid) tier.
+    ExperimentConfig cfg = smallConfig();
+    cfg.fast_bytes = mem::kPageSize;
+    EXPECT_THROW(runExperiment(cfg, "sentinel"), ConfigError);
+    EXPECT_NO_THROW(runExperiment(cfg, "numa"));
+
+    cfg = smallConfig();
+    cfg.sentinel.rs_cap_fraction = 1.5;
+    EXPECT_THROW(runExperiment(cfg, "sentinel"), ConfigError);
+}
+
+TEST(Harness, ConfigErrorIsDistinguishableFromRunFailures)
+{
+    // ConfigError means "the experiment was never meaningful", so it
+    // deliberately is not a runtime_error — callers that map
+    // runtime_error to an infeasible cell (the oracle, the sweep
+    // drivers) must not swallow it.
+    ExperimentConfig cfg = smallConfig();
+    cfg.batch = -3;
+    EXPECT_THROW(runExperiment(cfg, "numa"), std::invalid_argument);
+    bool caught_as_runtime = false;
+    try {
+        runExperiment(cfg, "numa");
+    } catch (const std::runtime_error &) {
+        caught_as_runtime = true;
+    } catch (const std::logic_error &) {
+    }
+    EXPECT_FALSE(caught_as_runtime);
+    // And a well-formed config sails through.
+    EXPECT_NO_THROW(runExperiment(smallConfig(), "sentinel"));
 }
 
 void

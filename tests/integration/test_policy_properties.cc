@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "harness/oracle.hh"
 #include "models/registry.hh"
+#include "models/synthetic.hh"
 
 namespace sentinel::harness {
 namespace {
@@ -126,6 +128,57 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{ "capuchin", Platform::Gpu },
                       Case{ "sentinel", Platform::Gpu }),
     caseName);
+
+/**
+ * The same invariants, swept over the committed fuzz seeds via the
+ * differential oracle: each seed expands to a different corner of the
+ * generator's parameter space (deep conv stacks, mlp-only graphs,
+ * heavy branching, multi-MB tensors) and runs the full CPU policy
+ * matrix in one shot.  Determinism is covered once above and by the
+ * fuzz gate, so the oracle's (expensive) parallel re-run is off here
+ * to keep the suite inside its time budget.
+ */
+class SyntheticOracle
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SyntheticOracle, MatrixInvariantsHold)
+{
+    ExperimentConfig cfg;
+    cfg.model = "synthetic:" + std::to_string(GetParam());
+    cfg.batch = 4;
+    cfg.steps = 6;
+    cfg.warmup = 3;
+    cfg.fast_fraction = 0.2;
+
+    OracleOptions opts;
+    opts.jobs = 2;
+    opts.run_gpu = false;
+    opts.check_determinism = false;
+    OracleReport rep = runOracle(cfg, opts);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST_P(SyntheticOracle, GraphBuildsDeterministically)
+{
+    models::SyntheticParams p =
+        models::SyntheticParams::fromSeed(GetParam());
+    df::Graph a = models::buildSynthetic(p, 4);
+    df::Graph b = models::buildSynthetic(p, 4);
+    EXPECT_EQ(a.numOps(), b.numOps());
+    EXPECT_EQ(a.numTensors(), b.numTensors());
+    EXPECT_EQ(a.numLayers(), b.numLayers());
+    EXPECT_EQ(a.peakMemoryBytes(), b.peakMemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommittedSeeds, SyntheticOracle,
+    ::testing::ValuesIn(std::begin(models::kCommittedFuzzSeeds),
+                        std::end(models::kCommittedFuzzSeeds)),
+    [](const ::testing::TestParamInfo<std::uint64_t> &info) {
+        return "seed_" + std::to_string(info.param);
+    });
 
 } // namespace
 } // namespace sentinel::harness

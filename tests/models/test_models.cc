@@ -1,6 +1,9 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "models/registry.hh"
+#include "models/synthetic.hh"
 
 namespace sentinel::models {
 namespace {
@@ -118,6 +121,120 @@ TEST(ModelRegistry, BottleneckResNetsAreDeeper)
     df::Graph r200 = makeModel("resnet200", 4);
     EXPECT_GT(r200.numLayers(), r152.numLayers());
     EXPECT_GT(r200.peakMemoryBytes(), r152.peakMemoryBytes());
+}
+
+TEST(SyntheticRegistry, DispatchesByName)
+{
+    df::Graph g = makeModel("synthetic:42", 4);
+    EXPECT_TRUE(g.finalized());
+    EXPECT_GT(g.numLayers(), 2);
+    EXPECT_GT(g.numOps(), 4u);
+    EXPECT_EQ(g.batchSize(), 4);
+
+    // Same name, same graph — the name is the full recipe.
+    df::Graph h = makeModel("synthetic:42", 4);
+    ASSERT_EQ(g.numTensors(), h.numTensors());
+    ASSERT_EQ(g.numOps(), h.numOps());
+    EXPECT_EQ(g.peakMemoryBytes(), h.peakMemoryBytes());
+}
+
+TEST(SyntheticRegistry, OverridesChangeTheGraph)
+{
+    df::Graph shallow = makeModel("synthetic:42:cu=1,mu=1", 4);
+    df::Graph deeper = makeModel("synthetic:42:cu=8,mu=4", 4);
+    EXPECT_GT(deeper.numLayers(), shallow.numLayers());
+    df::Graph temps = makeModel("synthetic:42:cu=1,mu=1,tmp=8", 4);
+    df::Graph no_temps = makeModel("synthetic:42:cu=1,mu=1,tmp=0", 4);
+    EXPECT_LT(no_temps.numTensors(), temps.numTensors());
+}
+
+TEST(SyntheticRegistry, FindModelSpecMintsStableSpecs)
+{
+    const ModelSpec *a = findModelSpec("synthetic:42");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->name, "synthetic:42");
+    EXPECT_GT(a->small_batch, 0);
+    // Repeated lookups return the same cached node.
+    EXPECT_EQ(a, findModelSpec("synthetic:42"));
+    // modelSpec (the fatal wrapper) resolves through the same path.
+    EXPECT_EQ(&modelSpec("synthetic:42"), a);
+}
+
+TEST(SyntheticRegistry, SpecReportsConvPresence)
+{
+    SyntheticParams with = SyntheticParams::fromSeed(1);
+    with.conv_units = 2;
+    SyntheticParams without = with;
+    without.conv_units = 0;
+    without.mlp_units = std::max(1, without.mlp_units);
+    const ModelSpec *c = findModelSpec(with.toName());
+    const ModelSpec *m = findModelSpec(without.toName());
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(c->has_convs);
+    EXPECT_FALSE(m->has_convs);
+}
+
+TEST(SyntheticRegistry, NameRoundTripsThroughToName)
+{
+    for (std::uint64_t seed : kCommittedFuzzSeeds) {
+        SyntheticParams p = SyntheticParams::fromSeed(seed);
+        // Defaults serialize to the bare form…
+        EXPECT_EQ(p.toName(), "synthetic:" + std::to_string(seed));
+        // …and overrides survive a parse round trip.
+        p.conv_units = 1;
+        p.mlp_units = std::max(1, p.mlp_units);
+        p.temps_per_op = 0;
+        p.branch_prob = 0.0;
+        std::optional<SyntheticParams> back =
+            tryParseSyntheticName(p.toName());
+        ASSERT_TRUE(back.has_value()) << p.toName();
+        EXPECT_EQ(back->conv_units, 1);
+        EXPECT_EQ(back->temps_per_op, 0);
+        EXPECT_EQ(back->branch_prob, 0.0);
+        EXPECT_EQ(back->toName(), p.toName());
+    }
+}
+
+TEST(SyntheticRegistry, MalformedNamesAreRejected)
+{
+    const char *bad[] = {
+        "synthetic:",                 // empty seed
+        "synthetic:abc",              // non-numeric seed
+        "synthetic:12x",              // trailing junk in seed
+        "synthetic:99999999999999999999999", // > 2^64-1
+        "synthetic:1:",               // empty override clause
+        "synthetic:1:cu",             // no '='
+        "synthetic:1:=4",             // empty key
+        "synthetic:1:zz=4",           // unknown key
+        "synthetic:1:cu=-1",          // negative value
+        "synthetic:1:cu=999",         // above bound
+        "synthetic:1:bp=1.5",         // probability out of range
+        "synthetic:1:cu=0,mu=0",      // no units at all
+    };
+    for (const char *name : bad) {
+        EXPECT_FALSE(tryParseSyntheticName(name).has_value()) << name;
+        EXPECT_EQ(findModelSpec(name), nullptr) << name;
+        EXPECT_THROW(makeModel(name, 4), std::runtime_error) << name;
+        EXPECT_THROW(modelSpec(name), std::runtime_error) << name;
+    }
+    // Non-synthetic names never reach the synthetic parser.
+    EXPECT_FALSE(tryParseSyntheticName("resnet20").has_value());
+}
+
+TEST(SyntheticRegistry, MatchesPaperCharacterization)
+{
+    // The generator feeds the same invariant checks as the zoo, so its
+    // graphs must honor Observation 1 (many small short-lived tensors)
+    // whenever temporaries are enabled.
+    df::Graph g = makeModel("synthetic:11", 4);
+    std::size_t n_short = 0;
+    for (const auto &t : g.tensors())
+        if (t.shortLived())
+            ++n_short;
+    EXPECT_GT(static_cast<double>(n_short) /
+                  static_cast<double>(g.numTensors()),
+              0.5);
 }
 
 TEST(ModelRegistry, HotScalarsExistInEveryModel)

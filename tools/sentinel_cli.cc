@@ -12,6 +12,8 @@
  *   maxbatch     max-batch search on the GPU platform (Table V cell)
  *   chaos        fault-injection degradation report (Sentinel vs. the
  *                platform baselines under a --chaos spec)
+ *   replay       run a .sentinelrepro fuzz case through the
+ *                differential oracle (exit 0 clean, 2 on violations)
  *   models       list the model zoo
  *
  * Examples:
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "harness/oracle.hh"
 #include "harness/report.hh"
 #include "core/interval_planner.hh"
 #include "core/sentinel_policy.hh"
@@ -549,6 +552,17 @@ cmdChaos(const Args &args)
 }
 
 int
+cmdReplay(const std::string &file, const Args &args)
+{
+    harness::FuzzCase fc = harness::FuzzCase::load(file);
+    int jobs = args.getInt("jobs", 1);
+    bool det = args.getInt("determinism", 1) != 0;
+    harness::OracleReport rep = fc.run(jobs, det);
+    std::printf("%s", rep.summary().c_str());
+    return rep.ok() ? 0 : 2;
+}
+
+int
 cmdModels()
 {
     Table t("Model zoo", { "name", "small batch", "large batch",
@@ -594,6 +608,10 @@ usage()
         "  chaos     fault-injection degradation report: sentinel vs.\n"
         "            the platform baselines under --chaos SPEC, with\n"
         "            the per-step time trajectory around each fault\n"
+        "  replay    FILE.sentinelrepro [--jobs N] [--determinism 0|1]\n"
+        "            replay a fuzz case through the cross-policy\n"
+        "            differential oracle; exit 0 when every invariant\n"
+        "            holds, 2 on violations, 1 on a rejected config\n"
         "  models    list the model zoo\n\n"
         "fault injection: --chaos SPEC (and --chaos-seed N) perturb the\n"
         "training run of any command, e.g.\n"
@@ -622,6 +640,19 @@ main(int argc, char **argv)
         if (cmd.rfind("--", 0) == 0) {
             Args args(argc, argv, 1);
             return cmdRun(args);
+        }
+        if (cmd == "replay") {
+            // The file rides as the first positional operand
+            // (replay FILE [--jobs N]) or as --file FILE.
+            if (argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0) {
+                Args rargs(argc, argv, 3);
+                return cmdReplay(argv[2], rargs);
+            }
+            Args rargs(argc, argv, 2);
+            std::string file = rargs.get("file", "");
+            if (file.empty())
+                SENTINEL_FATAL("replay needs a .sentinelrepro file");
+            return cmdReplay(file, rargs);
         }
         Args args(argc, argv, 2);
         if (cmd == "run")
