@@ -1,0 +1,50 @@
+#include "common/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sentinel {
+
+namespace {
+
+/** Nearest-rank index for quantile @p q over @p n sorted samples. */
+std::size_t
+rankIndex(double q, std::size_t n)
+{
+    if (q <= 0.0)
+        return 0;
+    double rank = std::ceil(q * static_cast<double>(n));
+    auto idx = static_cast<std::size_t>(rank);
+    return idx == 0 ? 0 : std::min(idx - 1, n - 1);
+}
+
+} // namespace
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    SENTINEL_ASSERT(q >= 0.0 && q <= 1.0,
+                    "percentile quantile %g outside [0, 1]", q);
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[rankIndex(q, samples.size())];
+}
+
+PercentileSummary
+PercentileSummary::of(std::vector<double> samples)
+{
+    PercentileSummary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.count = samples.size();
+    s.p50 = samples[rankIndex(0.50, samples.size())];
+    s.p95 = samples[rankIndex(0.95, samples.size())];
+    s.p99 = samples[rankIndex(0.99, samples.size())];
+    return s;
+}
+
+} // namespace sentinel

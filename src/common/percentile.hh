@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared exact-percentile helper over small sample sets.
+ *
+ * Every consumer of per-step timing samples — harness::Metrics, the
+ * stall report, and the multi-job server's SLO metrics — needs the
+ * same p50/p95/p99 summary.  This is the one implementation they all
+ * share, so a "p99 step time" means the same thing in every table.
+ *
+ * Nearest-rank definition: for q in (0, 1], the percentile is the
+ * ceil(q*N)-th smallest sample (q = 0 returns the minimum).  Exact and
+ * deterministic for any N >= 1, including the 3-sample steady windows
+ * of the default harness configuration; no interpolation, so the
+ * result is always an observed sample.
+ *
+ * Distinct from telemetry::Histogram::percentile(), which answers the
+ * same question approximately from log2 buckets on the streaming
+ * metrics path; this helper is for post-run summaries where the raw
+ * samples are still at hand.
+ */
+
+#ifndef SENTINEL_COMMON_PERCENTILE_HH
+#define SENTINEL_COMMON_PERCENTILE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sentinel {
+
+/**
+ * Nearest-rank percentile of @p samples at quantile @p q in [0, 1].
+ * Returns 0.0 for an empty sample set.  The input is taken by value:
+ * the helper sorts its own copy.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/** The standard latency summary (count + p50/p95/p99), computed with
+ *  ONE sort instead of three percentile() calls. */
+struct PercentileSummary {
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    static PercentileSummary of(std::vector<double> samples);
+};
+
+} // namespace sentinel
+
+#endif // SENTINEL_COMMON_PERCENTILE_HH

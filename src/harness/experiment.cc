@@ -12,6 +12,7 @@
 #include "baselines/unified_memory.hh"
 #include "baselines/vdnn.hh"
 #include "common/logging.hh"
+#include "common/percentile.hh"
 #include "common/thread_pool.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
@@ -221,10 +222,12 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
 
     int measured = 0;
     double slow_traffic = 0.0;
+    std::vector<double> step_ms;
     for (const auto &s : trace.steps) {
         if (s.step < cfg.warmup)
             continue;
         ++measured;
+        step_ms.push_back(toMillis(s.step_time));
         m.step_time_ms += toMillis(s.step_time);
         m.exposed_ms += toMillis(s.exposed_migration);
         m.recompute_ms += toMillis(s.recompute_time);
@@ -238,6 +241,10 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
         slow_traffic += static_cast<double>(s.bytes_slow);
     }
     SENTINEL_ASSERT(measured > 0, "no measured steps (warmup too long)");
+    PercentileSummary pct = PercentileSummary::of(std::move(step_ms));
+    m.step_p50_ms = pct.p50;
+    m.step_p95_ms = pct.p95;
+    m.step_p99_ms = pct.p99;
     double n = static_cast<double>(measured);
     m.step_time_ms /= n;
     m.exposed_ms /= n;

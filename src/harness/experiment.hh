@@ -109,6 +109,11 @@ struct Metrics {
     bool feasible = true;  ///< GPU: every access served from device
 
     double step_time_ms = 0.0;
+    /** Step-time percentiles over the measured steps (nearest-rank,
+     *  common/percentile.hh) — the tail a co-located tenant feels. */
+    double step_p50_ms = 0.0;
+    double step_p95_ms = 0.0;
+    double step_p99_ms = 0.0;
     double throughput = 0.0; ///< samples / second
     double exposed_ms = 0.0;
     double recompute_ms = 0.0;

@@ -45,6 +45,9 @@ metricsDiff(const Metrics &a, const Metrics &b)
     };
     const Field fields[] = {
         { "step_time_ms", a.step_time_ms, b.step_time_ms },
+        { "step_p50_ms", a.step_p50_ms, b.step_p50_ms },
+        { "step_p95_ms", a.step_p95_ms, b.step_p95_ms },
+        { "step_p99_ms", a.step_p99_ms, b.step_p99_ms },
         { "throughput", a.throughput, b.throughput },
         { "exposed_ms", a.exposed_ms, b.exposed_ms },
         { "recompute_ms", a.recompute_ms, b.recompute_ms },

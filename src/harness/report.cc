@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/percentile.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
@@ -156,6 +157,17 @@ buildStallReport(const df::Graph &graph, const AttributionEngine &attr,
                     static_cast<unsigned long long>(claimed_stalls),
                     total.stall_events == claimed_stalls ? "exact"
                                                          : "MISMATCH");
+    if (!attr.steps().empty()) {
+        std::vector<double> exposed_ms;
+        for (const auto &sa : attr.steps())
+            exposed_ms.push_back(ms(sa.exposed_migration));
+        PercentileSummary pct =
+            PercentileSummary::of(std::move(exposed_ms));
+        os << strprintf("Per-step exposed migration: p50 %.3f ms, "
+                        "p95 %.3f ms, p99 %.3f ms over %llu steps\n",
+                        pct.p50, pct.p95, pct.p99,
+                        static_cast<unsigned long long>(pct.count));
+    }
     os << "\n";
 
     // --- Per-interval breakdown ---------------------------------------

@@ -1,0 +1,57 @@
+#include "server/admission.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentinel::server {
+
+AdmissionController::AdmissionController(std::uint64_t fast_bytes,
+                                         double headroom)
+{
+    SENTINEL_ASSERT(fast_bytes > 0,
+                    "admission controller needs a non-empty fast tier");
+    SENTINEL_ASSERT(headroom >= 1.0,
+                    "admission headroom must be >= 1.0 (got %g)",
+                    headroom);
+    limit_ = static_cast<std::uint64_t>(
+        static_cast<double>(fast_bytes) * headroom);
+    limit_ = std::max(limit_, fast_bytes);
+}
+
+bool
+AdmissionController::neverFits(std::uint64_t quota) const
+{
+    return quota > limit_;
+}
+
+bool
+AdmissionController::canAdmit(std::uint64_t quota) const
+{
+    return quota <= limit_ - committed_;
+}
+
+void
+AdmissionController::admit(std::uint64_t quota)
+{
+    SENTINEL_ASSERT(canAdmit(quota),
+                    "admitting %llu bytes over the %llu-byte limit "
+                    "(%llu committed)",
+                    static_cast<unsigned long long>(quota),
+                    static_cast<unsigned long long>(limit_),
+                    static_cast<unsigned long long>(committed_));
+    committed_ += quota;
+    peak_committed_ = std::max(peak_committed_, committed_);
+}
+
+void
+AdmissionController::release(std::uint64_t quota)
+{
+    SENTINEL_ASSERT(quota <= committed_,
+                    "releasing %llu bytes with only %llu committed",
+                    static_cast<unsigned long long>(quota),
+                    static_cast<unsigned long long>(committed_));
+    committed_ -= quota;
+}
+
+} // namespace sentinel::server

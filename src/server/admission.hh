@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fast-tier capacity admission for the multi-job HM server.
+ *
+ * The controller tracks one number — committed quota bytes — against
+ * the node's fast-tier capacity (times an optional headroom factor).
+ * A job is admitted when its whole quota fits in the uncommitted
+ * remainder; it commits the quota for its entire lifetime and releases
+ * it on completion.  Quotas are the unit of admission because each
+ * job's private memory system is BUILT with quota-sized fast memory:
+ * the projection is exact, not an estimate — a job can never touch
+ * more node fast memory than it committed here.
+ *
+ * Queued jobs wait in strict FIFO order with head-of-line blocking: a
+ * small job arriving behind a large one waits for it.  That is a
+ * deliberate trade — it keeps admission decisions a pure function of
+ * (submit order, completion order), so the whole server stays
+ * deterministic, and it starves nobody.
+ */
+
+#ifndef SENTINEL_SERVER_ADMISSION_HH
+#define SENTINEL_SERVER_ADMISSION_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace sentinel::server {
+
+class AdmissionController
+{
+  public:
+    /**
+     * @param fast_bytes the node's fast-tier capacity.
+     * @param headroom   admit while committed <= headroom * fast_bytes
+     *                   (1.0 = never oversubscribe; > 1.0 models an
+     *                   operator accepting quota oversubscription).
+     */
+    AdmissionController(std::uint64_t fast_bytes, double headroom = 1.0);
+
+    /** True if @p quota can never be admitted (exceeds the limit even
+     *  on an idle node) — reject at submit instead of queueing. */
+    bool neverFits(std::uint64_t quota) const;
+
+    /** True if @p quota fits in the uncommitted remainder right now. */
+    bool canAdmit(std::uint64_t quota) const;
+
+    /** Commit @p quota (caller must have checked canAdmit). */
+    void admit(std::uint64_t quota);
+
+    /** Release a previously admitted quota. */
+    void release(std::uint64_t quota);
+
+    std::uint64_t capacity() const { return limit_; }
+    std::uint64_t committed() const { return committed_; }
+    std::uint64_t available() const { return limit_ - committed_; }
+
+    /** High-water committed bytes — the oracle's capacity check. */
+    std::uint64_t peakCommitted() const { return peak_committed_; }
+
+  private:
+    std::uint64_t limit_;
+    std::uint64_t committed_ = 0;
+    std::uint64_t peak_committed_ = 0;
+};
+
+} // namespace sentinel::server
+
+#endif // SENTINEL_SERVER_ADMISSION_HH

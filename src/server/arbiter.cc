@@ -1,0 +1,177 @@
+#include "server/arbiter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sentinel::server {
+
+namespace {
+
+/** Below this many bytes a demand counts as fully served (absorbs the
+ *  rounding of piecewise double drains). */
+constexpr double kByteEps = 1e-6;
+
+} // namespace
+
+BandwidthArbiter::BandwidthArbiter(std::string name, double bytes_per_sec)
+    : name_(std::move(name)), bytes_per_sec_(bytes_per_sec),
+      bytes_per_ns_(bytes_per_sec / 1e9)
+{
+    SENTINEL_ASSERT(bytes_per_sec > 0.0,
+                    "arbiter '%s' needs positive bandwidth",
+                    name_.c_str());
+}
+
+void
+BandwidthArbiter::recomputeActiveWeight()
+{
+    active_weight_ = 0.0;
+    for (const auto &kv : flows_)
+        if (!kv.second.queue.empty())
+            active_weight_ += kv.second.queue.front().weight;
+}
+
+double
+BandwidthArbiter::timeToNextCompletion() const
+{
+    if (active_weight_ <= 0.0)
+        return -1.0;
+    double best = -1.0;
+    for (const auto &kv : flows_) {
+        if (kv.second.queue.empty())
+            continue;
+        const Demand &d = kv.second.queue.front();
+        double rate = bytes_per_ns_ * d.weight / active_weight_;
+        double dt = d.remaining / rate;
+        if (best < 0.0 || dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+void
+BandwidthArbiter::drainFor(double dt)
+{
+    SENTINEL_ASSERT(dt >= 0.0, "arbiter drain over negative interval");
+    if (dt > 0.0 && active_weight_ > 0.0) {
+        for (auto &kv : flows_) {
+            if (kv.second.queue.empty())
+                continue;
+            Demand &d = kv.second.queue.front();
+            double served =
+                bytes_per_ns_ * (d.weight / active_weight_) * dt;
+            d.remaining = std::max(0.0, d.remaining - served);
+        }
+        busy_ns_ += dt;
+    }
+    dnow_ += dt;
+}
+
+void
+BandwidthArbiter::advanceTo(Tick now)
+{
+    SENTINEL_ASSERT(now >= now_,
+                    "arbiter '%s' advanced backwards (%lld < %lld)",
+                    name_.c_str(), static_cast<long long>(now),
+                    static_cast<long long>(now_));
+    now_ = now;
+    double target = static_cast<double>(now);
+    while (dnow_ < target) {
+        if (active_weight_ <= 0.0) {
+            dnow_ = target;
+            break;
+        }
+        double dt_next = timeToNextCompletion();
+        double dt_avail = target - dnow_;
+        bool horizon = dt_next > dt_avail;
+        drainFor(horizon ? dt_avail : dt_next);
+        if (horizon) {
+            // Land exactly on the horizon: a dnow_ that stops one ulp
+            // short makes later advanceTo(now) calls no-ops while
+            // nextCompletion() keeps answering `now` — a livelock for
+            // any poll loop keyed on it.
+            dnow_ = target;
+        }
+
+        // Pop every head that finished at this instant.  Checked after
+        // *every* drain: when dt_next exceeds dt_avail only by FP
+        // noise, the partial drain still finishes the head, and
+        // skipping the pop would strand an epsilon-sized demand past
+        // its own completion tick.  Popping activates the flow's next
+        // queued demand (full remaining, so it cannot also finish at
+        // the same instant).
+        Tick ctick = static_cast<Tick>(std::ceil(dnow_));
+        std::vector<Completion> batch;
+        for (auto &kv : flows_) {
+            if (kv.second.queue.empty())
+                continue;
+            Demand &d = kv.second.queue.front();
+            // Absolute epsilon plus a relative term: the piecewise
+            // drain of a multi-GB demand rounds in its last ulps.
+            if (d.remaining >
+                kByteEps + 1e-9 * static_cast<double>(d.bytes))
+                continue;
+            batch.push_back(Completion{ d.id, kv.first, ctick });
+            bytes_completed_ += d.bytes;
+            kv.second.queue.pop_front();
+        }
+        SENTINEL_ASSERT(horizon || !batch.empty(),
+                        "arbiter '%s': completion horizon reached but "
+                        "no demand finished",
+                        name_.c_str());
+        if (!batch.empty()) {
+            // Same-instant completions report in submit order.
+            std::sort(batch.begin(), batch.end(),
+                      [](const Completion &a, const Completion &b) {
+                          return a.id < b.id;
+                      });
+            completed_.insert(completed_.end(), batch.begin(),
+                              batch.end());
+            recomputeActiveWeight();
+        }
+        if (horizon)
+            break;
+    }
+}
+
+DemandId
+BandwidthArbiter::submit(std::uint32_t flow, std::uint64_t bytes,
+                         Tick now, double weight)
+{
+    SENTINEL_ASSERT(bytes > 0, "arbiter demand must be non-empty");
+    SENTINEL_ASSERT(weight > 0.0,
+                    "arbiter demand weight must be positive (got %g)",
+                    weight);
+    advanceTo(now);
+    Demand d;
+    d.id = next_id_++;
+    d.bytes = bytes;
+    d.remaining = static_cast<double>(bytes);
+    d.weight = weight;
+    d.submitted = now;
+    flows_[flow].queue.push_back(std::move(d));
+    bytes_submitted_ += bytes;
+    recomputeActiveWeight();
+    return next_id_ - 1;
+}
+
+Tick
+BandwidthArbiter::nextCompletion() const
+{
+    double dt = timeToNextCompletion();
+    if (dt < 0.0)
+        return -1;
+    return static_cast<Tick>(std::ceil(dnow_ + dt));
+}
+
+std::vector<BandwidthArbiter::Completion>
+BandwidthArbiter::takeCompleted()
+{
+    std::vector<Completion> out;
+    out.swap(completed_);
+    return out;
+}
+
+} // namespace sentinel::server

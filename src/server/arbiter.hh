@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The global migration-bandwidth arbiter.
+ *
+ * One arbiter governs one DMA direction of the node (the server runs
+ * two: promote and demote, mirroring mem::HeterogeneousMemory's two
+ * serialized channels).  Jobs submit per-step migration demands; the
+ * arbiter serves all backlogged jobs simultaneously under fluid
+ * weighted fair sharing (generalized processor sharing): at every
+ * instant, each backlogged job drains at
+ *
+ *     bandwidth * weight_j / sum(weight_i over backlogged jobs i)
+ *
+ * so a job alone on the link gets the full rate, equal-weight jobs
+ * split it evenly, and a high-priority job's demand-fault transfer
+ * pulls bandwidth away from a low-priority job's prefetches the
+ * moment it arrives (weights are per-demand, so the server can boost
+ * exactly the faulting steps).  Within one job, demands are FIFO —
+ * a job's DMA transfers are serialized, as in the single-job
+ * simulator.
+ *
+ * The fluid service is advanced piecewise-linearly and is exact: a
+ * demand's completion depends only on the arrival history up to its
+ * completion instant, never on later arrivals, which is what lets the
+ * server drive the arbiter from a discrete event queue with
+ * re-predicted completion polls.  All state advances through
+ * deterministic double arithmetic on a single thread; completion
+ * times are reported as ceil'd Ticks.
+ */
+
+#ifndef SENTINEL_SERVER_ARBITER_HH
+#define SENTINEL_SERVER_ARBITER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace sentinel::server {
+
+/** Ticket identifying one submitted demand (unique per arbiter). */
+using DemandId = std::uint64_t;
+
+class BandwidthArbiter
+{
+  public:
+    BandwidthArbiter(std::string name, double bytes_per_sec);
+
+    /**
+     * Enqueue @p bytes of demand for @p flow, arriving at @p now with
+     * fair-share weight @p weight (> 0).  Advances the fluid service
+     * to @p now first.  @p bytes must be > 0.
+     *
+     * @return the demand's ticket.
+     */
+    DemandId submit(std::uint32_t flow, std::uint64_t bytes, Tick now,
+                    double weight);
+
+    /** Advance the fluid service to @p now (monotonic; earlier calls
+     *  are no-ops). */
+    void advanceTo(Tick now);
+
+    /**
+     * Predicted tick of the next demand completion assuming no
+     * further arrivals, or -1 when nothing is backlogged.  Exact
+     * unless a later submit() changes the share — the caller guards
+     * its scheduled polls with a generation counter for that.
+     */
+    Tick nextCompletion() const;
+
+    /** One finished demand, reported once by takeCompleted(). */
+    struct Completion {
+        DemandId id;
+        std::uint32_t flow;
+        Tick tick; ///< completion time (ceil'd to a whole Tick)
+    };
+
+    /** Drain the list of demands completed since the last call, in
+     *  completion order (ties broken by submit order). */
+    std::vector<Completion> takeCompleted();
+
+    bool idle() const { return active_weight_ == 0.0; }
+    double bandwidth() const { return bytes_per_sec_; }
+    const std::string &name() const { return name_; }
+
+    /** Total payload accepted / completed (conservation check). */
+    std::uint64_t bytesSubmitted() const { return bytes_submitted_; }
+    std::uint64_t bytesCompleted() const { return bytes_completed_; }
+
+    /** Busy time integral: total time with a non-empty backlog. */
+    Tick busyTime() const { return static_cast<Tick>(busy_ns_); }
+
+  private:
+    struct Demand {
+        DemandId id;
+        std::uint64_t bytes;
+        double remaining; ///< bytes left to serve
+        double weight;
+        Tick submitted;
+    };
+    struct Flow {
+        std::deque<Demand> queue; ///< head is in service
+    };
+
+    /** Advance the fluid state by exactly @p dt nanoseconds (no
+     *  completion may occur strictly inside the interval). */
+    void drainFor(double dt);
+
+    /** Time (ns) until the earliest head-of-line completion at the
+     *  current shares, or -1 when idle. */
+    double timeToNextCompletion() const;
+
+    void recomputeActiveWeight();
+
+    std::string name_;
+    double bytes_per_sec_;
+    double bytes_per_ns_;
+
+    /** std::map: deterministic flow iteration order. */
+    std::map<std::uint32_t, Flow> flows_;
+    double active_weight_ = 0.0;
+    double dnow_ = 0.0; ///< fluid clock (ns, fractional)
+    Tick now_ = 0;      ///< last advanceTo() target
+
+    std::vector<Completion> completed_;
+    DemandId next_id_ = 1;
+    std::uint64_t bytes_submitted_ = 0;
+    std::uint64_t bytes_completed_ = 0;
+    double busy_ns_ = 0.0;
+};
+
+} // namespace sentinel::server
+
+#endif // SENTINEL_SERVER_ARBITER_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One tenant of the multi-job HM server: what it wants to run and how
+ * much of the node it may claim.
+ *
+ * A JobSpec is everything the admission controller and the bandwidth
+ * arbiter need to know about a training job BEFORE it runs: the model,
+ * its fast-tier quota (an absolute byte count or a fraction of the
+ * node's fast tier), a scheduling priority (the arbiter's weight
+ * base), and the submit time on the node clock.  The executor-facing
+ * knobs (policy, steps, chaos) are passed through to the per-job
+ * harness run unchanged.
+ *
+ * Specs parse from the `--colo` grammar shared by `sentinel-cli serve`
+ * and the server fuzzer:
+ *
+ *   model=resnet32 batch=8 quota=0.3 prio=2; model=synthetic:9 quota=0.2
+ *
+ * Jobs are separated by ';', fields within a job by whitespace.  Field
+ * values never contain spaces (synthetic names use ':' and ','), so
+ * the grammar needs no quoting.
+ */
+
+#ifndef SENTINEL_SERVER_JOB_HH
+#define SENTINEL_SERVER_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace sentinel::server {
+
+struct JobSpec {
+    /** Display name; defaults to "<model>#<submit index>". */
+    std::string name;
+
+    std::string model = "resnet32";
+    int batch = 0; ///< 0 = the model's registered small batch (or 32)
+    std::string policy = "sentinel";
+
+    /**
+     * Fast-tier quota as a fraction of the NODE's fast tier (ignored
+     * when quota_bytes != 0).  The quota is the job's whole fast-tier
+     * world: its private memory system is built with exactly this much
+     * fast memory, so mem::HeterogeneousMemory enforces the cap the
+     * same way it enforces any tier capacity.
+     */
+    double quota_fraction = 0.25;
+    std::uint64_t quota_bytes = 0;
+
+    /**
+     * Arbiter weight base (>= 1).  A job's migration demand drains at
+     * bandwidth proportional to its priority among backlogged jobs;
+     * steps that stalled on demand faults get a further boost
+     * (ServerConfig::demand_fault_boost).
+     */
+    int priority = 1;
+
+    /** Submit time on the node clock. */
+    Tick arrival = 0;
+
+    int steps = 0;   ///< 0 = ServerConfig::default_steps
+    int warmup = -1; ///< -1 = ServerConfig::default_warmup
+
+    /** Per-job fault spec (sim::FaultSpec grammar); empty = healthy. */
+    std::string chaos;
+    std::uint64_t chaos_seed = 0x5e97195eull;
+
+    /**
+     * Parse one job ("k=v k=v ...").  Unknown keys and malformed
+     * values throw harness::ConfigError.  Recognized keys: name,
+     * model, batch, policy, quota (fraction in (0,1] or "<N>mb"),
+     * quota-mb, prio, arrival-ms, steps, warmup, chaos, chaos-seed.
+     */
+    static JobSpec parse(const std::string &text);
+
+    /** Parse a ';'-separated job list (empty segments are skipped). */
+    static std::vector<JobSpec> parseList(const std::string &text);
+
+    /** Round-trip to the --colo grammar (one job, no ';'). */
+    std::string toSpecString() const;
+};
+
+} // namespace sentinel::server
+
+#endif // SENTINEL_SERVER_JOB_HH

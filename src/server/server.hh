@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The multi-job heterogeneous-memory server.
+ *
+ * One simulated HM node serving a queue of training jobs.  The run is
+ * two-phase:
+ *
+ *  Phase 1 (parallelizable, per-job): every job that could ever be
+ *  admitted runs SOLO through the ordinary harness with its fast tier
+ *  sized to exactly its quota — mem::HeterogeneousMemory enforces the
+ *  quota as a hard tier capacity, and the job's policy, migrations,
+ *  and traffic are decided exactly as they would be in a solo run.
+ *  This phase produces the job's per-step demand trace (compute
+ *  envelope + promote/demote bytes).
+ *
+ *  Phase 2 (serial, shared node clock): jobs arrive on one
+ *  sim::EventQueue, pass the FIFO admission controller, and replay
+ *  their demand traces step-locked against two global
+ *  BandwidthArbiters (promote / demote — the node's DMA channels).
+ *  A step that would finish in `solo_step_time` alone finishes at
+ *
+ *      max(start + solo_step_time, completion of its migration
+ *                                  demands under the granted share)
+ *
+ *  so co-location changes WHEN things happen (queue waits, bandwidth
+ *  throttling) but never WHAT the job does — per-job traffic is
+ *  bit-identical to the solo run by construction, the invariant the
+ *  multi-job oracle (server/oracle.hh) then re-verifies end to end.
+ *
+ * SLO metrics per job (p50/p95/p99 step time, stall share, queue wait,
+ * quota-throttle time, slowdown vs solo) come out of the shared
+ * common/percentile.hh helper; node counters flow into an optional
+ * telemetry session.
+ */
+
+#ifndef SENTINEL_SERVER_SERVER_HH
+#define SENTINEL_SERVER_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/percentile.hh"
+#include "harness/experiment.hh"
+#include "server/job.hh"
+#include "telemetry/session.hh"
+
+namespace sentinel::server {
+
+struct ServerConfig {
+    harness::Platform platform = harness::Platform::Optane;
+
+    /** Node fast-tier capacity (required; quotas are carved from it). */
+    std::uint64_t fast_bytes = 0;
+
+    /** Admission limit factor (>= 1; 1.0 = never oversubscribe). */
+    double headroom = 1.0;
+
+    /** Arbiter weight multiplier for steps that stalled on demand
+     *  faults in their solo run (>= 1; 1.0 disables the boost). */
+    double demand_fault_boost = 2.0;
+
+    /** Phase-1 worker threads (phase 2 is always serial; results are
+     *  identical for any value). */
+    int jobs = 1;
+
+    /** Defaults for JobSpecs that leave steps/warmup unset. */
+    int default_steps = 12;
+    int default_warmup = 4;
+
+    /** Optional node-level telemetry session (counters + per-step
+     *  events on one track per job). */
+    telemetry::Session *telemetry = nullptr;
+};
+
+enum class JobStatus {
+    Rejected,    ///< quota can never fit the node
+    Unsupported, ///< solo run rejected or unsupported by the policy
+    Infeasible,  ///< solo run died OOM at its quota
+    Completed,   ///< ran all steps on the node
+};
+
+const char *jobStatusName(JobStatus s);
+
+/** Per-job service-level metrics (co-located run vs solo baseline). */
+struct SloMetrics {
+    /** Measured (post-warmup) co-located step times. */
+    PercentileSummary step_ms;
+    double mean_ms = 0.0;
+
+    /** (solo exposed + co-location dilation) / co-located step time,
+     *  over measured steps. */
+    double stall_share = 0.0;
+
+    /** Submit -> admission (capacity quota queueing). */
+    double queue_wait_ms = 0.0;
+
+    /** Total arbiter-induced dilation across ALL steps — time the job
+     *  lost to sharing the node's migration bandwidth. */
+    double throttle_ms = 0.0;
+
+    /** Mean measured co-located step / mean solo step. */
+    double slowdown = 1.0;
+};
+
+struct JobResult {
+    JobSpec spec;
+    JobStatus status = JobStatus::Rejected;
+    std::string detail; ///< reject/unsupported reason, else empty
+
+    std::uint64_t quota_bytes = 0; ///< resolved quota
+    int steps = 0;                 ///< resolved step count
+    int warmup = 0;
+
+    Tick submit = 0;
+    Tick admit = -1;  ///< -1 = never admitted
+    Tick finish = -1; ///< -1 = never finished
+
+    /** Solo metrics at the job's quota (phase 1). */
+    harness::Metrics solo;
+    /** Solo per-step stats — the demand trace and the oracle's
+     *  reference for per-job traffic invariance. */
+    std::vector<df::StepStats> solo_steps;
+
+    /** Co-located per-step durations (phase 2), one per solo step. */
+    std::vector<Tick> step_durations;
+
+    SloMetrics slo;
+};
+
+struct ServerResult {
+    harness::Platform platform = harness::Platform::Optane;
+    std::uint64_t fast_bytes = 0;
+
+    /** One entry per submitted job, in submit order. */
+    std::vector<JobResult> jobs;
+
+    int admitted = 0;
+    int rejected = 0;
+
+    Tick makespan = 0; ///< last finish tick (arrivals start at >= 0)
+    double aggregate_throughput = 0.0; ///< samples/s over the makespan
+
+    /** Node DMA totals (what actually crossed the shared channels). */
+    std::uint64_t promoted_bytes = 0;
+    std::uint64_t demoted_bytes = 0;
+
+    /** High-water committed quota bytes (<= headroom * fast_bytes). */
+    std::uint64_t peak_committed = 0;
+
+    /** Canonical human-readable rendering.  Byte-identical across
+     *  runs and for any ServerConfig::jobs value — the CLI prints it
+     *  and the oracle's determinism check compares it. */
+    std::string summary() const;
+};
+
+/**
+ * Run @p specs on one node.  Throws harness::ConfigError when the
+ * server configuration itself is invalid (no jobs, empty fast tier);
+ * per-job problems (impossible quota, unsupported model) land in that
+ * job's status instead.
+ */
+ServerResult runServer(const ServerConfig &cfg,
+                       const std::vector<JobSpec> &specs);
+
+} // namespace sentinel::server
+
+#endif // SENTINEL_SERVER_SERVER_HH

@@ -34,6 +34,14 @@ EventQueue::runUntil(Tick until)
     return n;
 }
 
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    next_seq_ = 0;
+    now_ = 0;
+}
+
 std::size_t
 EventQueue::drain()
 {

@@ -7,6 +7,13 @@
  * migration engine's completion callbacks and periodic statistics
  * sampling — runs through this queue.  Events scheduled at the same tick
  * fire in insertion order (FIFO), which keeps runs deterministic.
+ *
+ * The FIFO guarantee is load-bearing for multi-tenant simulation: when
+ * two jobs on the server's shared node clock schedule events at the
+ * SAME tick (two arrivals, a step end colliding with an arbiter poll),
+ * execution order is exactly schedule order — a stable sequence number
+ * breaks the tie, never heap internals (tests/sim/test_event_queue.cc
+ * pins the interleaving down).
  */
 
 #ifndef SENTINEL_SIM_EVENT_QUEUE_HH
@@ -49,6 +56,11 @@ class EventQueue
 
     /** Time of the last executed event (0 before any run). */
     Tick now() const { return now_; }
+
+    /** Discard all pending events and rewind the clock and sequence
+     *  counter — a fresh queue for the next simulation on the same
+     *  object (the server reuses one queue across runs). */
+    void reset();
 
   private:
     struct Entry {

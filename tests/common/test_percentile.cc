@@ -1,0 +1,69 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/percentile.hh"
+
+namespace sentinel {
+namespace {
+
+TEST(Percentile, NearestRankOnKnownData)
+{
+    // Nearest-rank: p(q) = x[ceil(q*n)-1] on the sorted samples.
+    std::vector<double> v{ 15, 20, 35, 40, 50 };
+    EXPECT_EQ(percentile(v, 0.05), 15);
+    EXPECT_EQ(percentile(v, 0.30), 20);
+    EXPECT_EQ(percentile(v, 0.40), 20);
+    EXPECT_EQ(percentile(v, 0.50), 35);
+    EXPECT_EQ(percentile(v, 0.95), 50);
+    EXPECT_EQ(percentile(v, 1.00), 50);
+}
+
+TEST(Percentile, UnsortedInputIsSortedInternally)
+{
+    std::vector<double> v{ 9, 1, 7, 3, 5 };
+    EXPECT_EQ(percentile(v, 0.5), 5);
+    EXPECT_EQ(percentile(v, 1.0), 9);
+    // The caller's copy is untouched (taken by value).
+    EXPECT_EQ(v, (std::vector<double>{ 9, 1, 7, 3, 5 }));
+}
+
+TEST(Percentile, EdgeQuantiles)
+{
+    std::vector<double> v{ 2.5 };
+    EXPECT_EQ(percentile(v, 0.0), 2.5);
+    EXPECT_EQ(percentile(v, 1.0), 2.5);
+    EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, OutOfRangeQuantilePanics)
+{
+    std::vector<double> v{ 1.0 };
+    EXPECT_THROW(percentile(v, -0.1), std::logic_error);
+    EXPECT_THROW(percentile(v, 1.1), std::logic_error);
+}
+
+TEST(PercentileSummary, SummarizesTail)
+{
+    // 1..100: nearest-rank percentiles are exact integers.
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    PercentileSummary s = PercentileSummary::of(v);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.p50, 50);
+    EXPECT_EQ(s.p95, 95);
+    EXPECT_EQ(s.p99, 99);
+}
+
+TEST(PercentileSummary, EmptyIsAllZero)
+{
+    PercentileSummary s = PercentileSummary::of({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_EQ(s.p95, 0.0);
+    EXPECT_EQ(s.p99, 0.0);
+}
+
+} // namespace
+} // namespace sentinel

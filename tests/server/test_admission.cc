@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "server/admission.hh"
+
+namespace sentinel::server {
+namespace {
+
+constexpr std::uint64_t MB = 1ull << 20;
+
+TEST(Admission, ExactQuotaFitsAndFills)
+{
+    AdmissionController adm(100 * MB);
+    EXPECT_EQ(adm.capacity(), 100 * MB);
+    // A job sized to exactly the node's fast tier is admissible...
+    EXPECT_FALSE(adm.neverFits(100 * MB));
+    EXPECT_TRUE(adm.canAdmit(100 * MB));
+    adm.admit(100 * MB);
+    // ...and fills the node: nothing else fits, not even one byte.
+    EXPECT_EQ(adm.available(), 0u);
+    EXPECT_FALSE(adm.canAdmit(1));
+    adm.release(100 * MB);
+    EXPECT_TRUE(adm.canAdmit(100 * MB));
+    EXPECT_EQ(adm.peakCommitted(), 100 * MB);
+}
+
+TEST(Admission, ExactPackingOfTwoHalves)
+{
+    AdmissionController adm(100 * MB);
+    adm.admit(50 * MB);
+    EXPECT_TRUE(adm.canAdmit(50 * MB));
+    adm.admit(50 * MB);
+    EXPECT_EQ(adm.committed(), 100 * MB);
+    EXPECT_FALSE(adm.canAdmit(1));
+    adm.release(50 * MB);
+    EXPECT_EQ(adm.available(), 50 * MB);
+    EXPECT_EQ(adm.peakCommitted(), 100 * MB);
+}
+
+TEST(Admission, NeverFitsRejectsAtSubmit)
+{
+    AdmissionController adm(100 * MB);
+    EXPECT_TRUE(adm.neverFits(100 * MB + 1));
+    // canAdmit on an idle node agrees with neverFits at the boundary.
+    EXPECT_FALSE(adm.canAdmit(100 * MB + 1));
+}
+
+TEST(Admission, HeadroomOversubscribes)
+{
+    AdmissionController adm(100 * MB, 1.5);
+    EXPECT_EQ(adm.capacity(), 150 * MB);
+    EXPECT_FALSE(adm.neverFits(150 * MB));
+    adm.admit(100 * MB);
+    EXPECT_TRUE(adm.canAdmit(50 * MB));
+}
+
+TEST(Admission, PanicsOnMisuse)
+{
+    EXPECT_THROW(AdmissionController(0), std::logic_error);
+    EXPECT_THROW(AdmissionController(100 * MB, 0.5), std::logic_error);
+    AdmissionController adm(100 * MB);
+    EXPECT_THROW(adm.admit(101 * MB), std::logic_error);
+    EXPECT_THROW(adm.release(1), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::server

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "server/arbiter.hh"
+
+namespace sentinel::server {
+namespace {
+
+// 1 byte/ns: transfer times equal byte counts, keeping expectations
+// exact (shares below are powers of two or 1/4-3/4 splits, which are
+// binary-exact doubles).
+constexpr double kBw = 1e9;
+
+TEST(Arbiter, SoloFlowGetsFullBandwidth)
+{
+    BandwidthArbiter arb("promote", kBw);
+    EXPECT_TRUE(arb.idle());
+    arb.submit(0, 1000, 0, 1.0);
+    EXPECT_EQ(arb.nextCompletion(), 1000);
+    arb.advanceTo(1000);
+    auto done = arb.takeCompleted();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].flow, 0u);
+    EXPECT_EQ(done[0].tick, 1000);
+    EXPECT_TRUE(arb.idle());
+    EXPECT_EQ(arb.busyTime(), 1000);
+}
+
+TEST(Arbiter, EqualWeightsSplitEvenly)
+{
+    BandwidthArbiter arb("promote", kBw);
+    arb.submit(0, 1000, 0, 1.0);
+    arb.submit(1, 1000, 0, 1.0);
+    // Each drains at half rate; both finish together at 2000.
+    arb.advanceTo(2000);
+    auto done = arb.takeCompleted();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].tick, 2000);
+    EXPECT_EQ(done[1].tick, 2000);
+    // Same-instant completions report in submit order.
+    EXPECT_EQ(done[0].flow, 0u);
+    EXPECT_EQ(done[1].flow, 1u);
+}
+
+TEST(Arbiter, WeightsApportionBandwidth)
+{
+    BandwidthArbiter arb("promote", kBw);
+    arb.submit(0, 500, 0, 1.0); // 1/4 share
+    arb.submit(1, 600, 0, 3.0); // 3/4 share
+    arb.advanceTo(2000);
+    auto done = arb.takeCompleted();
+    ASSERT_EQ(done.size(), 2u);
+    // Flow 1: 600 / 0.75 = 800.  Flow 0: served 200 by then, the
+    // remaining 300 at full rate -> 1100.
+    EXPECT_EQ(done[0].flow, 1u);
+    EXPECT_EQ(done[0].tick, 800);
+    EXPECT_EQ(done[1].flow, 0u);
+    EXPECT_EQ(done[1].tick, 1100);
+}
+
+TEST(Arbiter, WithinFlowDemandsAreFifo)
+{
+    BandwidthArbiter arb("promote", kBw);
+    DemandId a = arb.submit(0, 500, 0, 1.0);
+    DemandId b = arb.submit(0, 500, 0, 1.0);
+    // One flow: the second demand waits for the first (a job's DMA
+    // transfers serialize) even though both were submitted at t=0.
+    arb.advanceTo(1500);
+    auto done = arb.takeCompleted();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].id, a);
+    EXPECT_EQ(done[0].tick, 500);
+    EXPECT_EQ(done[1].id, b);
+    EXPECT_EQ(done[1].tick, 1000);
+    EXPECT_EQ(arb.busyTime(), 1000);
+}
+
+TEST(Arbiter, BoostedDemandPreemptsPrefetchBandwidth)
+{
+    BandwidthArbiter arb("promote", kBw);
+    // A low-priority job's prefetch is alone on the channel...
+    arb.submit(0, 1000, 0, 1.0);
+    arb.advanceTo(500); // 500 bytes served
+    // ...when a boosted demand-fault transfer arrives (weight 3).
+    arb.submit(1, 600, 500, 3.0);
+    arb.advanceTo(2000);
+    auto done = arb.takeCompleted();
+    ASSERT_EQ(done.size(), 2u);
+    // Boosted flow finishes first: 600 / 0.75 = 800 -> t=1300.
+    // Unboosted: 500 left at t=500, drains 200 by 1300, the last 300
+    // at full rate -> 1600.  (Equal weights would have finished the
+    // fault transfer at 1700 — the boost bought 400 ns.)
+    EXPECT_EQ(done[0].flow, 1u);
+    EXPECT_EQ(done[0].tick, 1300);
+    EXPECT_EQ(done[1].flow, 0u);
+    EXPECT_EQ(done[1].tick, 1600);
+}
+
+TEST(Arbiter, ConservesBytes)
+{
+    BandwidthArbiter arb("demote", kBw);
+    arb.submit(0, 12345, 0, 1.0);
+    arb.submit(1, 6789, 100, 2.0);
+    arb.submit(0, 42, 200, 1.0);
+    EXPECT_EQ(arb.bytesSubmitted(), 12345u + 6789u + 42u);
+    arb.advanceTo(1000000);
+    EXPECT_EQ(arb.bytesCompleted(), arb.bytesSubmitted());
+    EXPECT_TRUE(arb.idle());
+    EXPECT_EQ(arb.takeCompleted().size(), 3u);
+}
+
+TEST(Arbiter, PredictionsAreStableUnderReprediction)
+{
+    BandwidthArbiter arb("promote", kBw);
+    arb.submit(0, 1000, 0, 1.0);
+    // An early poll (the server's stale-generation case): advancing
+    // short of the completion changes nothing.
+    arb.advanceTo(400);
+    EXPECT_TRUE(arb.takeCompleted().empty());
+    EXPECT_EQ(arb.nextCompletion(), 1000);
+    arb.advanceTo(1000);
+    ASSERT_EQ(arb.takeCompleted().size(), 1u);
+}
+
+TEST(Arbiter, PanicsOnMisuse)
+{
+    EXPECT_THROW(BandwidthArbiter("x", 0.0), std::logic_error);
+    BandwidthArbiter arb("promote", kBw);
+    EXPECT_THROW(arb.submit(0, 0, 0, 1.0), std::logic_error);
+    EXPECT_THROW(arb.submit(0, 1, 0, 0.0), std::logic_error);
+    arb.advanceTo(100);
+    EXPECT_THROW(arb.advanceTo(50), std::logic_error);
+}
+
+} // namespace
+} // namespace sentinel::server

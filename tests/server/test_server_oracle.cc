@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "server/oracle.hh"
+
+namespace sentinel::server {
+namespace {
+
+constexpr std::uint64_t MB = 1ull << 20;
+
+ServerConfig
+nodeConfig()
+{
+    ServerConfig cfg;
+    cfg.fast_bytes = 64 * MB;
+    cfg.default_steps = 6;
+    cfg.default_warmup = 2;
+    return cfg;
+}
+
+// The acceptance gate: mixed zoo + synthetic co-locations, each
+// verified end to end — per-job traffic bit-identical to an
+// independent solo run, serial == parallel server, capacity and
+// dilation invariants.  Three seeds cover distinct mixes.
+TEST(ServerOracle, MixedColocationsHoldAllInvariants)
+{
+    for (std::uint64_t seed : { 1ull, 2ull, 3ull }) {
+        std::vector<JobSpec> specs = randomColocation(seed, 3);
+        harness::OracleReport rep =
+            runServerOracle(nodeConfig(), specs);
+        EXPECT_TRUE(rep.ok())
+            << "seed " << seed << ":\n"
+            << rep.summary();
+    }
+}
+
+TEST(ServerOracle, ChaosJobKeepsTrafficInvariance)
+{
+    std::vector<JobSpec> specs = randomColocation(7, 2);
+    specs[0].chaos = "shrink:step=3,factor=0.5";
+    harness::OracleReport rep = runServerOracle(nodeConfig(), specs);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ServerOracle, QueuedAdmissionHoldsInvariants)
+{
+    // Two 60% quotas force head-of-line queueing; the queued job's
+    // traffic must still match its solo run exactly.
+    std::vector<JobSpec> specs = randomColocation(11, 2);
+    specs[0].quota_fraction = 0.6;
+    specs[1].quota_fraction = 0.6;
+    specs[0].arrival = 0;
+    specs[1].arrival = 0;
+    harness::OracleReport rep = runServerOracle(nodeConfig(), specs);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ServerOracle, RandomColocationIsDeterministic)
+{
+    std::vector<JobSpec> a = randomColocation(42, 4);
+    std::vector<JobSpec> b = randomColocation(42, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].toSpecString(), b[i].toSpecString());
+    // Different seeds give different mixes.
+    std::vector<JobSpec> c = randomColocation(43, 4);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].toSpecString() != c[i].toSpecString();
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace
+} // namespace sentinel::server

@@ -76,5 +76,59 @@ TEST(EventQueue, NegativeTickPanics)
     EXPECT_THROW(q.schedule(-1, [](Tick) {}), std::logic_error);
 }
 
+// Regression for the multi-job server: two jobs advancing step-locked
+// on one node clock keep colliding at the same ticks (equal arrivals,
+// step ends landing on arbiter polls).  The interleaving must be
+// schedule order — stable across events that themselves schedule more
+// same-tick events — or a co-located run would not be reproducible.
+TEST(EventQueue, TwoJobsCollidingTimestampsInterleaveStably)
+{
+    EventQueue q;
+    std::vector<std::string> order;
+    const Tick step = 100;
+    // Job A and job B schedule their per-step events in alternating
+    // submit order; every step of both jobs lands on the same tick.
+    for (int s = 0; s < 3; ++s) {
+        Tick t = (s + 1) * step;
+        q.schedule(t, [&order, s, &q, t](Tick) {
+            order.push_back("A" + std::to_string(s));
+            // A's handler chains a same-tick follow-up (the server's
+            // poll re-arm); it must run after B's already-queued
+            // event, not before.
+            q.schedule(t, [&order, s](Tick) {
+                order.push_back("a" + std::to_string(s));
+            });
+        });
+        q.schedule(t, [&order, s](Tick) {
+            order.push_back("B" + std::to_string(s));
+        });
+    }
+    q.drain();
+    EXPECT_EQ(order, (std::vector<std::string>{ "A0", "B0", "a0", "A1",
+                                                "B1", "a1", "A2", "B2",
+                                                "a2" }));
+}
+
+TEST(EventQueue, ResetYieldsFreshQueue)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Tick) { ++fired; });
+    q.schedule(20, [&](Tick) { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(q.now(), 10);
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_EQ(q.nextEventTick(), -1);
+    // FIFO ordering restarts from a clean sequence counter.
+    std::vector<int> order;
+    q.schedule(5, [&](Tick) { order.push_back(1); });
+    q.schedule(5, [&](Tick) { order.push_back(2); });
+    EXPECT_EQ(q.drain(), 2u);
+    EXPECT_EQ(order, (std::vector<int>{ 1, 2 }));
+    EXPECT_EQ(fired, 1);
+}
+
 } // namespace
 } // namespace sentinel::sim

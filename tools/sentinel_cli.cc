@@ -14,6 +14,9 @@
  *                platform baselines under a --chaos spec)
  *   replay       run a .sentinelrepro fuzz case through the
  *                differential oracle (exit 0 clean, 2 on violations)
+ *   serve        co-locate several training jobs on one simulated HM
+ *                node: admission control, capacity quotas, and the
+ *                global migration-bandwidth arbiter (src/server)
  *   models       list the model zoo
  *
  * Examples:
@@ -22,6 +25,9 @@
  *   sentinel-cli plan --model resnet32 --batch 32 --fraction 0.2
  *   sentinel-cli maxbatch --model resnet32 --policy sentinel --mem-mb 64
  *   sentinel-cli chaos --model resnet32 --chaos 'bw:step=6,factor=0.5'
+ *   sentinel-cli serve --node-mb 64 \
+ *       --colo 'model=resnet32 quota=0.3; model=synthetic:9 quota=0.25'
+ *   sentinel-cli serve --mix 3 --seed 7 --oracle
  */
 
 #include <algorithm>
@@ -42,6 +48,7 @@
 #include "mem/hm.hh"
 #include "profile/profiler.hh"
 #include "profile/serialize.hh"
+#include "server/oracle.hh"
 #include "sim/fault_injector.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/export.hh"
@@ -563,6 +570,50 @@ cmdReplay(const std::string &file, const Args &args)
 }
 
 int
+cmdServe(const Args &args)
+{
+    server::ServerConfig cfg;
+    cfg.platform = args.get("platform", "cpu") == "gpu"
+                       ? harness::Platform::Gpu
+                       : harness::Platform::Optane;
+    cfg.fast_bytes =
+        static_cast<std::uint64_t>(args.getInt("node-mb", 64)) << 20;
+    cfg.headroom = args.getDouble("headroom", 1.0);
+    cfg.demand_fault_boost = args.getDouble("boost", 2.0);
+    cfg.jobs = args.getInt("jobs", 1);
+    cfg.default_steps = args.getInt("steps", 12);
+    cfg.default_warmup = args.getInt("warmup", 4);
+
+    std::string colo = args.get("colo", "");
+    std::vector<server::JobSpec> specs;
+    if (!colo.empty()) {
+        specs = server::JobSpec::parseList(colo);
+    } else {
+        int mix = args.getInt("mix", 3);
+        std::uint64_t seed = std::strtoull(
+            args.get("seed", "1").c_str(), nullptr, 0);
+        specs = server::randomColocation(seed, mix);
+        std::printf("random co-location (seed %llu):\n",
+                    static_cast<unsigned long long>(seed));
+        for (const auto &s : specs)
+            std::printf("  %s\n", s.toSpecString().c_str());
+    }
+
+    if (args.getInt("oracle", 0) != 0) {
+        server::ServerOracleOptions opts;
+        opts.jobs = cfg.jobs > 1 ? cfg.jobs : 4;
+        harness::OracleReport rep =
+            server::runServerOracle(cfg, specs, opts);
+        std::printf("%s", rep.summary().c_str());
+        return rep.ok() ? 0 : 2;
+    }
+
+    server::ServerResult r = server::runServer(cfg, specs);
+    std::printf("%s", r.summary().c_str());
+    return 0;
+}
+
+int
 cmdModels()
 {
     Table t("Model zoo", { "name", "small batch", "large batch",
@@ -612,6 +663,14 @@ usage()
         "            replay a fuzz case through the cross-policy\n"
         "            differential oracle; exit 0 when every invariant\n"
         "            holds, 2 on violations, 1 on a rejected config\n"
+        "  serve     co-locate jobs on one simulated HM node:\n"
+        "            --colo 'model=M quota=F [prio=K] [arrival-ms=T]\n"
+        "                    [policy=P] [batch=B] [chaos=SPEC]; ...'\n"
+        "            or --mix N --seed S for a random co-location\n"
+        "            [--node-mb M] [--platform cpu|gpu] [--jobs N]\n"
+        "            [--steps S] [--warmup W] [--headroom F]\n"
+        "            [--boost F]; --oracle 1 re-verifies the run's\n"
+        "            invariants instead (exit 2 on violations)\n"
         "  models    list the model zoo\n\n"
         "fault injection: --chaos SPEC (and --chaos-seed N) perturb the\n"
         "training run of any command, e.g.\n"
@@ -669,6 +728,8 @@ main(int argc, char **argv)
             return cmdProfile(args);
         if (cmd == "chaos")
             return cmdChaos(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         if (cmd == "models")
             return cmdModels();
     } catch (const std::exception &e) {

@@ -11,10 +11,19 @@
  * `sentinel-cli replay` (commit it to tests/fuzz/corpus/ once the bug
  * is fixed).
  *
+ * `--mode server` fuzzes multi-job co-locations instead: each
+ * iteration derives a random 2-job mix (server::randomColocation) and
+ * runs it through the multi-job oracle — per-job traffic invariance
+ * against independent solo re-runs, serial == parallel determinism,
+ * node DMA conservation, capacity, and dilation.  Violating mixes are
+ * printed as `sentinel-cli serve --colo` spec strings (the repro is
+ * the spec itself; there is nothing to shrink).
+ *
  * Usage:
  *   sentinel_fuzz [--iters N] [--seed S] [--jobs J] [--out DIR]
  *                 [--inject capacity=F | --inject traffic=F]
  *                 [--no-determinism] [--no-shrink] [--keep-going]
+ *                 [--mode policy|server] [--colo-jobs N]
  *   sentinel_fuzz --replay FILE.sentinelrepro [--jobs J]
  *
  * Exit codes: 0 = all iterations clean, 2 = violations found,
@@ -28,6 +37,7 @@
 
 #include "common/logging.hh"
 #include "harness/oracle.hh"
+#include "server/oracle.hh"
 
 using namespace sentinel;
 using harness::ConfigError;
@@ -47,6 +57,8 @@ struct Options {
     bool determinism = true;
     bool do_shrink = true;
     bool keep_going = false;
+    std::string mode = "policy"; ///< "policy" or "server"
+    int colo_jobs = 2;           ///< jobs per server-mode co-location
 };
 
 int
@@ -58,6 +70,7 @@ usage()
         "                     [--out DIR] [--inject capacity=F]\n"
         "                     [--inject traffic=F] [--no-determinism]\n"
         "                     [--no-shrink] [--keep-going]\n"
+        "                     [--mode policy|server] [--colo-jobs N]\n"
         "       sentinel_fuzz --replay FILE.sentinelrepro [--jobs J]\n");
     return 1;
 }
@@ -116,6 +129,16 @@ parseArgs(int argc, char **argv, Options &o)
             const char *v = next();
             if (!v || !parseInject(v, o))
                 return false;
+        } else if (a == "--mode") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.mode = v;
+        } else if (a == "--colo-jobs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.colo_jobs = std::atoi(v);
         } else if (a == "--no-determinism") {
             o.determinism = false;
         } else if (a == "--no-shrink") {
@@ -126,7 +149,8 @@ parseArgs(int argc, char **argv, Options &o)
             return false;
         }
     }
-    return o.iters > 0 && o.jobs > 0;
+    return o.iters > 0 && o.jobs > 0 && o.colo_jobs > 0 &&
+           (o.mode == "policy" || o.mode == "server");
 }
 
 /** Per-iteration case seed: decorrelated from neighbours so adjacent
@@ -149,6 +173,59 @@ replayMode(const Options &o)
     OracleReport rep = fc.run(o.jobs, o.determinism);
     std::printf("%s", rep.summary().c_str());
     return rep.ok() ? 0 : 2;
+}
+
+int
+serverFuzzMode(const Options &o)
+{
+    int skipped = 0;
+    int failures = 0;
+    for (int i = 0; i < o.iters; ++i) {
+        std::uint64_t cs = caseSeed(o.seed, i);
+        std::vector<server::JobSpec> specs =
+            server::randomColocation(cs, o.colo_jobs);
+
+        server::ServerConfig cfg;
+        cfg.fast_bytes = 64ull << 20;
+        server::ServerOracleOptions opts;
+        opts.jobs = o.jobs > 1 ? o.jobs : 2;
+        opts.check_determinism = o.determinism;
+
+        OracleReport rep;
+        try {
+            rep = server::runServerOracle(cfg, specs, opts);
+        } catch (const ConfigError &e) {
+            ++skipped;
+            std::printf("iter %d seed %llu: skipped (%s)\n", i,
+                        static_cast<unsigned long long>(cs), e.what());
+            continue;
+        }
+        if (rep.ok()) {
+            std::printf("iter %d seed %llu: ok (%d jobs)\n", i,
+                        static_cast<unsigned long long>(cs),
+                        o.colo_jobs);
+            continue;
+        }
+
+        ++failures;
+        std::printf("iter %d seed %llu: VIOLATION\n%s", i,
+                    static_cast<unsigned long long>(cs),
+                    rep.summary().c_str());
+        std::string colo;
+        for (const auto &s : specs) {
+            if (!colo.empty())
+                colo += "; ";
+            colo += s.toSpecString();
+        }
+        std::printf("repro: sentinel-cli serve --oracle 1 --colo '%s'\n",
+                    colo.c_str());
+        if (!o.keep_going)
+            break;
+    }
+    std::printf("server fuzz campaign: %d iterations, %d skipped, %d "
+                "violations\n",
+                o.iters, skipped, failures);
+    return failures > 0 ? 2 : 0;
 }
 
 int
@@ -216,7 +293,9 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, o))
         return usage();
     try {
-        return o.replay.empty() ? fuzzMode(o) : replayMode(o);
+        if (!o.replay.empty())
+            return replayMode(o);
+        return o.mode == "server" ? serverFuzzMode(o) : fuzzMode(o);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
