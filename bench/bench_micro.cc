@@ -17,6 +17,7 @@
 #include "mem/hm.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
+#include "sim/event_queue.hh"
 #include "telemetry/session.hh"
 
 using namespace sentinel;
@@ -223,6 +224,50 @@ BM_SentinelSteadyStep(benchmark::State &state)
         benchmark::DoNotOptimize(ex.runStep().step_time);
 }
 BENCHMARK(BM_SentinelSteadyStep);
+
+/**
+ * Calendar vs binary-heap event queue, schedule + drain of a mixed
+ * workload: mostly near-future events with same-tick collisions (the
+ * migration engine's arrival pattern) plus a sprinkle of far-future
+ * ones.  Arg 0 selects the backend.
+ */
+void
+BM_EventQueueCalendarVsHeap(benchmark::State &state)
+{
+    auto backend = state.range(0) == 0
+                       ? sim::EventQueue::Backend::Calendar
+                       : sim::EventQueue::Backend::Heap;
+    constexpr int kEvents = 4096;
+    sim::EventQueue eq(backend);
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        Tick base = eq.now();
+        for (int i = 0; i < kEvents; ++i) {
+            std::uint64_t r = next();
+            // ~1/16 far-future stragglers, rest within a 64k window
+            // (quantized so same-tick FIFO ordering gets exercised).
+            Tick when =
+                base + ((r & 15) == 0
+                            ? static_cast<Tick>(r % (1u << 26))
+                            : static_cast<Tick>((r >> 4) &
+                                                     0xFFC0));
+            eq.schedule(when, [&sink](Tick t) {
+                sink += static_cast<std::uint64_t>(t);
+            });
+        }
+        eq.drain();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventQueueCalendarVsHeap)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -39,20 +39,32 @@ VirtualArena::tryAllocate(std::uint64_t bytes, std::uint64_t align)
                     "alignment %llu is not a power of two",
                     static_cast<unsigned long long>(align));
 
-    // First fit over the free list.
-    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
-        mem::VirtAddr block = it->first;
-        std::uint64_t size = it->second;
+    // First fit over the free list (address order, like the original
+    // map-based list).  The hole is trimmed in place: the head cut
+    // stays in the same slot, the tail cut replaces it or is inserted
+    // right after, so no separate insertFree() walk is needed.
+    for (std::size_t i = 0; i < free_list_.size(); ++i) {
+        mem::VirtAddr block = free_list_[i].addr;
+        std::uint64_t size = free_list_[i].size;
         mem::VirtAddr aligned = alignUp(block, align);
         if (aligned + bytes > block + size)
             continue;
 
-        free_list_.erase(it);
-        if (aligned > block)
-            insertFree(block, aligned - block);
+        std::uint64_t head = aligned - block;
         std::uint64_t tail = (block + size) - (aligned + bytes);
-        if (tail > 0)
-            insertFree(aligned + bytes, tail);
+        if (head > 0 && tail > 0) {
+            free_list_[i].size = head;
+            free_list_.insert(free_list_.begin() +
+                                  static_cast<std::ptrdiff_t>(i + 1),
+                              FreeBlock{ aligned + bytes, tail });
+        } else if (head > 0) {
+            free_list_[i].size = head;
+        } else if (tail > 0) {
+            free_list_[i] = FreeBlock{ aligned + bytes, tail };
+        } else {
+            free_list_.erase(free_list_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        }
         in_use_ += bytes;
         return aligned;
     }
@@ -81,24 +93,28 @@ VirtualArena::reset()
 void
 VirtualArena::insertFree(mem::VirtAddr addr, std::uint64_t bytes)
 {
-    auto [it, inserted] = free_list_.emplace(addr, bytes);
-    SENTINEL_ASSERT(inserted, "double free at %llu",
+    auto pos = std::lower_bound(
+        free_list_.begin(), free_list_.end(), addr,
+        [](const FreeBlock &b, mem::VirtAddr a) { return b.addr < a; });
+    SENTINEL_ASSERT(pos == free_list_.end() || pos->addr != addr,
+                    "double free at %llu",
                     static_cast<unsigned long long>(addr));
 
-    // Coalesce with successor.
-    auto next = std::next(it);
-    if (next != free_list_.end() &&
-        it->first + it->second == next->first) {
-        it->second += next->second;
-        free_list_.erase(next);
-    }
-    // Coalesce with predecessor.
-    if (it != free_list_.begin()) {
-        auto prev = std::prev(it);
-        if (prev->first + prev->second == it->first) {
-            prev->second += it->second;
-            free_list_.erase(it);
-        }
+    bool merge_prev = pos != free_list_.begin() &&
+                      std::prev(pos)->addr + std::prev(pos)->size == addr;
+    bool merge_next =
+        pos != free_list_.end() && addr + bytes == pos->addr;
+
+    if (merge_prev && merge_next) {
+        std::prev(pos)->size += bytes + pos->size;
+        free_list_.erase(pos);
+    } else if (merge_prev) {
+        std::prev(pos)->size += bytes;
+    } else if (merge_next) {
+        pos->addr = addr;
+        pos->size += bytes;
+    } else {
+        free_list_.insert(pos, FreeBlock{ addr, bytes });
     }
 }
 

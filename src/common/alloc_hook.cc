@@ -1,0 +1,43 @@
+#include "common/alloc_hook.hh"
+
+#include <atomic>
+
+namespace sentinel::common {
+
+namespace {
+
+// Plain relaxed atomics: the counter is a diagnostic, not a fence.
+std::atomic<std::uint64_t> g_alloc_count{ 0 };
+std::atomic<bool> g_hook_active{ false };
+
+} // namespace
+
+std::uint64_t
+allocCount()
+{
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool
+allocHookActive()
+{
+    return g_hook_active.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+noteAlloc() noexcept
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+markHookActive() noexcept
+{
+    g_hook_active.store(true, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace sentinel::common

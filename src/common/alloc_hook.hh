@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Heap-allocation counting for zero-allocation guarantees.
+ *
+ * The steady-state step is supposed to allocate nothing: scratch
+ * buffers are reused, side tables are chunked directories, and the
+ * migration engine pools its batch buffers.  "Supposed to" is only
+ * worth something if a test can count — this header exposes a global
+ * allocation counter that tests and benches read around a region of
+ * interest.
+ *
+ * The counter is bumped by replacement `operator new/delete` defined in
+ * alloc_hook_impl.cc, which is compiled into the SEPARATE static
+ * library `sentinel_alloc_hook`.  Only targets that explicitly link
+ * that library get the counting allocator; everything else links just
+ * this accessor TU and sees a counter frozen at zero with
+ * allocHookActive() == false.  Sanitizer builds also provide their own
+ * allocator interposers, so the hook library compiles to nothing under
+ * -fsanitize and allocHookActive() stays false there (tests skip).
+ */
+
+#ifndef SENTINEL_COMMON_ALLOC_HOOK_HH
+#define SENTINEL_COMMON_ALLOC_HOOK_HH
+
+#include <cstdint>
+
+namespace sentinel::common {
+
+/**
+ * Number of heap allocations (operator new calls) observed since
+ * process start.  Always 0 unless the target links
+ * sentinel_alloc_hook outside a sanitizer build.
+ */
+std::uint64_t allocCount();
+
+/** True when the counting operator new/delete is linked and live. */
+bool allocHookActive();
+
+namespace detail {
+/** Called by the replacement operator new (alloc_hook_impl.cc). */
+void noteAlloc() noexcept;
+/** Marks the hook live; called from the impl TU's initializer. */
+void markHookActive() noexcept;
+} // namespace detail
+
+} // namespace sentinel::common
+
+#endif // SENTINEL_COMMON_ALLOC_HOOK_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Replacement global operator new/delete that count allocations.
+ *
+ * Compiled into the separate `sentinel_alloc_hook` library; see
+ * alloc_hook.hh for the linking contract.  Under sanitizers this TU is
+ * empty — ASan/TSan interpose the allocator themselves and a second
+ * replacement would fight them.
+ */
+
+#include "common/alloc_hook.hh"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SENTINEL_ALLOC_HOOK_DISABLED 1
+#endif
+#if !defined(SENTINEL_ALLOC_HOOK_DISABLED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SENTINEL_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+#ifndef SENTINEL_ALLOC_HOOK_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+struct HookMarker {
+    HookMarker() { sentinel::common::detail::markHookActive(); }
+};
+HookMarker g_marker;
+
+void *
+countedAlloc(std::size_t n)
+{
+    sentinel::common::detail::noteAlloc();
+    if (n == 0)
+        n = 1;
+    void *p = std::malloc(n);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    sentinel::common::detail::noteAlloc();
+    return std::malloc(n ? n : 1);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    sentinel::common::detail::noteAlloc();
+    return std::malloc(n ? n : 1);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#endif // !SENTINEL_ALLOC_HOOK_DISABLED

@@ -241,6 +241,8 @@ SentinelPolicy::onTrainingStart(df::Executor &ex)
     }
 
     buildStaticLayout(graph);
+    pool_allocs_.assign(graph.numTensors(), kInvalidAddr);
+    packed_allocs_.assign(graph.numTensors(), kInvalidAddr);
 
     // One-time planning cost (the "quick exploration" of Sec. IV-D).
     ex.chargePolicy(opts_.planner_overhead);
@@ -400,16 +402,14 @@ SentinelPolicy::onTensorFreed(df::Executor &ex, df::TensorId id,
                     id, static_cast<unsigned long long>(pl.bytes),
                     static_cast<unsigned long long>(
                         ex.graph().tensor(id).bytes));
-    auto pit = pool_allocs_.find(id);
-    if (pit != pool_allocs_.end()) {
-        pool_->free(pit->second, pl.bytes);
-        pool_allocs_.erase(pit);
+    if (id < pool_allocs_.size() && pool_allocs_[id] != kInvalidAddr) {
+        pool_->free(pool_allocs_[id], pl.bytes);
+        pool_allocs_[id] = kInvalidAddr;
         return;
     }
-    auto kit = packed_allocs_.find(id);
-    if (kit != packed_allocs_.end()) {
-        packed_.free(kit->second, pl.bytes);
-        packed_allocs_.erase(kit);
+    if (id < packed_allocs_.size() && packed_allocs_[id] != kInvalidAddr) {
+        packed_.free(packed_allocs_[id], pl.bytes);
+        packed_allocs_[id] = kInvalidAddr;
     }
     // Static (co-allocated) addresses are fixed for the whole training:
     // the same tensor reuses the same range every step.
@@ -421,10 +421,10 @@ SentinelPolicy::issuePrefetch(df::Executor &ex, int interval)
     // Targets not promoted by the previous interval's end are stale:
     // drop them (their accesses will read slow memory) and queue the
     // new interval's list, hottest first.
-    pending_prefetch_.clear();
     const auto &list =
         plan_.prefetch_at[static_cast<std::size_t>(interval)];
     pending_prefetch_.assign(list.begin(), list.end());
+    pending_head_ = 0;
     if (telemetry_) {
         for (df::TensorId id : list)
             telemetry_->emit(telemetry::EventType::PrefetchIssued,
@@ -440,36 +440,53 @@ SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
     mem::HeterogeneousMemory &hm = ex.hm();
     Tick now = ex.now();
 
+    // Compact the consumed prefix so rotation below never grows the
+    // buffer past (live entries + rotations this drain).
+    if (pending_head_ > 0) {
+        pending_prefetch_.erase(pending_prefetch_.begin(),
+                                pending_prefetch_.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        pending_head_));
+        pending_head_ = 0;
+    }
+
     // Each entry is visited at most once per drain; tensors that are
     // not allocated yet (born later in the interval, e.g. activations
     // a long interval will demote and re-need) rotate to the back and
     // are retried at the next layer boundary.
     std::size_t visits = pending_prefetch_.size();
-    while (visits-- > 0 && !pending_prefetch_.empty()) {
-        df::TensorId id = pending_prefetch_.front();
+    while (visits-- > 0 && pending_head_ < pending_prefetch_.size()) {
+        df::TensorId id = pending_prefetch_[pending_head_];
         if (!ex.isAllocated(id)) {
-            pending_prefetch_.pop_front();
+            ++pending_head_;
             pending_prefetch_.push_back(id);
             continue;
         }
         const df::TensorPlacement &pl = ex.placementOf(id);
-        std::vector<mem::PageId> batch;
-        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-            if (isPoolPage(p))
-                continue;
-            if (hm.residentTier(p, now) == mem::Tier::Fast ||
-                hm.inFlight(p, now))
-                continue;
-            batch.push_back(p);
+        batch_.clear();
+        // Pool tensors are never migrated, and a placement lives
+        // entirely inside or outside the pool region — one check
+        // covers every page.
+        if (!isPoolPage(pl.firstPage())) {
+            mem::PageId p = pl.firstPage();
+            const mem::PageId end = pl.endPage();
+            while (p < end) {
+                mem::PageRunState rs =
+                    hm.residentRange(p, end - p, now);
+                if (rs.tier == mem::Tier::Slow && !rs.in_flight)
+                    for (std::uint64_t i = 0; i < rs.count; ++i)
+                        batch_.push_back(p + i);
+                p += rs.count;
+            }
         }
         // One move_pages() call per tensor: the setup cost is paid
         // once and the pages stream back-to-back.
         std::size_t scheduled =
-            hm.migratePages(batch, mem::Tier::Fast, now);
+            hm.migratePages(batch_, mem::Tier::Fast, now);
         if (scheduled > 0)
             auditAppend(ex, telemetry::AuditReason::kPrefetchNextInterval,
                         id, scheduled * mem::kPageSize);
-        if (scheduled < batch.size()) {
+        if (scheduled < batch_.size()) {
             // Fast memory is full right now; in-flight demotions will
             // free space — retry at the next layer boundary (hotter
             // tensors stay at the queue's front).
@@ -477,7 +494,7 @@ SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
                 blocked_ctr_->add(1);
             return;
         }
-        pending_prefetch_.pop_front();
+        ++pending_head_;
     }
 }
 
@@ -494,8 +511,10 @@ SentinelPolicy::evictionCandidates(const df::Executor &ex) const
     // just-issued prefetch both wastes the transfer and guarantees a
     // Case-2 miss when the interval starts.  Protect everything still
     // queued and everything on the current interval's prefetch list.
-    std::unordered_set<df::TensorId> protect(pending_prefetch_.begin(),
-                                             pending_prefetch_.end());
+    std::unordered_set<df::TensorId> protect(
+        pending_prefetch_.begin() +
+            static_cast<std::ptrdiff_t>(pending_head_),
+        pending_prefetch_.end());
     if (!plan_.prefetch_at.empty()) {
         int interval = plan_.intervalOfLayer(current_layer_);
         for (df::TensorId id :
@@ -543,17 +562,21 @@ SentinelPolicy::evictForSpace(df::Executor &ex,
         if (reclaimed >= bytes_needed)
             break;
         const df::TensorPlacement &pl = ex.placementOf(id);
-        std::vector<mem::PageId> batch;
-        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-            if (isPoolPage(p))
-                continue;
-            if (hm.residentTier(p, now) != mem::Tier::Fast ||
-                hm.inFlight(p, now))
-                continue;
-            batch.push_back(p);
+        batch_.clear();
+        if (!isPoolPage(pl.firstPage())) {
+            mem::PageId p = pl.firstPage();
+            const mem::PageId end = pl.endPage();
+            while (p < end) {
+                mem::PageRunState rs =
+                    hm.residentRange(p, end - p, now);
+                if (rs.tier == mem::Tier::Fast && !rs.in_flight)
+                    for (std::uint64_t i = 0; i < rs.count; ++i)
+                        batch_.push_back(p + i);
+                p += rs.count;
+            }
         }
         std::size_t scheduled =
-            hm.migratePages(batch, mem::Tier::Slow, now);
+            hm.migratePages(batch_, mem::Tier::Slow, now);
         if (scheduled > 0)
             auditAppend(ex, telemetry::AuditReason::kEvictForSpace, id,
                         scheduled * mem::kPageSize);
@@ -571,17 +594,21 @@ SentinelPolicy::issueDemotions(df::Executor &ex, int layer)
         if (!ex.isAllocated(id))
             continue;
         const df::TensorPlacement &pl = ex.placementOf(id);
-        std::vector<mem::PageId> batch;
-        for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-            if (isPoolPage(p))
-                continue;
-            if (hm.residentTier(p, now) != mem::Tier::Fast ||
-                hm.inFlight(p, now))
-                continue;
-            batch.push_back(p);
+        batch_.clear();
+        if (!isPoolPage(pl.firstPage())) {
+            mem::PageId p = pl.firstPage();
+            const mem::PageId end = pl.endPage();
+            while (p < end) {
+                mem::PageRunState rs =
+                    hm.residentRange(p, end - p, now);
+                if (rs.tier == mem::Tier::Fast && !rs.in_flight)
+                    for (std::uint64_t i = 0; i < rs.count; ++i)
+                        batch_.push_back(p + i);
+                p += rs.count;
+            }
         }
         std::size_t scheduled =
-            hm.migratePages(batch, mem::Tier::Slow, now);
+            hm.migratePages(batch_, mem::Tier::Slow, now);
         if (scheduled > 0)
             auditAppend(ex, telemetry::AuditReason::kEvictDeadTensor, id,
                         scheduled * mem::kPageSize);

@@ -29,10 +29,8 @@
 #ifndef SENTINEL_CORE_SENTINEL_POLICY_HH
 #define SENTINEL_CORE_SENTINEL_POLICY_HH
 
-#include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "alloc/arena.hh"
@@ -155,10 +153,13 @@ class SentinelPolicy : public df::MemoryPolicy
     std::uint64_t reservedPoolBytes() const;
     std::uint64_t reservedPoolPeak() const;
 
-    /** Prefetches queued but not yet fully migrated (tests). */
-    const std::deque<df::TensorId> &pendingPrefetch() const
+    /** Prefetches queued but not yet fully migrated (tests), in
+     *  queue order.  A snapshot: the live queue is a reused ring. */
+    std::vector<df::TensorId> pendingPrefetch() const
     {
-        return pending_prefetch_;
+        return { pending_prefetch_.begin() +
+                     static_cast<std::ptrdiff_t>(pending_head_),
+                 pending_prefetch_.end() };
     }
 
     /**
@@ -251,11 +252,23 @@ class SentinelPolicy : public df::MemoryPolicy
     std::vector<mem::VirtAddr> static_addr_; ///< per tensor, or kInvalid
     std::unique_ptr<alloc::ReservedPool> pool_;
     alloc::VirtualArena packed_;
-    std::unordered_map<df::TensorId, mem::VirtAddr> pool_allocs_;
-    std::unordered_map<df::TensorId, mem::VirtAddr> packed_allocs_;
+    // Dynamic allocations, dense per tensor id (kInvalidAddr = none):
+    // graph ids are compact, so a vector replaces the hash lookups the
+    // alloc/free cycle used to pay every tensor birth/death.
+    std::vector<mem::VirtAddr> pool_allocs_;
+    std::vector<mem::VirtAddr> packed_allocs_;
 
     // Runtime state.
-    std::deque<df::TensorId> pending_prefetch_;
+    /**
+     * Prefetch queue: a vector consumed from pending_head_ so pops
+     * don't shift, with the dead prefix compacted in place once it
+     * outgrows the live tail.  Rotation (retry-later) appends to the
+     * back; after warm-up the buffer's capacity is steady and queue
+     * traffic allocates nothing.
+     */
+    std::vector<df::TensorId> pending_prefetch_;
+    std::size_t pending_head_ = 0;
+    std::vector<mem::PageId> batch_; ///< reused migration batch buffer
     int current_layer_ = 0;
     bool mode_stall_ = true;
     TrialState trial_ = TrialState::Idle;

@@ -12,28 +12,28 @@ Executor::Executor(const Graph &graph, mem::HeterogeneousMemory &hm,
     : graph_(graph), hm_(hm), params_(params), policy_(policy)
 {
     SENTINEL_ASSERT(graph_.finalized(), "graph must be finalized");
+    placements_.resize(graph_.numTensors());
+    live_.assign(graph_.numTensors(), 0);
 }
 
 bool
 Executor::isAllocated(TensorId id) const
 {
-    return placements_.find(id) != placements_.end();
+    return id < live_.size() && live_[id] != 0;
 }
 
 const TensorPlacement &
 Executor::placementOf(TensorId id) const
 {
-    auto it = placements_.find(id);
-    SENTINEL_ASSERT(it != placements_.end(),
-                    "placementOf() of unallocated tensor %u", id);
-    return it->second;
+    SENTINEL_ASSERT(isAllocated(id), "placementOf() of unallocated tensor %u",
+                    id);
+    return placements_[id];
 }
 
 int
 Executor::pageRefCount(mem::PageId page) const
 {
-    auto it = page_refs_.find(page);
-    return it == page_refs_.end() ? 0 : it->second;
+    return page_refs_.get(page);
 }
 
 void
@@ -135,7 +135,7 @@ Executor::allocateTensor(TensorId id)
         run_start = mem::kInvalidPage;
     };
     for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-        if (++page_refs_[p] == 1) {
+        if (++page_refs_.ref(p) == 1) {
             if (run_start == mem::kInvalidPage)
                 run_start = p;
         } else {
@@ -143,7 +143,8 @@ Executor::allocateTensor(TensorId id)
         }
     }
     flush(pl.endPage());
-    placements_.emplace(id, pl);
+    placements_[id] = pl;
+    live_[id] = 1;
     notePeakFastUsage();
     policy_.onTensorAllocated(*this, id, pl);
     if (attr_)
@@ -153,10 +154,8 @@ Executor::allocateTensor(TensorId id)
 void
 Executor::freeTensor(TensorId id)
 {
-    auto it = placements_.find(id);
-    SENTINEL_ASSERT(it != placements_.end(), "freeing unallocated tensor %u",
-                    id);
-    TensorPlacement pl = it->second;
+    SENTINEL_ASSERT(isAllocated(id), "freeing unallocated tensor %u", id);
+    TensorPlacement pl = placements_[id];
     policy_.onTensorFreed(*this, id, pl);
     mem::PageId run_start = mem::kInvalidPage;
     auto flush = [&](mem::PageId end_excl) {
@@ -169,12 +168,10 @@ Executor::freeTensor(TensorId id)
         run_start = mem::kInvalidPage;
     };
     for (mem::PageId p = pl.firstPage(); p < pl.endPage(); ++p) {
-        auto ref = page_refs_.find(p);
-        SENTINEL_ASSERT(ref != page_refs_.end() && ref->second > 0,
-                        "page refcount underflow");
-        if (--ref->second == 0) {
+        std::int32_t &ref = page_refs_.ref(p);
+        SENTINEL_ASSERT(ref > 0, "page refcount underflow");
+        if (--ref == 0) {
             policy_.onPageUnmapped(*this, p);
-            page_refs_.erase(ref);
             if (run_start == mem::kInvalidPage)
                 run_start = p;
         } else {
@@ -182,7 +179,7 @@ Executor::freeTensor(TensorId id)
         }
     }
     flush(pl.endPage());
-    placements_.erase(it);
+    live_[id] = 0;
 }
 
 void

@@ -19,7 +19,6 @@
 #define SENTINEL_DATAFLOW_EXECUTOR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hh"
@@ -30,6 +29,7 @@
 #include "dataflow/step_stats.hh"
 #include "mem/access_tracker.hh"
 #include "mem/hm.hh"
+#include "mem/page_directory.hh"
 #include "sim/fault_injector.hh"
 #include "sim/trace.hh"
 #include "telemetry/attribution.hh"
@@ -170,8 +170,12 @@ class Executor
     std::uint64_t promoted_at_step_start_ = 0;
     std::uint64_t demoted_at_step_start_ = 0;
 
-    std::unordered_map<TensorId, TensorPlacement> placements_;
-    std::unordered_map<mem::PageId, int> page_refs_;
+    // Dense tensor tables indexed by TensorId (graph ids are compact),
+    // and a chunked page directory for refcounts: the executor's own
+    // bookkeeping is hash-free and allocation-free in steady state.
+    std::vector<TensorPlacement> placements_;
+    std::vector<std::uint8_t> live_;
+    mem::PageDirectory<std::int32_t> page_refs_;
 
     AccessMode access_mode_ = AccessMode::Range;
     std::vector<AccessSegment> seg_buf_; ///< reused per onRangeAccess call

@@ -161,20 +161,6 @@ Graph::validate() const
     }
 }
 
-const TensorDesc &
-Graph::tensor(TensorId id) const
-{
-    SENTINEL_ASSERT(id < tensors_.size(), "bad tensor id %u", id);
-    return tensors_[id];
-}
-
-const Operation &
-Graph::op(OpId id) const
-{
-    SENTINEL_ASSERT(id < ops_.size(), "bad op id %u", id);
-    return ops_[id];
-}
-
 std::span<const OpId>
 Graph::opsInLayer(int layer) const
 {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "dataflow/op.hh"
 #include "dataflow/tensor.hh"
 
@@ -58,8 +59,19 @@ class Graph
     std::size_t numTensors() const { return tensors_.size(); }
     std::size_t numOps() const { return ops_.size(); }
 
-    const TensorDesc &tensor(TensorId id) const;
-    const Operation &op(OpId id) const;
+    // Inline: the executor calls these per tensor-use per op.
+    const TensorDesc &
+    tensor(TensorId id) const
+    {
+        SENTINEL_ASSERT(id < tensors_.size(), "bad tensor id %u", id);
+        return tensors_[id];
+    }
+    const Operation &
+    op(OpId id) const
+    {
+        SENTINEL_ASSERT(id < ops_.size(), "bad op id %u", id);
+        return ops_[id];
+    }
     const std::vector<TensorDesc> &tensors() const { return tensors_; }
     const std::vector<Operation> &ops() const { return ops_; }
 

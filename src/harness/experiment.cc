@@ -175,7 +175,8 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
     // Profiling phase (one step on a scratch memory system).
     std::optional<prof::ProfileResult> profile;
     if (needsProfile(policy)) {
-        mem::HeterogeneousMemory prof_hm(rc.fast, rc.slow, rc.migration);
+        mem::HeterogeneousMemory prof_hm(rc.fast, rc.slow, rc.migration,
+                                         cfg.page_table);
         prof::Profiler profiler(rc.profiler);
         profile = profiler.profile(graph, prof_hm, rc.exec);
     }
@@ -183,7 +184,8 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
     auto pol = makePolicy(policy, cfg, fast_bytes,
                           profile ? &profile->db : nullptr);
 
-    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
+    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration,
+                                cfg.page_table);
     df::Executor ex(graph, hm, rc.exec, *pol);
     if (cfg.telemetry) {
         hm.setTelemetry(cfg.telemetry);

@@ -58,6 +58,10 @@ struct ExperimentConfig {
     double fast_fraction = 0.2;
     std::uint64_t fast_bytes = 0;
 
+    /** Page-table backend for both the profiling and training memory
+     *  systems; non-default only in the layout equivalence suite. */
+    mem::PageTable::Backend page_table = mem::PageTable::defaultBackend();
+
     int steps = 9;
     int warmup = 6; ///< steps excluded from the averages (cold start
                     ///< plus Sentinel's test-and-trial steps)

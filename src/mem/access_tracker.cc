@@ -5,22 +5,21 @@ namespace sentinel::mem {
 void
 AccessTracker::track(PageId page)
 {
-    pages_[page].tracked = true;
+    pages_.ref(page).tracked = true;
 }
 
 void
 AccessTracker::trackRange(PageId first, std::uint64_t count)
 {
     for (std::uint64_t i = 0; i < count; ++i)
-        pages_[first + i].tracked = true;
+        pages_.ref(first + i).tracked = true;
 }
 
 void
 AccessTracker::untrack(PageId page)
 {
-    auto it = pages_.find(page);
-    if (it != pages_.end())
-        it->second.tracked = false;
+    if (pages_.find(page))
+        pages_.ref(page).tracked = false;
 }
 
 void
@@ -33,8 +32,8 @@ AccessTracker::untrackRange(PageId first, std::uint64_t count)
 bool
 AccessTracker::isTracked(PageId page) const
 {
-    auto it = pages_.find(page);
-    return it != pages_.end() && it->second.tracked;
+    const PageTrackState *s = pages_.find(page);
+    return s && s->tracked;
 }
 
 Tick
@@ -42,10 +41,10 @@ AccessTracker::onAccess(PageId page, bool is_write, std::uint64_t count)
 {
     if (count == 0)
         return 0;
-    auto it = pages_.find(page);
-    if (it == pages_.end() || !it->second.tracked)
+    const PageTrackState *s = pages_.find(page);
+    if (!s || !s->tracked)
         return 0;
-    PageAccessCounts &c = it->second.counts;
+    PageAccessCounts &c = pages_.ref(page).counts;
     if (is_write)
         c.writes += count;
     else
@@ -54,11 +53,22 @@ AccessTracker::onAccess(PageId page, bool is_write, std::uint64_t count)
     return fault_cost_ * static_cast<Tick>(count);
 }
 
+std::vector<std::pair<PageId, PageTrackState>>
+AccessTracker::allCounts() const
+{
+    std::vector<std::pair<PageId, PageTrackState>> out;
+    pages_.forEach([&](PageId page, const PageTrackState &s) {
+        if (s.tracked || s.counts.total() > 0)
+            out.emplace_back(page, s);
+    });
+    return out;
+}
+
 PageAccessCounts
 AccessTracker::counts(PageId page) const
 {
-    auto it = pages_.find(page);
-    return it == pages_.end() ? PageAccessCounts{} : it->second.counts;
+    const PageTrackState *s = pages_.find(page);
+    return s ? s->counts : PageAccessCounts{};
 }
 
 void

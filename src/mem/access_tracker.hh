@@ -12,16 +12,20 @@
  *
  * This class reproduces both properties: exact per-page counts, and a
  * per-observation Tick cost the executor charges to the profiling step.
+ * State lives in a chunked PageDirectory rather than a hash map, so the
+ * per-access lookup on the executor's range path is two loads.
  */
 
 #ifndef SENTINEL_MEM_ACCESS_TRACKER_HH
 #define SENTINEL_MEM_ACCESS_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/units.hh"
 #include "mem/page.hh"
+#include "mem/page_directory.hh"
 
 namespace sentinel::mem {
 
@@ -33,7 +37,7 @@ struct PageAccessCounts {
     std::uint64_t total() const { return reads + writes; }
 };
 
-/** Tracking state + counters for one page (one map, not two). */
+/** Tracking state + counters for one page. */
 struct PageTrackState {
     PageAccessCounts counts;
     bool tracked = false; ///< PTE currently poisoned
@@ -51,11 +55,9 @@ class AccessTracker
     {
     }
 
-    /**
-     * Pre-size the page map.  Callers that know the graph's page
-     * footprint (the profiler does) avoid rehashing mid-step.
-     */
-    void reserve(std::size_t expected_pages) { pages_.reserve(expected_pages); }
+    /** Sizing hint.  The chunked directory allocates on first touch,
+     *  so this is a no-op kept for API stability. */
+    void reserve(std::size_t /*expected_pages*/) {}
 
     /** Begin tracking @p page (poison its PTE). */
     void track(PageId page);
@@ -79,15 +81,14 @@ class AccessTracker
      */
     Tick onAccess(PageId page, bool is_write, std::uint64_t count = 1);
 
+    /**
+     * Snapshot of every page with tracking state or recorded counts,
+     * sorted by page id.
+     */
+    std::vector<std::pair<PageId, PageTrackState>> allCounts() const;
+
     /** Counts for @p page (zeros if never tracked). */
     PageAccessCounts counts(PageId page) const;
-
-    /** All pages ever tracked, with their recorded counts. */
-    const std::unordered_map<PageId, PageTrackState> &
-    allCounts() const
-    {
-        return pages_;
-    }
 
     std::uint64_t totalFaults() const { return total_faults_; }
     Tick faultCost() const { return fault_cost_; }
@@ -96,7 +97,7 @@ class AccessTracker
 
   private:
     Tick fault_cost_;
-    std::unordered_map<PageId, PageTrackState> pages_;
+    PageDirectory<PageTrackState> pages_;
     std::uint64_t total_faults_ = 0;
 };
 

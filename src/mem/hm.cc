@@ -151,11 +151,32 @@ HeterogeneousMemory::arrivalTime(PageId page) const
     return e.arrival;
 }
 
+std::vector<std::pair<PageId, Tick>>
+HeterogeneousMemory::takeBatchBuffer()
+{
+    if (batch_pool_.empty())
+        return {};
+    std::vector<std::pair<PageId, Tick>> buf =
+        std::move(batch_pool_.back());
+    batch_pool_.pop_back();
+    buf.clear();
+    return buf;
+}
+
+void
+HeterogeneousMemory::pushBatch(PendingBatch &&b)
+{
+    b.next_arrival = b.pages.front().second;
+    pending_.push_back(std::move(b));
+    std::push_heap(pending_.begin(), pending_.end(), BatchLater{});
+    next_arrival_ = pending_.front().next_arrival;
+}
+
 Tick
 HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
 {
     commitUpTo(ready);
-    const PageEntry &e = table_.entry(page);
+    PageEntry e = table_.entry(page);
     if (e.in_flight || e.tier == dst)
         return -1;
     if (!tier(dst).tryReserve(kPageSize))
@@ -164,7 +185,12 @@ HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
     sim::BandwidthChannel &ch = dst == Tier::Fast ? promote_ : demote_;
     Tick arrival = ch.submit(ready, kPageSize);
     std::uint64_t seq = table_.beginMigration(page, dst, arrival);
-    pending_.push(Pending{arrival, page, seq, dst});
+    PendingBatch b;
+    b.seq0 = seq;
+    b.dst = dst;
+    b.pages = takeBatchBuffer();
+    b.pages.emplace_back(page, arrival);
+    pushBatch(std::move(b));
 
     if (dst == Tier::Fast) {
         stats_.promoted_bytes += kPageSize;
@@ -190,32 +216,78 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
     std::size_t scheduled = 0;
     Tick last_arrival = ready;
     std::uint32_t first_page = 0;
-    for (PageId page : pages) {
-        const PageEntry &e = table_.entry(page);
-        if (e.in_flight || e.tier == dst)
-            continue;
-        if (!tier(dst).tryReserve(kPageSize))
-            break; // destination full; caller retries later
+    PendingBatch b;
+    b.dst = dst;
+    b.pages = takeBatchBuffer();
+    // Walk the request as maximal consecutive page stretches and query
+    // the table once per uniform run instead of once per page; eligible
+    // runs reserve, schedule, and begin migration in bulk.
+    bool dest_full = false;
+    std::size_t i = 0;
+    const std::size_t n = pages.size();
+    while (i < n && !dest_full) {
+        std::size_t j = i + 1;
+        while (j < n && pages[j] == pages[j - 1] + 1)
+            ++j;
+        PageId run = pages[i];
+        const PageId run_end = pages[i] + (j - i);
+        while (run < run_end) {
+            PageRunState rs = table_.runState(run, run_end - run);
+            if (rs.in_flight || rs.tier == dst) {
+                run += rs.count;
+                continue;
+            }
+            std::uint64_t take = rs.count;
+            if (!tier(dst).tryReserve(take * kPageSize)) {
+                // Destination nearly full: claim what fits, then let
+                // the caller retry later (same greedy order as the
+                // page-at-a-time path).
+                take = 0;
+                while (take < rs.count && tier(dst).tryReserve(kPageSize))
+                    ++take;
+                dest_full = true;
+            }
+            if (take == 0)
+                break;
 
-        // First page of the batch pays the setup cost; the rest stream.
-        Tick arrival = scheduled == 0
-                           ? ch.submit(ready, kPageSize)
-                           : ch.submitWithStartup(ready, kPageSize, 0);
-        std::uint64_t seq = table_.beginMigration(page, dst, arrival);
-        pending_.push(Pending{ arrival, page, seq, dst });
-        if (scheduled == 0)
-            first_page = static_cast<std::uint32_t>(page);
-        last_arrival = arrival;
-        ++scheduled;
+            // First page of the batch pays the setup cost; the rest
+            // stream.
+            const std::size_t base = b.pages.size();
+            for (std::uint64_t k = 0; k < take; ++k) {
+                Tick arrival =
+                    scheduled + k == 0
+                        ? ch.submit(ready, kPageSize)
+                        : ch.submitWithStartup(ready, kPageSize, 0);
+                b.pages.emplace_back(run + k, arrival);
+            }
+            std::uint64_t seq = table_.beginMigrationRun(
+                std::span<const std::pair<PageId, Tick>>(
+                    b.pages.data() + base, take),
+                dst);
+            if (scheduled == 0) {
+                first_page = static_cast<std::uint32_t>(run);
+                b.seq0 = seq;
+            }
+            last_arrival = b.pages.back().second;
+            scheduled += take;
 
-        if (dst == Tier::Fast) {
-            stats_.promoted_bytes += kPageSize;
-            stats_.promoted_pages += 1;
-        } else {
-            stats_.demoted_bytes += kPageSize;
-            stats_.demoted_pages += 1;
+            if (dst == Tier::Fast) {
+                stats_.promoted_bytes += take * kPageSize;
+                stats_.promoted_pages += take;
+            } else {
+                stats_.demoted_bytes += take * kPageSize;
+                stats_.demoted_pages += take;
+            }
+            run += take;
+            if (dest_full)
+                break;
         }
+        i = j;
     }
+    if (scheduled > 0)
+        pushBatch(std::move(b));
+    else
+        batch_pool_.push_back(std::move(b.pages));
     // One event per batch (matching the one-transfer cost model), not
     // per page — keeps the ring proportional to decisions, not volume.
     if (telemetry_ && scheduled > 0)
@@ -305,19 +377,39 @@ HeterogeneousMemory::teleportPage(PageId page, Tier dst, Tick now)
 }
 
 void
-HeterogeneousMemory::commitUpTo(Tick now)
+HeterogeneousMemory::drainArrivals(Tick now)
 {
-    while (!pending_.empty() && pending_.top().arrival <= now) {
-        Pending p = pending_.top();
-        pending_.pop();
-        if (table_.commitMigration(p.page, p.seq)) {
-            // Page now lives at p.dst; free its old home.
-            tier(otherTier(p.dst)).release(kPageSize);
+    while (!pending_.empty() && pending_.front().next_arrival <= now) {
+        std::pop_heap(pending_.begin(), pending_.end(), BatchLater{});
+        PendingBatch &b = pending_.back();
+        const std::uint32_t n = static_cast<std::uint32_t>(b.pages.size());
+        while (b.cursor < n && b.pages[b.cursor].second <= now) {
+            // Commit consecutive arrived pages as one run; batch pages
+            // are ascending, so stretches are common.
+            std::uint32_t k = b.cursor + 1;
+            while (k < n && b.pages[k].second <= now &&
+                   b.pages[k].first == b.pages[k - 1].first + 1)
+                ++k;
+            std::uint64_t committed = table_.commitMigrationRun(
+                b.pages[b.cursor].first, k - b.cursor, b.seq0 + b.cursor);
+            // Committed pages now live at b.dst; free their old homes.
+            // A failed commit means the page was freed or the migration
+            // was cancelled; unmapPage()/cancel paths already released
+            // the destination reservation in that case.
+            if (committed > 0)
+                tier(otherTier(b.dst)).release(committed * kPageSize);
+            b.cursor = k;
         }
-        // A failed commit means the page was freed or the migration was
-        // cancelled; unmapPage()/cancel paths already released the
-        // destination reservation in that case.
+        if (b.cursor < n) {
+            b.next_arrival = b.pages[b.cursor].second;
+            std::push_heap(pending_.begin(), pending_.end(), BatchLater{});
+        } else {
+            batch_pool_.push_back(std::move(b.pages));
+            pending_.pop_back();
+        }
     }
+    next_arrival_ =
+        pending_.empty() ? kNoArrival : pending_.front().next_arrival;
 }
 
 const TierParams &
@@ -334,7 +426,10 @@ HeterogeneousMemory::reset()
     promote_.reset();
     demote_.reset();
     table_.clear();
-    pending_ = {};
+    for (PendingBatch &b : pending_)
+        batch_pool_.push_back(std::move(b.pages));
+    pending_.clear();
+    next_arrival_ = kNoArrival;
     stats_ = HmStats{};
 }
 

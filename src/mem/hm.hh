@@ -18,7 +18,7 @@
 #define SENTINEL_MEM_HM_HH
 
 #include <cstdint>
-#include <queue>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -143,8 +143,19 @@ class HeterogeneousMemory
      */
     bool teleportPage(PageId page, Tier dst, Tick now);
 
-    /** Apply every migration completion with arrival <= @p now. */
-    void commitUpTo(Tick now);
+    /**
+     * Apply every migration completion with arrival <= @p now.  Called
+     * from every residency query, so the common no-op case (nothing
+     * pending, or nothing due yet) is a single inline comparison
+     * against the cached earliest arrival.
+     */
+    void
+    commitUpTo(Tick now)
+    {
+        if (now < next_arrival_)
+            return;
+        drainArrivals(now);
+    }
 
     /** Idle time of the promote / demote channel. */
     Tick promoteBusyUntil() const { return promote_.busyUntil(); }
@@ -202,19 +213,39 @@ class HeterogeneousMemory
     void noteMigration(Tier dst, Tick ready, Tick arrival,
                        std::uint64_t bytes, std::uint32_t first_page);
 
-    struct Pending {
-        Tick arrival;
-        PageId page;
-        std::uint64_t seq;
-        Tier dst;
+    static constexpr Tick kNoArrival = std::numeric_limits<Tick>::max();
+
+    /**
+     * One scheduled migratePages() batch: the pages in submit order
+     * with their individual arrival ticks.  Page k of the batch holds
+     * migration sequence seq0 + k (beginMigration() numbers them
+     * consecutively inside the scheduling loop), so the commit loop
+     * never stores per-page sequence numbers.  The pending set is a
+     * binary min-heap of batches keyed by each batch's next uncommitted
+     * arrival — one heap node per *batch* instead of per page.
+     */
+    struct PendingBatch {
+        Tick next_arrival = 0;   ///< arrival of pages[cursor]
+        std::uint64_t seq0 = 0;  ///< migration seq of pages[0]
+        std::uint32_t cursor = 0;
+        Tier dst = Tier::Fast;
+        std::vector<std::pair<PageId, Tick>> pages; ///< (page, arrival)
+    };
+    struct BatchLater {
         bool
-        operator>(const Pending &o) const
+        operator()(const PendingBatch &a, const PendingBatch &b) const
         {
-            if (arrival != o.arrival)
-                return arrival > o.arrival;
-            return seq > o.seq;
+            return a.next_arrival > b.next_arrival;
         }
     };
+
+    /** Out-of-line slow path of commitUpTo(). */
+    void drainArrivals(Tick now);
+    /** Push @p b onto the pending heap and refresh next_arrival_. */
+    void pushBatch(PendingBatch &&b);
+    /** Pooled pages buffer for the next batch (reused, no allocation
+     *  in steady state). */
+    std::vector<std::pair<PageId, Tick>> takeBatchBuffer();
 
     MemoryTier fast_;
     MemoryTier slow_;
@@ -224,8 +255,9 @@ class HeterogeneousMemory
     double base_demote_bw_ = 0.0;
     std::uint64_t base_fast_capacity_ = 0;
     PageTable table_;
-    std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
-        pending_;
+    std::vector<PendingBatch> pending_; ///< min-heap (BatchLater)
+    std::vector<std::vector<std::pair<PageId, Tick>>> batch_pool_;
+    Tick next_arrival_ = kNoArrival; ///< pending_ top's key (cached)
     HmStats stats_;
 
     telemetry::Session *telemetry_ = nullptr;

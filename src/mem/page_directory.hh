@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A chunked direct-indexed map from PageId to a small POD value.
+ *
+ * The simulator's hot paths key several side tables by page id
+ * (executor page reference counts, access-tracker counters).  Virtual
+ * addresses are sparse — policies place tensors at multi-TiB bases —
+ * so a flat array is out, but an unordered_map pays a hash + probe on
+ * every access.  PageDirectory splits the id space into 2^16-page
+ * chunks allocated on first touch: a lookup is two loads and chunks
+ * are recycled across clear() with an epoch stamp, so steady-state
+ * operation allocates nothing.
+ *
+ * T must be trivially copyable and value-initialize to its "absent"
+ * state (e.g. a zero refcount): clear() simply bumps the epoch and a
+ * recycled chunk is refilled with T{}.
+ */
+
+#ifndef SENTINEL_MEM_PAGE_DIRECTORY_HH
+#define SENTINEL_MEM_PAGE_DIRECTORY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mem/page.hh"
+
+namespace sentinel::mem {
+
+template <typename T>
+class PageDirectory
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PageDirectory chunks are recycled by refilling T{}");
+
+  public:
+    /** Mutable slot for @p page, creating its chunk if needed. */
+    T &
+    ref(PageId page)
+    {
+        std::uint64_t c = page >> kChunkBits;
+        SENTINEL_ASSERT(page < kMaxPages, "page id out of range");
+        if (c >= chunks_.size())
+            chunks_.resize(c + 1);
+        Chunk &ch = chunks_[c];
+        if (ch.epoch != epoch_) {
+            if (!ch.slots)
+                ch.slots = std::make_unique<T[]>(kChunkPages);
+            std::fill_n(ch.slots.get(), kChunkPages, T{});
+            ch.epoch = epoch_;
+        }
+        return ch.slots[page & kChunkMask];
+    }
+
+    /** Slot for @p page, or nullptr if its chunk was never touched. */
+    const T *
+    find(PageId page) const
+    {
+        std::uint64_t c = page >> kChunkBits;
+        if (c >= chunks_.size())
+            return nullptr;
+        const Chunk &ch = chunks_[c];
+        if (ch.epoch != epoch_)
+            return nullptr;
+        return &ch.slots[page & kChunkMask];
+    }
+
+    /** Value for @p page; T{} where nothing was ever stored. */
+    T
+    get(PageId page) const
+    {
+        const T *p = find(page);
+        return p ? *p : T{};
+    }
+
+    /** Drop all values.  O(1): chunks are recycled lazily. */
+    void
+    clear()
+    {
+        if (++epoch_ == 0) { // epoch wrap: stale stamps could collide
+            chunks_.clear();
+            epoch_ = 1;
+        }
+    }
+
+    /** Visit every slot of every touched chunk in ascending page
+     *  order, including slots still holding T{}. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::uint64_t c = 0; c < chunks_.size(); ++c) {
+            const Chunk &ch = chunks_[c];
+            if (ch.epoch != epoch_ || !ch.slots)
+                continue;
+            for (std::uint64_t i = 0; i < kChunkPages; ++i)
+                f((c << kChunkBits) | i, ch.slots[i]);
+        }
+    }
+
+  private:
+    static constexpr unsigned kChunkBits = 16;
+    static constexpr std::uint64_t kChunkPages = 1ull << kChunkBits;
+    static constexpr std::uint64_t kChunkMask = kChunkPages - 1;
+    static constexpr std::uint64_t kMaxPages = 1ull << 36;
+
+    struct Chunk {
+        std::uint32_t epoch = 0; ///< valid iff == PageDirectory::epoch_
+        std::unique_ptr<T[]> slots;
+    };
+
+    std::vector<Chunk> chunks_;
+    std::uint32_t epoch_ = 1;
+};
+
+} // namespace sentinel::mem
+
+#endif // SENTINEL_MEM_PAGE_DIRECTORY_HH

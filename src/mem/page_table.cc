@@ -1,6 +1,8 @@
 #include "mem/page_table.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -18,26 +20,35 @@ PageTable::defaultBackend()
 
 PageTable::PageTable(Backend backend) : backend_(backend) {}
 
-PageTable::DenseSlot *
-PageTable::denseFind(PageId page) const
-{
-    std::uint64_t chunk = page >> kChunkBits;
-    if (chunk >= chunks_.size() || !chunks_[chunk])
-        return nullptr;
-    return &chunks_[chunk][page & kChunkMask];
-}
-
-PageTable::DenseSlot &
-PageTable::denseSlot(PageId page)
+PageTable::Chunk &
+PageTable::chunkFor(PageId page)
 {
     SENTINEL_ASSERT(page < kMaxPages, "page %llu beyond dense table range",
                     static_cast<unsigned long long>(page));
-    std::uint64_t chunk = page >> kChunkBits;
-    if (chunk >= chunks_.size())
-        chunks_.resize(chunk + 1);
-    if (!chunks_[chunk])
-        chunks_[chunk] = std::make_unique<DenseSlot[]>(kChunkPages);
-    return chunks_[chunk][page & kChunkMask];
+    std::uint64_t c = page >> kChunkBits;
+    if (c >= chunks_.size())
+        chunks_.resize(c + 1);
+    Chunk &ch = chunks_[c];
+    if (ch.epoch != epoch_) {
+        // Stale (or fresh) chunk: recycle it lazily on first touch of
+        // the new epoch.  Cold arrays may keep stale values — they are
+        // only read under the in-flight bit, which this reset clears.
+        if (!ch.state)
+            ch.state = std::make_unique<std::uint8_t[]>(kChunkPages);
+        std::memset(ch.state.get(), kStateUnmapped, kChunkPages);
+        ch.mapped = ch.fast = ch.inflight = 0;
+        ch.epoch = epoch_;
+    }
+    return ch;
+}
+
+void
+PageTable::ensureCold(Chunk &ch)
+{
+    if (!ch.arrival) {
+        ch.arrival = std::make_unique<Tick[]>(kChunkPages);
+        ch.seq = std::make_unique<std::uint64_t[]>(kChunkPages);
+    }
 }
 
 void
@@ -51,12 +62,14 @@ PageTable::map(PageId page, Tier tier)
         ++num_mapped_;
         return;
     }
-    DenseSlot &s = denseSlot(page);
-    SENTINEL_ASSERT(s.epoch != epoch_, "page %llu already mapped",
+    Chunk &ch = chunkFor(page);
+    std::uint8_t &s = ch.state[page & kChunkMask];
+    SENTINEL_ASSERT(s == kStateUnmapped, "page %llu already mapped",
                     static_cast<unsigned long long>(page));
-    s.entry = PageEntry{};
-    s.entry.tier = tier;
-    s.epoch = epoch_;
+    s = stateByte(tier, false);
+    ++ch.mapped;
+    if (tier == Tier::Fast)
+        ++ch.fast;
     ++num_mapped_;
 }
 
@@ -68,19 +81,23 @@ PageTable::mapRange(PageId first, std::uint64_t count, Tier tier)
             map(first + i, tier);
         return;
     }
+    const std::uint8_t val = stateByte(tier, false);
     PageId p = first;
     std::uint64_t left = count;
     while (left > 0) {
-        DenseSlot *s = &denseSlot(p);
-        std::uint64_t in_chunk =
-            std::min<std::uint64_t>(left, kChunkPages - (p & kChunkMask));
-        for (std::uint64_t i = 0; i < in_chunk; ++i, ++s) {
-            SENTINEL_ASSERT(s->epoch != epoch_, "page %llu already mapped",
+        Chunk &ch = chunkFor(p);
+        std::uint64_t off = p & kChunkMask;
+        std::uint64_t in_chunk = std::min<std::uint64_t>(left,
+                                                         kChunkPages - off);
+        std::uint8_t *s = ch.state.get() + off;
+        for (std::uint64_t i = 0; i < in_chunk; ++i)
+            SENTINEL_ASSERT(s[i] == kStateUnmapped,
+                            "page %llu already mapped",
                             static_cast<unsigned long long>(p + i));
-            s->entry = PageEntry{};
-            s->entry.tier = tier;
-            s->epoch = epoch_;
-        }
+        std::memset(s, val, in_chunk);
+        ch.mapped += static_cast<std::uint32_t>(in_chunk);
+        if (tier == Tier::Fast)
+            ch.fast += static_cast<std::uint32_t>(in_chunk);
         num_mapped_ += in_chunk;
         p += in_chunk;
         left -= in_chunk;
@@ -97,10 +114,18 @@ PageTable::unmap(PageId page)
         --num_mapped_;
         return;
     }
-    DenseSlot *s = denseFind(page);
-    SENTINEL_ASSERT(s && s->epoch == epoch_, "unmap of unmapped page %llu",
+    const Chunk *c = findChunk(page);
+    SENTINEL_ASSERT(c && c->state[page & kChunkMask] != kStateUnmapped,
+                    "unmap of unmapped page %llu",
                     static_cast<unsigned long long>(page));
-    s->epoch = 0;
+    Chunk &ch = const_cast<Chunk &>(*c);
+    std::uint8_t &s = ch.state[page & kChunkMask];
+    --ch.mapped;
+    if (s & kStateFastBit)
+        --ch.fast;
+    if (s & kStateFlightBit)
+        --ch.inflight;
+    s = kStateUnmapped;
     --num_mapped_;
 }
 
@@ -115,15 +140,26 @@ PageTable::unmapRange(PageId first, std::uint64_t count)
     PageId p = first;
     std::uint64_t left = count;
     while (left > 0) {
-        DenseSlot *s = denseFind(p);
-        std::uint64_t in_chunk =
-            std::min<std::uint64_t>(left, kChunkPages - (p & kChunkMask));
-        for (std::uint64_t i = 0; i < in_chunk; ++i, ++s) {
-            SENTINEL_ASSERT(s && s->epoch == epoch_,
+        const Chunk *c = findChunk(p);
+        SENTINEL_ASSERT(c, "unmap of unmapped page %llu",
+                        static_cast<unsigned long long>(p));
+        Chunk &ch = const_cast<Chunk &>(*c);
+        std::uint64_t off = p & kChunkMask;
+        std::uint64_t in_chunk = std::min<std::uint64_t>(left,
+                                                         kChunkPages - off);
+        std::uint8_t *s = ch.state.get() + off;
+        std::uint32_t fast = 0, inflight = 0;
+        for (std::uint64_t i = 0; i < in_chunk; ++i) {
+            SENTINEL_ASSERT(s[i] != kStateUnmapped,
                             "unmap of unmapped page %llu",
                             static_cast<unsigned long long>(p + i));
-            s->epoch = 0;
+            fast += (s[i] & kStateFastBit) ? 1 : 0;
+            inflight += (s[i] & kStateFlightBit) ? 1 : 0;
         }
+        std::memset(s, kStateUnmapped, in_chunk);
+        ch.mapped -= static_cast<std::uint32_t>(in_chunk);
+        ch.fast -= fast;
+        ch.inflight -= inflight;
         num_mapped_ -= in_chunk;
         p += in_chunk;
         left -= in_chunk;
@@ -135,11 +171,11 @@ PageTable::isMapped(PageId page) const
 {
     if (backend_ == Backend::Hash)
         return entries_.find(page) != entries_.end();
-    const DenseSlot *s = denseFind(page);
-    return s && s->epoch == epoch_;
+    const Chunk *c = findChunk(page);
+    return c && c->state[page & kChunkMask] != kStateUnmapped;
 }
 
-const PageEntry &
+PageEntry
 PageTable::entry(PageId page) const
 {
     if (backend_ == Backend::Hash) {
@@ -149,41 +185,95 @@ PageTable::entry(PageId page) const
                         static_cast<unsigned long long>(page));
         return it->second;
     }
-    const DenseSlot *s = denseFind(page);
-    SENTINEL_ASSERT(s && s->epoch == epoch_, "entry() of unmapped page %llu",
+    const Chunk *c = findChunk(page);
+    SENTINEL_ASSERT(c && c->state[page & kChunkMask] != kStateUnmapped,
+                    "entry() of unmapped page %llu",
                     static_cast<unsigned long long>(page));
-    return s->entry;
+    std::uint64_t off = page & kChunkMask;
+    std::uint8_t s = c->state[off];
+    PageEntry e;
+    e.tier = tierOf(s);
+    e.in_flight = flightOf(s);
+    // With two tiers the destination is always "the other one"; the
+    // cold arrays hold arrival/seq only while the in-flight bit is set.
+    e.dest = e.in_flight ? otherTier(e.tier) : e.tier;
+    e.arrival = (e.in_flight && c->arrival) ? c->arrival[off] : 0;
+    e.seq = c->seq ? c->seq[off] : 0;
+    return e;
 }
 
 PageRunState
 PageTable::runState(PageId first, std::uint64_t count) const
 {
     SENTINEL_ASSERT(count > 0, "runState() of empty range");
-    const PageEntry &e0 = entry(first);
-    PageRunState rs{e0.tier, e0.in_flight, 1};
     if (backend_ == Backend::Hash) {
+        PageEntry e0 = entry(first);
+        PageRunState rs{ e0.tier, e0.in_flight, 1 };
         while (rs.count < count) {
-            const PageEntry &e = entry(first + rs.count);
+            PageEntry e = entry(first + rs.count);
             if (e.tier != rs.tier || e.in_flight != rs.in_flight)
                 break;
             ++rs.count;
         }
         return rs;
     }
-    // Dense: stream chunk by chunk so the inner loop is a linear scan.
+    // Dense: one chunk at a time.  A chunk whose summary counters say
+    // "every mapped page matches the run state" extends the run by the
+    // whole sub-range without touching the state bytes (the caller
+    // guarantees the range is mapped); mixed chunks fall back to a
+    // linear byte scan.
+    const Chunk *c0 = findChunk(first);
+    SENTINEL_ASSERT(c0 && c0->state[first & kChunkMask] != kStateUnmapped,
+                    "runState() over unmapped page %llu",
+                    static_cast<unsigned long long>(first));
+    const std::uint8_t s0 = c0->state[first & kChunkMask];
+    PageRunState rs{ tierOf(s0), flightOf(s0), 1 };
+
     PageId p = first + 1;
     std::uint64_t left = count - 1;
     while (left > 0) {
-        const DenseSlot *s = denseFind(p);
-        std::uint64_t in_chunk =
-            std::min<std::uint64_t>(left, kChunkPages - (p & kChunkMask));
-        for (std::uint64_t i = 0; i < in_chunk; ++i, ++s) {
-            SENTINEL_ASSERT(s && s->epoch == epoch_,
-                            "runState() over unmapped page %llu",
-                            static_cast<unsigned long long>(p + i));
-            if (s->entry.tier != rs.tier || s->entry.in_flight != rs.in_flight)
+        const Chunk *c = findChunk(p);
+        SENTINEL_ASSERT(c, "runState() over unmapped page %llu",
+                        static_cast<unsigned long long>(p));
+        std::uint64_t off = p & kChunkMask;
+        std::uint64_t in_chunk = std::min<std::uint64_t>(left,
+                                                         kChunkPages - off);
+        bool uniform = false;
+        if (c->inflight == 0 && !flightOf(s0)) {
+            uniform = (s0 & kStateFastBit) ? c->fast == c->mapped
+                                           : c->fast == 0;
+        }
+        if (uniform) {
+            rs.count += in_chunk;
+        } else {
+            // Word-wide run scan: eight state bytes per compare, with
+            // countr_zero picking the first mismatching byte.  This
+            // loop is the hottest in the simulator (every extent walk
+            // funnels through it), so the byte loop only handles the
+            // tail.
+            const std::uint8_t *s = c->state.get() + off;
+            const std::uint64_t pat = 0x0101010101010101ull * s0;
+            std::uint64_t i = 0;
+            while (i + 8 <= in_chunk) {
+                std::uint64_t w;
+                std::memcpy(&w, s + i, 8);
+                if (w != pat) {
+                    i += static_cast<std::uint64_t>(
+                             std::countr_zero(w ^ pat)) /
+                         8;
+                    break;
+                }
+                i += 8;
+            }
+            while (i < in_chunk && s[i] == s0)
+                ++i;
+            rs.count += i;
+            if (i < in_chunk) {
+                SENTINEL_ASSERT(s[i] != kStateUnmapped,
+                                "runState() over unmapped page %llu",
+                                static_cast<unsigned long long>(p + i));
                 return rs;
-            ++rs.count;
+            }
         }
         p += in_chunk;
         left -= in_chunk;
@@ -194,70 +284,217 @@ PageTable::runState(PageId first, std::uint64_t count) const
 bool
 PageTable::anyInFlight(PageId first, std::uint64_t count) const
 {
-    for (std::uint64_t i = 0; i < count; ++i)
-        if (entry(first + i).in_flight)
-            return true;
+    if (backend_ == Backend::Hash) {
+        for (std::uint64_t i = 0; i < count; ++i)
+            if (entry(first + i).in_flight)
+                return true;
+        return false;
+    }
+    PageId p = first;
+    std::uint64_t left = count;
+    while (left > 0) {
+        const Chunk *c = findChunk(p);
+        SENTINEL_ASSERT(c, "anyInFlight() over unmapped page %llu",
+                        static_cast<unsigned long long>(p));
+        std::uint64_t off = p & kChunkMask;
+        std::uint64_t in_chunk = std::min<std::uint64_t>(left,
+                                                         kChunkPages - off);
+        if (c->inflight > 0) {
+            const std::uint8_t *s = c->state.get() + off;
+            for (std::uint64_t i = 0; i < in_chunk; ++i) {
+                SENTINEL_ASSERT(s[i] != kStateUnmapped,
+                                "anyInFlight() over unmapped page %llu",
+                                static_cast<unsigned long long>(p + i));
+                if (s[i] & kStateFlightBit)
+                    return true;
+            }
+        }
+        p += in_chunk;
+        left -= in_chunk;
+    }
     return false;
 }
 
-PageEntry &
-PageTable::mutableEntry(PageId page)
+std::uint64_t
+PageTable::beginMigration(PageId page, Tier dest, Tick arrival)
 {
     if (backend_ == Backend::Hash) {
         auto it = entries_.find(page);
         SENTINEL_ASSERT(it != entries_.end(),
                         "access to unmapped page %llu",
                         static_cast<unsigned long long>(page));
-        return it->second;
+        PageEntry &e = it->second;
+        SENTINEL_ASSERT(!e.in_flight, "page %llu is already migrating",
+                        static_cast<unsigned long long>(page));
+        SENTINEL_ASSERT(e.tier != dest, "migration to the same tier");
+        e.in_flight = true;
+        e.dest = dest;
+        e.arrival = arrival;
+        e.seq = next_seq_++;
+        return e.seq;
     }
-    DenseSlot *s = denseFind(page);
-    SENTINEL_ASSERT(s && s->epoch == epoch_, "access to unmapped page %llu",
+    const Chunk *c = findChunk(page);
+    SENTINEL_ASSERT(c && c->state[page & kChunkMask] != kStateUnmapped,
+                    "access to unmapped page %llu",
                     static_cast<unsigned long long>(page));
-    return s->entry;
-}
-
-std::uint64_t
-PageTable::beginMigration(PageId page, Tier dest, Tick arrival)
-{
-    PageEntry &e = mutableEntry(page);
-    SENTINEL_ASSERT(!e.in_flight, "page %llu is already migrating",
+    Chunk &ch = const_cast<Chunk &>(*c);
+    std::uint64_t off = page & kChunkMask;
+    std::uint8_t &s = ch.state[off];
+    SENTINEL_ASSERT(!flightOf(s), "page %llu is already migrating",
                     static_cast<unsigned long long>(page));
-    SENTINEL_ASSERT(e.tier != dest, "migration to the same tier");
-    e.in_flight = true;
-    e.dest = dest;
-    e.arrival = arrival;
-    e.seq = next_seq_++;
-    return e.seq;
+    SENTINEL_ASSERT(tierOf(s) != dest, "migration to the same tier");
+    ensureCold(ch);
+    s |= kStateFlightBit;
+    ++ch.inflight;
+    ch.arrival[off] = arrival;
+    ch.seq[off] = next_seq_++;
+    return ch.seq[off];
 }
 
 bool
 PageTable::commitMigration(PageId page, std::uint64_t seq)
 {
-    PageEntry *e = nullptr;
     if (backend_ == Backend::Hash) {
         auto it = entries_.find(page);
         if (it == entries_.end())
             return false; // freed while in flight
-        e = &it->second;
-    } else {
-        DenseSlot *s = denseFind(page);
-        if (!s || s->epoch != epoch_)
-            return false; // freed while in flight
-        e = &s->entry;
+        PageEntry &e = it->second;
+        if (!e.in_flight || e.seq != seq)
+            return false; // cancelled or superseded
+        e.tier = e.dest;
+        e.in_flight = false;
+        return true;
     }
-    if (!e->in_flight || e->seq != seq)
-        return false; // cancelled or superseded
-    e->tier = e->dest;
-    e->in_flight = false;
+    const Chunk *c = findChunk(page);
+    if (!c)
+        return false; // freed while in flight
+    std::uint64_t off = page & kChunkMask;
+    std::uint8_t s = c->state[off];
+    if (s == kStateUnmapped || !flightOf(s) || c->seq[off] != seq)
+        return false; // freed, cancelled, or superseded
+    Chunk &ch = const_cast<Chunk &>(*c);
+    // Arriving at "the other tier": flip the fast bit, clear in-flight.
+    std::uint8_t flipped = (s ^ kStateFastBit) &
+                           static_cast<std::uint8_t>(~kStateFlightBit);
+    ch.state[off] = flipped;
+    if (flipped & kStateFastBit)
+        ++ch.fast;
+    else
+        --ch.fast;
+    --ch.inflight;
     return true;
+}
+
+std::uint64_t
+PageTable::beginMigrationRun(std::span<const std::pair<PageId, Tick>> run,
+                             Tier dest)
+{
+    SENTINEL_ASSERT(!run.empty(), "empty migration run");
+    if (backend_ == Backend::Hash) {
+        std::uint64_t seq0 = beginMigration(run[0].first, dest,
+                                            run[0].second);
+        for (std::size_t i = 1; i < run.size(); ++i)
+            beginMigration(run[i].first, dest, run[i].second);
+        return seq0;
+    }
+    const std::uint64_t seq0 = next_seq_;
+    std::size_t i = 0;
+    while (i < run.size()) {
+        const PageId page = run[i].first;
+        const Chunk *c = findChunk(page);
+        SENTINEL_ASSERT(c, "access to unmapped page %llu",
+                        static_cast<unsigned long long>(page));
+        Chunk &ch = const_cast<Chunk &>(*c);
+        ensureCold(ch);
+        const std::uint64_t off = page & kChunkMask;
+        const std::uint64_t in_chunk =
+            std::min<std::uint64_t>(run.size() - i, kChunkPages - off);
+        for (std::uint64_t k = 0; k < in_chunk; ++k) {
+            SENTINEL_ASSERT(run[i + k].first == page + k,
+                            "migration run is not consecutive at %llu",
+                            static_cast<unsigned long long>(page + k));
+            std::uint8_t &s = ch.state[off + k];
+            SENTINEL_ASSERT(s != kStateUnmapped,
+                            "access to unmapped page %llu",
+                            static_cast<unsigned long long>(page + k));
+            SENTINEL_ASSERT(!flightOf(s), "page %llu is already migrating",
+                            static_cast<unsigned long long>(page + k));
+            SENTINEL_ASSERT(tierOf(s) != dest, "migration to the same tier");
+            s |= kStateFlightBit;
+            ch.arrival[off + k] = run[i + k].second;
+            ch.seq[off + k] = next_seq_++;
+        }
+        ch.inflight += static_cast<std::uint32_t>(in_chunk);
+        i += in_chunk;
+    }
+    return seq0;
+}
+
+std::uint64_t
+PageTable::commitMigrationRun(PageId first, std::uint64_t count,
+                              std::uint64_t seq0)
+{
+    if (backend_ == Backend::Hash) {
+        std::uint64_t done = 0;
+        for (std::uint64_t k = 0; k < count; ++k)
+            done += commitMigration(first + k, seq0 + k) ? 1 : 0;
+        return done;
+    }
+    std::uint64_t done = 0;
+    std::uint64_t k = 0;
+    while (k < count) {
+        const PageId page = first + k;
+        const std::uint64_t off = page & kChunkMask;
+        const std::uint64_t in_chunk =
+            std::min<std::uint64_t>(count - k, kChunkPages - off);
+        const Chunk *c = findChunk(page);
+        if (!c) { // whole chunk freed while in flight
+            k += in_chunk;
+            continue;
+        }
+        Chunk &ch = const_cast<Chunk &>(*c);
+        for (std::uint64_t m = 0; m < in_chunk; ++m) {
+            std::uint8_t s = ch.state[off + m];
+            if (s == kStateUnmapped || !flightOf(s) ||
+                ch.seq[off + m] != seq0 + k + m)
+                continue; // freed, cancelled, or superseded
+            std::uint8_t flipped = (s ^ kStateFastBit) &
+                                   static_cast<std::uint8_t>(~kStateFlightBit);
+            ch.state[off + m] = flipped;
+            if (flipped & kStateFastBit)
+                ++ch.fast;
+            else
+                --ch.fast;
+            --ch.inflight;
+            ++done;
+        }
+        k += in_chunk;
+    }
+    return done;
 }
 
 void
 PageTable::cancelMigration(PageId page)
 {
-    PageEntry &e = mutableEntry(page);
-    SENTINEL_ASSERT(e.in_flight, "cancel of non-migrating page");
-    e.in_flight = false;
+    if (backend_ == Backend::Hash) {
+        auto it = entries_.find(page);
+        SENTINEL_ASSERT(it != entries_.end(),
+                        "access to unmapped page %llu",
+                        static_cast<unsigned long long>(page));
+        SENTINEL_ASSERT(it->second.in_flight,
+                        "cancel of non-migrating page");
+        it->second.in_flight = false;
+        return;
+    }
+    const Chunk *c = findChunk(page);
+    SENTINEL_ASSERT(c && c->state[page & kChunkMask] != kStateUnmapped,
+                    "access to unmapped page %llu",
+                    static_cast<unsigned long long>(page));
+    Chunk &ch = const_cast<Chunk &>(*c);
+    std::uint8_t &s = ch.state[page & kChunkMask];
+    SENTINEL_ASSERT(flightOf(s), "cancel of non-migrating page");
+    s &= static_cast<std::uint8_t>(~kStateFlightBit);
+    --ch.inflight;
 }
 
 void
@@ -265,8 +502,9 @@ PageTable::clear()
 {
     entries_.clear();
     num_mapped_ = 0;
-    // O(1) dense clear: bump the epoch; old slots become unmapped.  On
-    // the (astronomically rare) wrap, drop the chunks so stale epochs
+    // O(1) dense clear: bump the epoch; old chunks become stale and are
+    // recycled (not re-allocated) on their next touch.  On the
+    // (astronomically rare) wrap, drop the chunks so stale epochs
     // cannot alias the restarted counter.
     if (++epoch_ == 0) {
         chunks_.clear();

@@ -9,11 +9,16 @@
  *
  * Two backends share one interface:
  *
- *  - Dense (default): a chunked direct-indexed array of entries.  Page
- *    ids index a lazily-allocated chunk directory, so lookups are two
- *    loads instead of a hash probe, and range walks stream through
- *    contiguous memory.  Mapped-ness is tracked with a per-entry epoch
- *    so clear() is O(1).
+ *  - Dense (default): struct-of-arrays chunks.  The hot state of a page
+ *    (tier + in-flight bit) is ONE byte in a per-chunk state array, so
+ *    lookups are two loads and range walks are byte scans.  Cold
+ *    migration state (arrival tick, commit-guard sequence) lives in
+ *    separate per-chunk arrays allocated only once a chunk sees its
+ *    first migration.  Each chunk also carries summary counters
+ *    (mapped / fast-resident / in-flight page counts), which answer the
+ *    dominant runState() query — "is this whole range uniform?" — in
+ *    O(chunks) instead of O(pages).  Mapped-ness is tracked with a
+ *    per-chunk epoch so clear() is O(1).
  *  - Hash: the original std::unordered_map, kept as a debug fallback
  *    (configure with -DSENTINEL_DENSE_PT=OFF, or construct with
  *    Backend::Hash) for differential testing against the dense path.
@@ -24,7 +29,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/units.hh"
@@ -32,7 +39,7 @@
 
 namespace sentinel::mem {
 
-/** Per-page state. */
+/** Per-page state (a composed view; the dense backend stores SoA). */
 struct PageEntry {
     Tier tier = Tier::Slow;     ///< current (source) tier
     bool in_flight = false;     ///< migration scheduled, not yet arrived
@@ -56,7 +63,7 @@ class PageTable
 {
   public:
     enum class Backend {
-        Dense, ///< chunked direct-indexed array (production)
+        Dense, ///< chunked struct-of-arrays (production)
         Hash,  ///< std::unordered_map (debug fallback)
     };
 
@@ -81,8 +88,10 @@ class PageTable
 
     bool isMapped(PageId page) const;
 
-    /** Entry for @p page (must be mapped). */
-    const PageEntry &entry(PageId page) const;
+    /** Entry for @p page (must be mapped).  The dense backend composes
+     *  the view from its SoA arrays: dest/arrival are meaningful only
+     *  while in_flight. */
+    PageEntry entry(PageId page) const;
 
     /**
      * Longest prefix of [first, first+count) whose pages share one
@@ -105,6 +114,25 @@ class PageTable
      */
     bool commitMigration(PageId page, std::uint64_t seq);
 
+    /**
+     * Begin migrating a consecutive ascending run of pages to @p dest;
+     * run[i] is (first + i, arrival of that page).  Every page must be
+     * mapped, idle, and resident away from @p dest — i.e. a uniform
+     * eligible runState() prefix.  Sequence numbers are contiguous:
+     * page run[i].first gets @return + i.
+     */
+    std::uint64_t beginMigrationRun(
+        std::span<const std::pair<PageId, Tick>> run, Tier dest);
+
+    /**
+     * Commit the consecutive run [first, first+count), where page
+     * first+i carries sequence @p seq0 + i.  Pages freed or cancelled
+     * while in flight are skipped, exactly as commitMigration().
+     * @return the number of pages that actually flipped tiers.
+     */
+    std::uint64_t commitMigrationRun(PageId first, std::uint64_t count,
+                                     std::uint64_t seq0);
+
     /** Abort an in-flight migration, leaving the page at its source. */
     void cancelMigration(PageId page);
 
@@ -114,10 +142,10 @@ class PageTable
 
   private:
     /**
-     * Chunk geometry: 2^16 pages (2 MiB of entries) per chunk keeps the
-     * directory small even for the policies that place tensors at
-     * multi-TiB virtual bases, while one tensor's pages stay within a
-     * handful of chunks.
+     * Chunk geometry: 2^16 pages (64 KiB of state bytes) per chunk
+     * keeps the directory small even for the policies that place
+     * tensors at multi-TiB virtual bases, while one tensor's pages stay
+     * within a handful of chunks.
      */
     static constexpr unsigned kChunkBits = 16;
     static constexpr std::uint64_t kChunkPages = 1ull << kChunkBits;
@@ -125,23 +153,62 @@ class PageTable
     /** 2^36 pages = a 256 TiB virtual space; bounds directory growth. */
     static constexpr std::uint64_t kMaxPages = 1ull << 36;
 
-    struct DenseSlot {
-        PageEntry entry;
-        /** Slot is mapped iff epoch == epoch_ (clear() bumps epoch_). */
+    // Hot per-page state, one byte: bit 0 = resident tier is Fast,
+    // bit 1 = migration in flight, 0xFF = unmapped.
+    static constexpr std::uint8_t kStateUnmapped = 0xFF;
+    static constexpr std::uint8_t kStateFastBit = 0x01;
+    static constexpr std::uint8_t kStateFlightBit = 0x02;
+
+    static constexpr std::uint8_t
+    stateByte(Tier t, bool in_flight)
+    {
+        return static_cast<std::uint8_t>(
+            (t == Tier::Fast ? kStateFastBit : 0) |
+            (in_flight ? kStateFlightBit : 0));
+    }
+    static constexpr Tier
+    tierOf(std::uint8_t s)
+    {
+        return (s & kStateFastBit) ? Tier::Fast : Tier::Slow;
+    }
+    static constexpr bool
+    flightOf(std::uint8_t s)
+    {
+        return (s & kStateFlightBit) != 0;
+    }
+
+    struct Chunk {
+        /** Chunk contents are valid iff epoch == PageTable::epoch_. */
         std::uint32_t epoch = 0;
+        std::uint32_t mapped = 0;   ///< mapped pages in this chunk
+        std::uint32_t fast = 0;     ///< mapped pages resident in Fast
+        std::uint32_t inflight = 0; ///< mapped pages migrating
+        std::unique_ptr<std::uint8_t[]> state;
+        // Cold migration SoA, allocated on the chunk's first migration.
+        std::unique_ptr<Tick[]> arrival;
+        std::unique_ptr<std::uint64_t[]> seq;
     };
 
-    /** Slot for @p page, or nullptr if its chunk was never touched. */
-    DenseSlot *denseFind(PageId page) const;
-    /** Slot for @p page, allocating its chunk on demand. */
-    DenseSlot &denseSlot(PageId page);
+    /** Chunk holding @p page, or nullptr if absent/stale this epoch. */
+    const Chunk *
+    findChunk(PageId page) const
+    {
+        std::uint64_t c = page >> kChunkBits;
+        if (c >= chunks_.size())
+            return nullptr;
+        const Chunk &ch = chunks_[c];
+        return ch.epoch == epoch_ ? &ch : nullptr;
+    }
 
-    PageEntry &mutableEntry(PageId page);
+    /** Chunk for @p page, allocated/recycled to the current epoch. */
+    Chunk &chunkFor(PageId page);
+    /** Ensure the chunk's cold migration arrays exist. */
+    void ensureCold(Chunk &ch);
 
     Backend backend_;
 
     // Dense backend state.
-    std::vector<std::unique_ptr<DenseSlot[]>> chunks_;
+    std::vector<Chunk> chunks_;
     std::uint32_t epoch_ = 1;
 
     // Hash backend state.

@@ -148,21 +148,27 @@ AttributionEngine::charge(AttrComponent c, Tick t, std::uint64_t events)
 {
     if (!in_step_ || (t == 0 && events == 0))
         return;
+    maps_stale_ = true;
     current_.ticks[static_cast<std::size_t>(c)] += t;
     current_.stall_events += events;
 
-    AttrBucket &layer = by_layer_[layer_];
+    AttrBucket &layer =
+        slotAt(layer_slots_, static_cast<std::size_t>(layer_ + 1));
     layer.ticks[static_cast<std::size_t>(c)] += t;
     layer.stall_events += events;
 
-    AttrBucket &interval = by_interval_[interval_];
+    AttrBucket &interval =
+        slotAt(interval_slots_, static_cast<std::size_t>(interval_ + 1));
     interval.ticks[static_cast<std::size_t>(c)] += t;
     interval.stall_events += events;
 
     if (c == AttrComponent::Exposed || c == AttrComponent::Alloc) {
         std::uint32_t tensor =
             in_alloc_ ? alloc_tensor_ : access_tensor_;
-        TensorAttr &ta = by_tensor_[tensor];
+        // tensor + 1 wraps kAttrNoTensor (~0u) to slot 0.
+        TensorAttr &ta = slotAt(
+            tensor_slots_, static_cast<std::size_t>(
+                               static_cast<std::uint32_t>(tensor + 1)));
         if (c == AttrComponent::Alloc)
             ta.alloc += t;
         else
@@ -209,12 +215,15 @@ AttributionEngine::noteMigration(bool promote, std::uint64_t bytes)
 {
     if (!in_step_)
         return;
+    maps_stale_ = true;
     if (promote)
         current_.promoted_bytes += bytes;
     else
         current_.demoted_bytes += bytes;
-    AttrBucket &layer = by_layer_[layer_];
-    AttrBucket &interval = by_interval_[interval_];
+    AttrBucket &layer =
+        slotAt(layer_slots_, static_cast<std::size_t>(layer_ + 1));
+    AttrBucket &interval =
+        slotAt(interval_slots_, static_cast<std::size_t>(interval_ + 1));
     if (promote) {
         layer.promoted_bytes += bytes;
         interval.promoted_bytes += bytes;
@@ -281,6 +290,42 @@ AttributionEngine::crossCheckEvents(const EventSink &sink,
 }
 
 void
+AttributionEngine::refreshMaps() const
+{
+    if (!maps_stale_)
+        return;
+    maps_stale_ = false;
+
+    auto touched = [](const AttrBucket &b) {
+        if (b.stall_events || b.promoted_bytes || b.demoted_bytes)
+            return true;
+        for (Tick t : b.ticks)
+            if (t != 0)
+                return true;
+        return false;
+    };
+
+    by_layer_.clear();
+    for (std::size_t i = 0; i < layer_slots_.size(); ++i)
+        if (touched(layer_slots_[i]))
+            by_layer_[static_cast<int>(i) - 1] = layer_slots_[i];
+
+    by_interval_.clear();
+    for (std::size_t i = 0; i < interval_slots_.size(); ++i)
+        if (touched(interval_slots_[i]))
+            by_interval_[static_cast<int>(i) - 1] = interval_slots_[i];
+
+    by_tensor_.clear();
+    for (std::size_t i = 0; i < tensor_slots_.size(); ++i) {
+        const TensorAttr &ta = tensor_slots_[i];
+        if (ta.exposed == 0 && ta.alloc == 0 && ta.stall_events == 0)
+            continue;
+        // Slot 0 is the wrapped kAttrNoTensor context.
+        by_tensor_[static_cast<std::uint32_t>(i) - 1] = ta;
+    }
+}
+
+void
 AttributionEngine::clear()
 {
     step_ = -1;
@@ -292,6 +337,10 @@ AttributionEngine::clear()
     in_step_ = false;
     current_ = AttrBucket{};
     steps_.clear();
+    layer_slots_.clear();
+    interval_slots_.clear();
+    tensor_slots_.clear();
+    maps_stale_ = false;
     by_layer_.clear();
     by_interval_.clear();
     by_tensor_.clear();

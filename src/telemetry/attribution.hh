@@ -158,14 +158,22 @@ class AttributionEngine
 
     const std::vector<StepAttribution> &steps() const { return steps_; }
 
-    /** Aggregates across all recorded steps, sorted by key. */
-    const std::map<int, AttrBucket> &byLayer() const { return by_layer_; }
+    /** Aggregates across all recorded steps, sorted by key.  The maps
+     *  are materialized lazily from the dense charge slots on first
+     *  use after new charges (report-time cost, not charge-time). */
+    const std::map<int, AttrBucket> &byLayer() const
+    {
+        refreshMaps();
+        return by_layer_;
+    }
     const std::map<int, AttrBucket> &byInterval() const
     {
+        refreshMaps();
         return by_interval_;
     }
     const std::map<std::uint32_t, TensorAttr> &byTensor() const
     {
+        refreshMaps();
         return by_tensor_;
     }
 
@@ -189,6 +197,19 @@ class AttributionEngine
   private:
     void charge(AttrComponent c, Tick t, std::uint64_t events);
 
+    /** Slot @p idx of @p v, growing the vector as needed. */
+    template <typename T>
+    static T &
+    slotAt(std::vector<T> &v, std::size_t idx)
+    {
+        if (idx >= v.size())
+            v.resize(idx + 1);
+        return v[idx];
+    }
+
+    /** Rebuild the sorted map views from the dense slots if stale. */
+    void refreshMaps() const;
+
     // Current context.
     int step_ = -1;
     int layer_ = -1;
@@ -201,9 +222,22 @@ class AttributionEngine
     AttrBucket current_;
 
     std::vector<StepAttribution> steps_;
-    std::map<int, AttrBucket> by_layer_;
-    std::map<int, AttrBucket> by_interval_;
-    std::map<std::uint32_t, TensorAttr> by_tensor_;
+
+    // Dense charge slots: index = key + 1, so the "no context" keys
+    // (layer/interval -1, tensor kAttrNoTensor via uint32 wrap-around)
+    // land in slot 0.  A charge is two or three vector indexings; the
+    // map views below exist only for report-time consumers.
+    std::vector<AttrBucket> layer_slots_;
+    std::vector<AttrBucket> interval_slots_;
+    std::vector<TensorAttr> tensor_slots_;
+
+    // Lazily materialized views.  A slot whose every field is zero was
+    // never charged (charge() rejects all-zero charges), so the
+    // rebuild emits exactly the key set the eager maps used to hold.
+    mutable bool maps_stale_ = false;
+    mutable std::map<int, AttrBucket> by_layer_;
+    mutable std::map<int, AttrBucket> by_interval_;
+    mutable std::map<std::uint32_t, TensorAttr> by_tensor_;
 };
 
 } // namespace sentinel::telemetry

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Struct-of-arrays vs hash-map layout equivalence across the policy
+ * matrix.
+ *
+ * The SoA page table (dense chunked state bytes, summary counters,
+ * lazily allocated cold arrays) replaced the per-page hash map on the
+ * hot path; the hash backend survives as the reference layout.  Like
+ * the extent-granular suite in tests/dataflow, the rewrite is a
+ * performance feature and must be semantically invisible: every CPU
+ * policy, run end-to-end through the harness (profiling pre-step
+ * included) on both backends, must produce bit-identical StepStats on
+ * every step — simulated times, byte counters, and stall counts alike.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace sentinel::harness {
+namespace {
+
+ExperimentConfig
+cellConfig(mem::PageTable::Backend backend)
+{
+    ExperimentConfig cfg;
+    cfg.model = "resnet20";
+    cfg.batch = 8;
+    cfg.steps = 8;
+    cfg.warmup = 6;
+    cfg.page_table = backend;
+    return cfg;
+}
+
+void
+expectSameSteps(const std::vector<df::StepStats> &a,
+                const std::vector<df::StepStats> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "step " << i);
+        EXPECT_EQ(a[i].step_time, b[i].step_time);
+        EXPECT_EQ(a[i].compute_time, b[i].compute_time);
+        EXPECT_EQ(a[i].mem_time, b[i].mem_time);
+        EXPECT_EQ(a[i].exposed_migration, b[i].exposed_migration);
+        EXPECT_EQ(a[i].fault_overhead, b[i].fault_overhead);
+        EXPECT_EQ(a[i].recompute_time, b[i].recompute_time);
+        EXPECT_EQ(a[i].policy_time, b[i].policy_time);
+        EXPECT_EQ(a[i].bytes_fast, b[i].bytes_fast);
+        EXPECT_EQ(a[i].bytes_slow, b[i].bytes_slow);
+        EXPECT_EQ(a[i].slow_bytes_by_kind, b[i].slow_bytes_by_kind);
+        EXPECT_EQ(a[i].promoted_bytes, b[i].promoted_bytes);
+        EXPECT_EQ(a[i].demoted_bytes, b[i].demoted_bytes);
+        EXPECT_EQ(a[i].peak_fast_used, b[i].peak_fast_used);
+        EXPECT_EQ(a[i].num_stalls, b[i].num_stalls);
+    }
+}
+
+TEST(LayoutEquivalence, DenseMatchesHashAcrossCpuPolicies)
+{
+    for (const auto &policy : cpuPolicies()) {
+        SCOPED_TRACE(policy);
+        StepTrace dense = runExperimentSteps(
+            cellConfig(mem::PageTable::Backend::Dense), policy);
+        StepTrace hash = runExperimentSteps(
+            cellConfig(mem::PageTable::Backend::Hash), policy);
+        ASSERT_TRUE(dense.metrics.supported);
+        ASSERT_TRUE(hash.metrics.supported);
+        expectSameSteps(dense.steps, hash.steps);
+    }
+}
+
+TEST(LayoutEquivalence, DenseMatchesHashUnderMemoryPressure)
+{
+    // A tighter fast tier forces eviction/demotion churn through the
+    // SoA in-flight bits and the batched pending-migration path.
+    for (const auto &policy : { "sentinel", "ial", "memory-mode" }) {
+        SCOPED_TRACE(policy);
+        ExperimentConfig dense_cfg =
+            cellConfig(mem::PageTable::Backend::Dense);
+        ExperimentConfig hash_cfg =
+            cellConfig(mem::PageTable::Backend::Hash);
+        dense_cfg.fast_fraction = hash_cfg.fast_fraction = 0.12;
+        StepTrace dense = runExperimentSteps(dense_cfg, policy);
+        StepTrace hash = runExperimentSteps(hash_cfg, policy);
+        ASSERT_EQ(dense.metrics.feasible, hash.metrics.feasible);
+        expectSameSteps(dense.steps, hash.steps);
+    }
+}
+
+} // namespace
+} // namespace sentinel::harness

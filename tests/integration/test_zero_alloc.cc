@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The zero-allocation guard: a warm steady-state sentinel step must
+ * not touch the heap.
+ *
+ * The hot loop's scratch buffers (the policy's migration batch and
+ * prefetch ring, the executor's segment lists, the migration engine's
+ * pooled batch buffers, the SoA page-table chunks) are all grown
+ * during warmup and reused afterwards; this test pins that property
+ * with the counting operator new from sentinel_alloc_hook.  Linked
+ * only into this binary — see common/alloc_hook.hh for the contract.
+ * Under sanitizers the hook compiles away and the test skips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/alloc_hook.hh"
+#include "core/sentinel_policy.hh"
+#include "dataflow/executor.hh"
+#include "mem/hm.hh"
+#include "models/registry.hh"
+#include "profile/profiler.hh"
+
+using namespace sentinel;
+
+namespace {
+
+mem::HeterogeneousMemory
+makeHm(std::uint64_t fast_bytes)
+{
+    mem::TierParams fast{ "dram", fast_bytes, 76e9, 50e9, 85, 90 };
+    mem::TierParams slow{ "pmm", 64ull << 30, 30e9, 10e9, 300, 120 };
+    return mem::HeterogeneousMemory(fast, slow, { 8e9, 6e9, 2000 });
+}
+
+TEST(ZeroAlloc, SentinelSteadyStateStepDoesNotAllocate)
+{
+    if (!common::allocHookActive())
+        GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+    // The hash page table allocates per map/unmap by design; the
+    // zero-allocation property is a promise of the dense backend.
+    if (mem::PageTable::defaultBackend() != mem::PageTable::Backend::Dense)
+        GTEST_SKIP() << "hash page-table fallback allocates by design";
+
+    df::Graph g = models::makeModel("resnet20", 8);
+    std::uint64_t fast = mem::roundUpToPages(g.peakMemoryBytes() / 5);
+    auto prof_hm = makeHm(fast);
+    prof::Profiler profiler;
+    auto profile = profiler.profile(g, prof_hm, df::ExecParams{});
+
+    auto hm = makeHm(fast);
+    core::SentinelPolicy policy(profile.db);
+    df::Executor ex(g, hm, df::ExecParams{}, policy);
+
+    // Warmup covers the cold start, Sentinel's test-and-trial steps,
+    // and every amortized container growth (scratch vectors reach
+    // their high-water marks within a couple of steady steps).
+    ex.run(8);
+
+    std::uint64_t before = common::allocCount();
+    for (int i = 0; i < 50; ++i)
+        ex.runStep();
+    std::uint64_t after = common::allocCount();
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " heap allocations across 50 warm steps";
+}
+
+} // namespace

@@ -32,12 +32,22 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "baselines/ial.hh"
+#include "common/alloc_hook.hh"
 #include "common/logging.hh"
+#include "core/sentinel_policy.hh"
+#include "dataflow/executor.hh"
 #include "harness/experiment.hh"
+#include "mem/hm.hh"
+#include "mem/page.hh"
+#include "models/registry.hh"
+#include "profile/profiler.hh"
 
 using namespace sentinel;
 
@@ -74,6 +84,58 @@ cellConfig(const std::string &model)
     return cfg; // zoo batch, Optane platform, 9 steps / 6 warmup
 }
 
+/**
+ * Heap allocations per steady-state training step, counted by the
+ * sentinel_alloc_hook operator-new replacement around warm steps of a
+ * manually assembled cell (the same model / fast-tier sizing / step
+ * schedule as cellConfig, minus the harness wrapper so setup and
+ * teardown allocations stay outside the counted window).  Returns -1
+ * when the hook is not live (sanitizer builds), and the key is then
+ * omitted.
+ */
+double
+measureAllocsPerStep(const std::string &model, const std::string &policy)
+{
+    if (!common::allocHookActive())
+        return -1.0;
+
+    harness::ExperimentConfig cfg = cellConfig(model);
+    df::Graph graph = models::makeModel(cfg.model, cfg.batch);
+    std::uint64_t fast_bytes = mem::roundUpToPages(
+        static_cast<std::uint64_t>(
+            static_cast<double>(graph.peakMemoryBytes()) *
+            cfg.fast_fraction));
+    core::RuntimeConfig rc =
+        harness::platformConfig(cfg.platform, fast_bytes);
+
+    std::optional<prof::ProfileResult> profile;
+    std::unique_ptr<df::MemoryPolicy> pol;
+    if (policy == "sentinel") {
+        mem::HeterogeneousMemory prof_hm(rc.fast, rc.slow, rc.migration);
+        prof::Profiler profiler(rc.profiler);
+        profile = profiler.profile(graph, prof_hm, rc.exec);
+        pol = std::make_unique<core::SentinelPolicy>(profile->db,
+                                                     cfg.sentinel);
+    } else if (policy == "ial") {
+        pol = std::make_unique<baselines::IalPolicy>();
+    } else {
+        SENTINEL_FATAL("allocs_per_step: unsupported policy '%s'",
+                       policy.c_str());
+    }
+
+    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
+    df::Executor ex(graph, hm, rc.exec, *pol);
+    ex.run(cfg.warmup);
+
+    const int measured = cfg.steps - cfg.warmup;
+    std::uint64_t before = common::allocCount();
+    for (int i = 0; i < measured; ++i)
+        ex.runStep();
+    std::uint64_t after = common::allocCount();
+    return static_cast<double>(after - before) /
+           static_cast<double>(measured);
+}
+
 void
 addCell(std::vector<Sample> &out, const std::string &model,
         const std::string &policy)
@@ -89,6 +151,11 @@ addCell(std::vector<Sample> &out, const std::string &model,
     out.push_back({ p + "exposed_ms", m.exposed_ms, 0.25, 0.05 });
     out.push_back({ p + "migrated_mb", m.migrated_mb(), 0.25, 1.0 });
     out.push_back({ p + "peak_fast_mb", m.peak_fast_mb, 0.25, 1.0 });
+    // Allocation counts are deterministic in a single-threaded run;
+    // the slack absorbs the occasional amortized container growth.
+    double allocs = measureAllocsPerStep(model, policy);
+    if (allocs >= 0.0)
+        out.push_back({ p + "allocs_per_step", allocs, 0.25, 5.0 });
 }
 
 /** Wall time of one full experiment cell, min of @p reps runs. */
