@@ -96,9 +96,30 @@ VirtualArena::insertFree(mem::VirtAddr addr, std::uint64_t bytes)
     auto pos = std::lower_bound(
         free_list_.begin(), free_list_.end(), addr,
         [](const FreeBlock &b, mem::VirtAddr a) { return b.addr < a; });
-    SENTINEL_ASSERT(pos == free_list_.end() || pos->addr != addr,
-                    "double free at %llu",
-                    static_cast<unsigned long long>(addr));
+    // A freed range must be disjoint from every existing hole.  The
+    // boundary cases (range ends exactly where a hole starts, or starts
+    // exactly where one ends) are legal and coalesce below; anything
+    // tighter is a double free or an overlapping free, which the old
+    // exact-address check missed — e.g. freeing [150, 250) while
+    // [100, 200) sits on the list used to splice in an overlapping
+    // block that no later coalesce could ever repair.
+    SENTINEL_ASSERT(pos == free_list_.end() || addr + bytes <= pos->addr,
+                    "free of [%llu, %llu) overlaps free block "
+                    "[%llu, %llu)",
+                    static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(addr + bytes),
+                    static_cast<unsigned long long>(pos->addr),
+                    static_cast<unsigned long long>(pos->addr + pos->size));
+    SENTINEL_ASSERT(pos == free_list_.begin() ||
+                        std::prev(pos)->addr + std::prev(pos)->size <=
+                            addr,
+                    "free of [%llu, %llu) overlaps free block "
+                    "[%llu, %llu)",
+                    static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(addr + bytes),
+                    static_cast<unsigned long long>(std::prev(pos)->addr),
+                    static_cast<unsigned long long>(
+                        std::prev(pos)->addr + std::prev(pos)->size));
 
     bool merge_prev = pos != free_list_.begin() &&
                       std::prev(pos)->addr + std::prev(pos)->size == addr;

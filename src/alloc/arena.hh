@@ -18,6 +18,7 @@
 #define SENTINEL_ALLOC_ARENA_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "mem/page.hh"
@@ -62,6 +63,19 @@ class VirtualArena
 
     /** Number of blocks currently on the free list (for tests). */
     std::size_t freeBlocks() const { return free_list_.size(); }
+
+    /** Address-ordered snapshot of the free list as (addr, size)
+     *  pairs — the differential property test compares it for exact
+     *  hole-set equality against a reference allocator. */
+    std::vector<std::pair<mem::VirtAddr, std::uint64_t>>
+    freeRanges() const
+    {
+        std::vector<std::pair<mem::VirtAddr, std::uint64_t>> out;
+        out.reserve(free_list_.size());
+        for (const FreeBlock &b : free_list_)
+            out.emplace_back(b.addr, b.size);
+        return out;
+    }
 
   private:
     struct FreeBlock {

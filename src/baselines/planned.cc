@@ -1,0 +1,51 @@
+#include "baselines/planned.hh"
+
+#include "common/logging.hh"
+#include "dataflow/executor.hh"
+
+namespace sentinel::baselines {
+
+namespace {
+constexpr std::uint64_t kInvalidAddr = ~0ull;
+} // namespace
+
+void
+PlannedPolicy::onTrainingStart(df::Executor &ex)
+{
+    const df::Graph &graph = ex.graph();
+    std::vector<plan::PlanTensor> tensors = plan::tensorsFromGraph(
+        graph, /*include_preallocated=*/true, /*long_lived_only=*/false);
+    plan_ = plan::assignOffsets(tensors, plan::Solver::Greedy, 64);
+
+    // Fast iff the planned region fits under the page-aligned budget;
+    // no page then straddles the fast/slow boundary.
+    std::uint64_t cap = ex.hm().tier(mem::Tier::Fast).capacity();
+    fast_budget_ = cap / mem::kPageSize * mem::kPageSize;
+
+    addr_.assign(graph.numTensors(), kInvalidAddr);
+    fast_.assign(graph.numTensors(), false);
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        std::uint64_t bytes = (tensors[i].bytes + 63) & ~63ull;
+        addr_[tensors[i].id] = plan_.offsets[i];
+        fast_[tensors[i].id] =
+            plan_.offsets[i] + bytes <= fast_budget_;
+    }
+}
+
+df::AllocDecision
+PlannedPolicy::allocate(df::Executor &, const df::TensorDesc &tensor)
+{
+    SENTINEL_ASSERT(tensor.id < addr_.size() &&
+                        addr_[tensor.id] != kInvalidAddr,
+                    "tensor %u has no planned address", tensor.id);
+    return { addr_[tensor.id],
+             fast_[tensor.id] ? mem::Tier::Fast : mem::Tier::Slow };
+}
+
+std::unique_ptr<df::MemoryPolicy>
+makePlanned()
+{
+    return std::make_unique<PlannedPolicy>();
+}
+
+} // namespace sentinel::baselines

@@ -140,8 +140,26 @@ SentinelPolicy::buildStaticLayout(const df::Graph &graph)
             prealloc_arena.allocate(t.pageAlignedBytes(), mem::kPageSize);
     }
 
+    layout_footprint_ = 0;
     if (!opts_.use_coalloc)
         return; // everything else goes through the packed arena
+
+    if (opts_.layout_planner == LayoutPlanner::Interval) {
+        // Offline interval-graph offset assignment over the same
+        // long-lived set: tensors keep fixed addresses for the whole
+        // run (the migration plan needs that), but disjoint-lifetime
+        // tensors share bytes — the pages between them unmap and remap
+        // through the executor's refcounts.
+        std::vector<plan::PlanTensor> tensors = plan::tensorsFromGraph(
+            graph, /*include_preallocated=*/false,
+            /*long_lived_only=*/true);
+        plan::OffsetPlan p =
+            plan::assignOffsets(tensors, plan::Solver::Greedy, 64);
+        for (std::size_t i = 0; i < tensors.size(); ++i)
+            static_addr_[tensors[i].id] = kCoallocBase + p.offsets[i];
+        layout_footprint_ = p.footprint;
+        return;
+    }
 
     // Rules 2+3: long-lived tensors residing in exactly the same layers
     // share pages, laid out in descending access count; different spans
@@ -177,6 +195,7 @@ SentinelPolicy::buildStaticLayout(const df::Graph &graph)
             cursor = (cursor + 63) & ~63ull;
         }
     }
+    layout_footprint_ = coalloc_arena.highWater();
 }
 
 void

@@ -39,11 +39,23 @@
 #include "core/migration_plan.hh"
 #include "dataflow/executor.hh"
 #include "dataflow/policy.hh"
+#include "plan/offset_planner.hh"
 #include "profile/profile_db.hh"
 #include "telemetry/audit.hh"
 #include "telemetry/session.hh"
 
 namespace sentinel::core {
+
+/** How buildStaticLayout lays out the long-lived co-allocated set. */
+enum class LayoutPlanner {
+    /** The paper's rule: per-lifetime-class regions, members packed in
+     *  descending hotness (Sec. IV-B).  The default. */
+    Greedy,
+    /** Offline interval-graph offset assignment (plan::assignOffsets):
+     *  disjoint-lifetime tensors share bytes, shrinking the static
+     *  footprint when lifetimes interleave. */
+    Interval,
+};
 
 struct SentinelOptions {
     /** Use the Eq. 1/Eq. 2 planner; off = per-layer "direct" migration. */
@@ -61,6 +73,10 @@ struct SentinelOptions {
 
     /** Apply the co-allocation rules (off = packed TF-style layout). */
     bool use_coalloc = true;
+
+    /** Solver for the static co-allocation layout (greedy keeps the
+     *  paper's behaviour bit-for-bit; interval plugs in src/plan/). */
+    LayoutPlanner layout_planner = LayoutPlanner::Greedy;
 
     /** GPU mode: Case 3 always stalls; no test-and-trial. */
     bool gpu_mode = false;
@@ -179,6 +195,14 @@ class SentinelPolicy : public df::MemoryPolicy
     mem::VirtAddr staticAddress(df::TensorId id) const;
 
     /**
+     * Address-space high-water of the static co-allocation region
+     * (bytes past kCoallocBase), valid after training start.  This is
+     * the quantity the layout planners compete on: the interval solver
+     * must never exceed the greedy per-class packing.
+     */
+    std::uint64_t layoutFootprint() const { return layout_footprint_; }
+
+    /**
      * Attach a telemetry session (null detaches): interval boundaries,
      * prefetch intents, divergence detections and re-plans are then
      * emitted as structured events, plus monitor counters.
@@ -250,6 +274,7 @@ class SentinelPolicy : public df::MemoryPolicy
     static constexpr mem::VirtAddr kPackedBase = 3ull << 44;
 
     std::vector<mem::VirtAddr> static_addr_; ///< per tensor, or kInvalid
+    std::uint64_t layout_footprint_ = 0;     ///< co-alloc region bytes
     std::unique_ptr<alloc::ReservedPool> pool_;
     alloc::VirtualArena packed_;
     // Dynamic allocations, dense per tensor id (kInvalidAddr = none):

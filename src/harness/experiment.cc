@@ -7,6 +7,7 @@
 #include "baselines/capuchin.hh"
 #include "baselines/ial.hh"
 #include "baselines/memory_mode.hh"
+#include "baselines/planned.hh"
 #include "baselines/reference.hh"
 #include "baselines/swapadvisor.hh"
 #include "baselines/unified_memory.hh"
@@ -32,8 +33,8 @@ const std::vector<std::string> &
 cpuPolicies()
 {
     static const std::vector<std::string> names = {
-        "slow-only", "numa",     "memory-mode", "ial",
-        "autotm",    "sentinel", "fast-only",
+        "slow-only", "numa",   "planned",  "memory-mode",
+        "ial",       "autotm", "sentinel", "fast-only",
     };
     return names;
 }
@@ -67,6 +68,8 @@ makePolicy(const std::string &name, const ExperimentConfig &cfg,
         return baselines::makeSlowOnly();
     if (name == "numa")
         return baselines::makeFirstTouchNuma();
+    if (name == "planned")
+        return baselines::makePlanned();
     if (name == "memory-mode")
         return std::make_unique<baselines::MemoryModePolicy>(fast_bytes);
     if (name == "ial")
@@ -84,6 +87,8 @@ makePolicy(const std::string &name, const ExperimentConfig &cfg,
     if (name == "sentinel") {
         core::SentinelOptions opts = cfg.sentinel;
         opts.gpu_mode = gpu;
+        if (cfg.planner == "interval")
+            opts.layout_planner = core::LayoutPlanner::Interval;
         return std::make_unique<core::SentinelPolicy>(*db, opts);
     }
     SENTINEL_FATAL("unknown policy '%s'", name.c_str());
@@ -122,8 +127,22 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
         throw ConfigError(strprintf(
             "config: fast_fraction must be positive (got %g)",
             cfg.fast_fraction));
+    if (cfg.planner != "greedy" && cfg.planner != "interval")
+        throw ConfigError(strprintf(
+            "config: planner must be 'greedy' or 'interval' (got '%s')",
+            cfg.planner.c_str()));
 
-    df::Graph graph = models::makeModel(cfg.model, cfg.batch);
+    // A bad model name (unknown, or a malformed synthetic:<seed> spec)
+    // is a rejected input, not an infeasible run: surface it as
+    // ConfigError instead of the registry's raw runtime_error.
+    df::Graph graph = [&] {
+        try {
+            return models::makeModel(cfg.model, cfg.batch);
+        } catch (const std::runtime_error &e) {
+            throw ConfigError(
+                strprintf("config: cannot build model: %s", e.what()));
+        }
+    }();
 
     std::uint64_t peak = graph.peakMemoryBytes();
     std::uint64_t fast_bytes =
@@ -271,7 +290,11 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
         m.feasible = per_step < std::max(16e6, 0.02 * total);
     }
 
+    if (auto *pp = dynamic_cast<baselines::PlannedPolicy *>(pol.get()))
+        m.layout_mb = static_cast<double>(pp->footprint()) / 1e6;
     if (auto *sp = dynamic_cast<core::SentinelPolicy *>(pol.get())) {
+        m.layout_mb =
+            static_cast<double>(sp->layoutFootprint()) / 1e6;
         m.mil = sp->migrationPlan().mil;
         m.case3_events = sp->case3Events();
         m.trial_steps = sp->trialStepsUsed();

@@ -70,6 +70,15 @@ struct ExperimentConfig {
     core::SentinelOptions sentinel;
 
     /**
+     * Static-layout solver for Sentinel's co-allocation step:
+     * "greedy" (the paper's per-class packing, the default) or
+     * "interval" (offline interval-graph offset assignment,
+     * src/plan/).  Mapped onto sentinel.layout_planner; any other
+     * value is a ConfigError.
+     */
+    std::string planner = "greedy";
+
+    /**
      * Fault-injection spec (see sim::FaultSpec::parse); empty = no
      * chaos.  Faults apply to the *training* run only — the profiling
      * pre-step sees the healthy system, which is exactly how a profile
@@ -127,6 +136,12 @@ struct Metrics {
     double bytes_fast_mb = 0.0;
     double bytes_slow_mb = 0.0;
     double peak_fast_mb = 0.0;
+
+    /** Static-layout footprint of planning policies (sentinel: the
+     *  co-allocation region high-water; planned: the offline plan's
+     *  high-water); zero for layout-free policies.  The bench_plan
+     *  peak-footprint-vs-plan column. */
+    double layout_mb = 0.0;
 
     // Sentinel-specific (zero for other policies).
     int mil = 0;

@@ -65,6 +65,7 @@ metricsDiff(const Metrics &a, const Metrics &b)
         { "divergence_events", double(a.divergence_events),
           double(b.divergence_events) },
         { "replans", double(a.replans), double(b.replans) },
+        { "layout_mb", a.layout_mb, b.layout_mb },
     };
     for (const Field &f : fields)
         if (f.a != f.b)
@@ -246,6 +247,10 @@ runOracle(const ExperimentConfig &base, const OracleOptions &opts)
             "config: invalid oracle input (batch %d, steps %d, warmup "
             "%d, fast_fraction %g)",
             work.batch, work.steps, work.warmup, work.fast_fraction));
+    if (work.planner != "greedy" && work.planner != "interval")
+        throw ConfigError(strprintf(
+            "config: planner must be 'greedy' or 'interval' (got '%s')",
+            work.planner.c_str()));
 
     df::Graph graph = [&] {
         try {
@@ -398,6 +403,7 @@ FuzzCase::config() const
     cfg.fast_fraction = fast_fraction;
     cfg.steps = steps;
     cfg.warmup = warmup;
+    cfg.planner = planner;
     return cfg;
 }
 
@@ -433,6 +439,7 @@ FuzzCase::serialize() const
     out << "warmup=" << warmup << "\n";
     out << "cpu=" << (cpu ? 1 : 0) << "\n";
     out << "gpu=" << (gpu ? 1 : 0) << "\n";
+    out << "planner=" << planner << "\n";
     out << strprintf("inject_capacity=%.17g\n", inject_capacity);
     out << strprintf("inject_traffic=%.17g\n", inject_traffic);
     out << "inject_policy=" << inject_policy << "\n";
@@ -518,6 +525,8 @@ FuzzCase::parse(const std::string &text)
             c.cpu = want_bool(key, value);
         } else if (key == "gpu") {
             c.gpu = want_bool(key, value);
+        } else if (key == "planner") {
+            c.planner = value;
         } else if (key == "inject_capacity") {
             c.inject_capacity = want_double(key, value);
         } else if (key == "inject_traffic") {
@@ -548,6 +557,10 @@ FuzzCase::parse(const std::string &text)
         throw ConfigError(strprintf(
             "sentinelrepro: fraction %g out of range (0, 1.5]",
             c.fast_fraction));
+    if (c.planner != "greedy" && c.planner != "interval")
+        throw ConfigError(strprintf(
+            "sentinelrepro: planner '%s' (want greedy or interval)",
+            c.planner.c_str()));
     if (c.inject_capacity < 0.0 || c.inject_capacity >= 1.0 ||
         c.inject_traffic < -0.9 || c.inject_traffic > 10.0)
         throw ConfigError("sentinelrepro: injection knob out of range");

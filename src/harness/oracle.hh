@@ -137,6 +137,11 @@ struct FuzzCase {
     bool cpu = true;
     bool gpu = false;
 
+    /** Sentinel static-layout solver: "greedy" or "interval" (see
+     *  ExperimentConfig::planner).  Corpus entries predating the
+     *  planner default to greedy. */
+    std::string planner = "greedy";
+
     // Injection knobs (committed corpus entries keep them at 0; the
     // shrinker acceptance tests set them).
     double inject_capacity = 0.0;

@@ -1,8 +1,7 @@
 #include "models/synthetic.hh"
 
 #include <cctype>
-#include <cerrno>
-#include <cstdlib>
+#include <charconv>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -30,6 +29,14 @@ constexpr int kMaxChannels = 1024;
 constexpr int kMaxFeatures = 65536;
 constexpr int kMaxTemps = 64;
 
+// All numeric parsing goes through std::from_chars: locale-independent
+// (strtod honours the process locale's decimal point, so the same name
+// parsed differently under e.g. de_DE), exception-free, and with
+// explicit overflow reporting instead of strtol/strtoull's errno
+// protocol.  A strict grammar scan runs first because from_chars
+// itself still accepts "nan"/"inf"/hex floats — and NaN slipped
+// straight through the old `v < 0.0 || v > 1.0` range check.
+
 bool
 parseInt(const std::string &s, int lo, int hi, int *out)
 {
@@ -38,23 +45,62 @@ parseInt(const std::string &s, int lo, int hi, int *out)
     for (char c : s)
         if (!std::isdigit(static_cast<unsigned char>(c)))
             return false;
-    errno = 0;
-    long v = std::strtol(s.c_str(), nullptr, 10);
-    if (errno != 0 || v < lo || v > hi)
+    int v = 0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        return false; // out of range (silent-wrap territory) or junk
+    if (v < lo || v > hi)
         return false;
-    *out = static_cast<int>(v);
+    *out = v;
     return true;
+}
+
+/** Plain non-negative decimal float: digits [ '.' digits ]
+ *  [ ('e'|'E') ['+'|'-'] digits ].  Deliberately excludes leading
+ *  whitespace and signs, "nan", "inf", and hex floats — everything
+ *  strtod would have waved through.  Scientific notation stays legal
+ *  because toName() emits branch_prob with %g. */
+bool
+probGrammar(const std::string &s)
+{
+    std::size_t i = 0;
+    const std::size_t n = s.size();
+    auto digits = [&] {
+        std::size_t k = 0;
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) {
+            ++i;
+            ++k;
+        }
+        return k;
+    };
+    std::size_t int_digits = digits();
+    std::size_t frac_digits = 0;
+    if (i < n && s[i] == '.') {
+        ++i;
+        frac_digits = digits();
+    }
+    if (int_digits + frac_digits == 0)
+        return false;
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < n && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        if (digits() == 0)
+            return false;
+    }
+    return i == n;
 }
 
 bool
 parseProb(const std::string &s, double *out)
 {
-    if (s.empty())
+    if (!probGrammar(s))
         return false;
-    char *end = nullptr;
-    errno = 0;
-    double v = std::strtod(s.c_str(), &end);
-    if (errno != 0 || end != s.c_str() + s.size() || v < 0.0 || v > 1.0)
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        return false; // overflow/underflow or junk
+    if (v < 0.0 || v > 1.0)
         return false;
     *out = v;
     return true;
@@ -198,10 +244,12 @@ tryParseSyntheticName(const std::string &name)
     for (char c : seed_str)
         if (!std::isdigit(static_cast<unsigned char>(c)))
             return std::nullopt;
-    errno = 0;
-    std::uint64_t seed = std::strtoull(seed_str.c_str(), nullptr, 10);
-    if (errno != 0)
-        return std::nullopt;
+    std::uint64_t seed = 0;
+    auto [ptr, ec] = std::from_chars(
+        seed_str.data(), seed_str.data() + seed_str.size(), seed);
+    if (ec != std::errc() || ptr != seed_str.data() + seed_str.size())
+        return std::nullopt; // > 2^64-1: strtoull would saturate/errno
+
 
     SyntheticParams p = SyntheticParams::fromSeed(seed);
     if (seed_end != std::string::npos) {

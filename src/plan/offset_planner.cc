@@ -1,0 +1,327 @@
+#include "plan/offset_planner.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "dataflow/graph.hh"
+
+namespace sentinel::plan {
+
+namespace {
+
+std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+/**
+ * Max over time of the total aligned bytes simultaneously live: sweep
+ * the birth/death events of every tensor in time order, births before
+ * deaths at the same index (inclusive intervals touching at one index
+ * do overlap).
+ */
+std::uint64_t
+livePeak(const std::vector<PlanTensor> &tensors, std::uint64_t align)
+{
+    // (time, +1 birth / -1 death, bytes); births sort before deaths.
+    struct Ev {
+        int time;
+        int kind; // 0 = birth, 1 = death
+        std::uint64_t bytes;
+    };
+    std::vector<Ev> evs;
+    evs.reserve(tensors.size() * 2);
+    for (const PlanTensor &t : tensors) {
+        std::uint64_t b = alignUp(t.bytes, align);
+        evs.push_back({ t.first, 0, b });
+        evs.push_back({ t.last, 1, b });
+    }
+    std::sort(evs.begin(), evs.end(), [](const Ev &a, const Ev &b) {
+        if (a.time != b.time)
+            return a.time < b.time;
+        return a.kind < b.kind;
+    });
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    for (const Ev &e : evs) {
+        if (e.kind == 0) {
+            live += e.bytes;
+            peak = std::max(peak, live);
+        } else {
+            live -= e.bytes;
+        }
+    }
+    return peak;
+}
+
+/**
+ * Place one tensor of @p bytes among the already-placed conflicting
+ * regions in @p busy (sorted by offset, possibly overlapping since
+ * non-conflicting tensors were filtered out by the caller): best-fit
+ * hole, lowest offset on ties, end of the span when no hole fits.
+ */
+std::uint64_t
+placeBestFit(std::vector<std::pair<std::uint64_t, std::uint64_t>> &busy,
+             std::uint64_t bytes)
+{
+    std::sort(busy.begin(), busy.end());
+    std::uint64_t best_off = 0;
+    std::uint64_t best_gap = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t cursor = 0; // end of the merged busy prefix
+    for (const auto &[off, end] : busy) {
+        if (off > cursor) {
+            std::uint64_t gap = off - cursor;
+            if (gap >= bytes && gap < best_gap) {
+                best_gap = gap;
+                best_off = cursor;
+            }
+        }
+        cursor = std::max(cursor, end);
+    }
+    if (best_gap != std::numeric_limits<std::uint64_t>::max())
+        return best_off;
+    return cursor; // append past the last conflicting byte
+}
+
+OffsetPlan
+greedyPlan(const std::vector<PlanTensor> &tensors, std::uint64_t align)
+{
+    OffsetPlan plan;
+    plan.solver = Solver::Greedy;
+    plan.offsets.assign(tensors.size(), 0);
+    plan.live_peak = livePeak(tensors, align);
+
+    // Largest first; ties by id then input position for determinism.
+    std::vector<std::size_t> order(tensors.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (tensors[a].bytes != tensors[b].bytes)
+                      return tensors[a].bytes > tensors[b].bytes;
+                  if (tensors[a].id != tensors[b].id)
+                      return tensors[a].id < tensors[b].id;
+                  return a < b;
+              });
+
+    std::vector<std::size_t> placed;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> busy;
+    placed.reserve(tensors.size());
+    for (std::size_t i : order) {
+        const PlanTensor &t = tensors[i];
+        std::uint64_t bytes = alignUp(t.bytes, align);
+        busy.clear();
+        for (std::size_t j : placed)
+            if (tensors[j].overlaps(t))
+                busy.emplace_back(plan.offsets[j],
+                                  plan.offsets[j] +
+                                      alignUp(tensors[j].bytes, align));
+        std::uint64_t off = placeBestFit(busy, bytes);
+        plan.offsets[i] = off;
+        plan.footprint = std::max(plan.footprint, off + bytes);
+        placed.push_back(i);
+    }
+    return plan;
+}
+
+/**
+ * Branch-and-bound: depth-first over placement orders; each step
+ * places one not-yet-placed tensor at its lowest feasible offset.
+ * Prune when the running footprint cannot beat the incumbent.  The
+ * classic result that some optimal solution is reachable by
+ * lowest-feasible placement under *some* order makes this exact.
+ */
+struct BnB {
+    const std::vector<PlanTensor> &tensors;
+    std::uint64_t align;
+    std::vector<std::uint64_t> cur;
+    std::vector<bool> used;
+    std::vector<std::uint64_t> best_offsets;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t lower = 0;
+
+    explicit BnB(const std::vector<PlanTensor> &t, std::uint64_t a)
+        : tensors(t), align(a), cur(t.size(), 0), used(t.size(), false)
+    {
+    }
+
+    std::uint64_t
+    lowestFeasible(std::size_t i)
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> busy;
+        for (std::size_t j = 0; j < tensors.size(); ++j)
+            if (used[j] && tensors[j].overlaps(tensors[i]))
+                busy.emplace_back(cur[j],
+                                  cur[j] +
+                                      alignUp(tensors[j].bytes, align));
+        std::sort(busy.begin(), busy.end());
+        std::uint64_t bytes = alignUp(tensors[i].bytes, align);
+        std::uint64_t cursor = 0;
+        for (const auto &[off, end] : busy) {
+            if (off > cursor && off - cursor >= bytes)
+                return cursor;
+            cursor = std::max(cursor, end);
+        }
+        return cursor;
+    }
+
+    void
+    dfs(std::size_t depth, std::uint64_t footprint)
+    {
+        if (footprint >= best)
+            return; // cannot improve
+        if (depth == tensors.size()) {
+            best = footprint;
+            best_offsets = cur;
+            return;
+        }
+        for (std::size_t i = 0; i < tensors.size(); ++i) {
+            if (used[i])
+                continue;
+            std::uint64_t off = lowestFeasible(i);
+            std::uint64_t end = off + alignUp(tensors[i].bytes, align);
+            used[i] = true;
+            cur[i] = off;
+            dfs(depth + 1, std::max(footprint, end));
+            used[i] = false;
+            if (best == lower)
+                return; // proven optimal, stop searching
+        }
+    }
+};
+
+OffsetPlan
+exhaustivePlan(const std::vector<PlanTensor> &tensors,
+               std::uint64_t align)
+{
+    // Seed the incumbent with the greedy plan: correct from the start
+    // and a tight pruning bound.
+    OffsetPlan plan = greedyPlan(tensors, align);
+    plan.solver = Solver::Exhaustive;
+    if (tensors.empty())
+        return plan;
+
+    BnB bnb(tensors, align);
+    bnb.best = plan.footprint;
+    bnb.best_offsets = plan.offsets;
+    bnb.lower = plan.live_peak;
+    bnb.dfs(0, 0);
+    plan.offsets = bnb.best_offsets;
+    plan.footprint = bnb.best;
+    return plan;
+}
+
+} // namespace
+
+const char *
+solverName(Solver s)
+{
+    return s == Solver::Greedy ? "greedy" : "exhaustive";
+}
+
+OffsetPlan
+assignOffsets(const std::vector<PlanTensor> &tensors, Solver solver,
+              std::uint64_t align)
+{
+    SENTINEL_ASSERT(align > 0, "align must be positive");
+    for (const PlanTensor &t : tensors)
+        SENTINEL_ASSERT(t.first <= t.last,
+                        "tensor %u has inverted lifetime [%d, %d]",
+                        t.id, t.first, t.last);
+    if (solver == Solver::Exhaustive &&
+        tensors.size() <= kExhaustiveLimit)
+        return exhaustivePlan(tensors, align);
+    return greedyPlan(tensors, align);
+}
+
+bool
+validatePlan(const std::vector<PlanTensor> &tensors,
+             const OffsetPlan &plan, std::uint64_t align,
+             std::string *why)
+{
+    auto fail = [&](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
+    if (plan.offsets.size() != tensors.size())
+        return fail(strprintf("plan has %zu offsets for %zu tensors",
+                              plan.offsets.size(), tensors.size()));
+    std::uint64_t footprint = 0;
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        if (plan.offsets[i] % align != 0)
+            return fail(strprintf("tensor %u offset %llu not %llu-aligned",
+                                  tensors[i].id,
+                                  static_cast<unsigned long long>(
+                                      plan.offsets[i]),
+                                  static_cast<unsigned long long>(align)));
+        footprint = std::max(footprint, plan.offsets[i] +
+                                            alignUp(tensors[i].bytes,
+                                                    align));
+    }
+    if (footprint != plan.footprint)
+        return fail(strprintf(
+            "recorded footprint %llu != placement high-water %llu",
+            static_cast<unsigned long long>(plan.footprint),
+            static_cast<unsigned long long>(footprint)));
+    if (plan.footprint < plan.live_peak)
+        return fail(strprintf(
+            "footprint %llu below the live-peak lower bound %llu",
+            static_cast<unsigned long long>(plan.footprint),
+            static_cast<unsigned long long>(plan.live_peak)));
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        std::uint64_t ai = plan.offsets[i];
+        std::uint64_t bi = ai + alignUp(tensors[i].bytes, align);
+        for (std::size_t j = i + 1; j < tensors.size(); ++j) {
+            if (!tensors[i].overlaps(tensors[j]))
+                continue;
+            std::uint64_t aj = plan.offsets[j];
+            std::uint64_t bj = aj + alignUp(tensors[j].bytes, align);
+            if (ai < bj && aj < bi)
+                return fail(strprintf(
+                    "tensors %u and %u overlap in time and share bytes "
+                    "[%llu, %llu) x [%llu, %llu)",
+                    tensors[i].id, tensors[j].id,
+                    static_cast<unsigned long long>(ai),
+                    static_cast<unsigned long long>(bi),
+                    static_cast<unsigned long long>(aj),
+                    static_cast<unsigned long long>(bj)));
+        }
+    }
+    return true;
+}
+
+std::vector<PlanTensor>
+tensorsFromGraph(const df::Graph &graph, bool include_preallocated,
+                 bool long_lived_only)
+{
+    SENTINEL_ASSERT(graph.finalized(),
+                    "planner needs a finalized graph");
+    std::vector<PlanTensor> out;
+    out.reserve(graph.numTensors());
+    int last_op = static_cast<int>(graph.numOps()) - 1;
+    for (const df::TensorDesc &t : graph.tensors()) {
+        PlanTensor p;
+        p.id = t.id;
+        p.bytes = t.bytes;
+        if (t.preallocated) {
+            if (!include_preallocated)
+                continue;
+            p.first = 0;
+            p.last = last_op;
+        } else {
+            if (long_lived_only && t.shortLived())
+                continue;
+            if (t.first_op < 0)
+                continue; // dead tensor: never referenced
+            p.first = t.first_op;
+            p.last = t.last_op;
+        }
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace sentinel::plan

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Offline memory planning: interval-graph offset assignment.
+ *
+ * Given tensors with [first, last] use intervals, assign each a byte
+ * offset in one shared address range so that no two tensors whose
+ * lifetimes overlap share bytes, minimizing the high-water footprint.
+ * Tensors with disjoint lifetimes may (and should) reuse the same
+ * bytes — exactly the slack Sentinel's greedy per-class co-allocation
+ * leaves on the table when lifetimes interleave ("Memory Planning for
+ * Deep Neural Networks"; hannk's FindAllocatableTensors).
+ *
+ * Two solvers:
+ *
+ *  - Greedy   : place tensors largest-first, each into the best-fit
+ *               hole among the regions occupied by lifetime-overlapping
+ *               neighbours already placed (smallest adequate hole,
+ *               lowest offset on ties).  O(n^2 log n), deterministic,
+ *               and within a few percent of optimal on DNN graphs.
+ *  - Exhaustive: branch-and-bound over placement orders for small
+ *               instances (<= kExhaustiveLimit tensors), pruned by the
+ *               live-peak lower bound; falls back to Greedy above the
+ *               limit.  Exists to measure the greedy gap, not to run
+ *               on real models.
+ *
+ * The planner is pure: it never touches the memory system.  Callers
+ * (the `planned` baseline policy, Sentinel's co-allocation seam, the
+ * CLI `plan` subcommand, bench_plan) map the returned offsets onto
+ * their own base address.
+ */
+
+#ifndef SENTINEL_PLAN_OFFSET_PLANNER_HH
+#define SENTINEL_PLAN_OFFSET_PLANNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sentinel::df {
+class Graph;
+}
+
+namespace sentinel::plan {
+
+/** One tensor as the planner sees it: a size and a use interval. */
+struct PlanTensor {
+    std::uint32_t id = 0;    ///< caller-defined (e.g. df::TensorId)
+    std::uint64_t bytes = 0; ///< raw size; the planner aligns it
+    int first = 0;           ///< first use (inclusive)
+    int last = 0;            ///< last use (inclusive)
+
+    /** Inclusive interval overlap — the "conflict" edge relation. */
+    bool
+    overlaps(const PlanTensor &o) const
+    {
+        return first <= o.last && o.first <= last;
+    }
+};
+
+enum class Solver {
+    Greedy,     ///< largest-first best-fit (the default)
+    Exhaustive, ///< branch-and-bound, small instances only
+};
+
+const char *solverName(Solver s);
+
+/** Result of one offset assignment. */
+struct OffsetPlan {
+    /** Byte offset per input tensor (parallel to the input vector). */
+    std::vector<std::uint64_t> offsets;
+
+    /** High-water mark: max over tensors of offset + aligned size. */
+    std::uint64_t footprint = 0;
+
+    /**
+     * Lower bound: the max over time of the total aligned bytes live
+     * at once.  No assignment can beat this; footprint == live_peak
+     * means the plan is provably optimal.
+     */
+    std::uint64_t live_peak = 0;
+
+    Solver solver = Solver::Greedy;
+
+    /** Fraction of the footprint lost to placement holes (0 = tight). */
+    double
+    fragmentation() const
+    {
+        if (footprint == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(live_peak) /
+                         static_cast<double>(footprint);
+    }
+};
+
+/** Instances at most this large may use Solver::Exhaustive. */
+constexpr std::size_t kExhaustiveLimit = 12;
+
+/**
+ * Assign offsets to @p tensors.  Sizes are rounded up to @p align and
+ * every offset is a multiple of @p align.  Deterministic: equal inputs
+ * produce equal plans.  An Exhaustive request on an instance larger
+ * than kExhaustiveLimit silently degrades to Greedy (recorded in
+ * OffsetPlan::solver).
+ */
+OffsetPlan assignOffsets(const std::vector<PlanTensor> &tensors,
+                         Solver solver = Solver::Greedy,
+                         std::uint64_t align = 64);
+
+/**
+ * Check that @p plan is sound for @p tensors: every pair of tensors
+ * with overlapping lifetimes occupies disjoint byte ranges, and the
+ * recorded footprint matches the placement.  @p why (optional)
+ * receives the first failure.  O(n^2); test/CLI use only.
+ */
+bool validatePlan(const std::vector<PlanTensor> &tensors,
+                  const OffsetPlan &plan, std::uint64_t align = 64,
+                  std::string *why = nullptr);
+
+/**
+ * Extract the planner's view of a finalized graph: every
+ * non-preallocated tensor with a [first_op, last_op] lifetime, plus
+ * (when @p include_preallocated) the preallocated tensors as
+ * always-live [0, numOps) intervals.  When @p long_lived_only is set,
+ * short-lived tensors (Sentinel's reserved-pool class) are skipped —
+ * that subset is exactly the one Sentinel's co-allocation step lays
+ * out.
+ */
+std::vector<PlanTensor> tensorsFromGraph(const df::Graph &graph,
+                                         bool include_preallocated,
+                                         bool long_lived_only);
+
+} // namespace sentinel::plan
+
+#endif // SENTINEL_PLAN_OFFSET_PLANNER_HH

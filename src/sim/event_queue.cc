@@ -104,11 +104,21 @@ EventQueue::reset()
 void
 EventQueue::shrink()
 {
-    if (count_ == 0 && backend_ == Backend::Calendar) {
-        // Empty: the whole table can collapse back to its floor size.
-        buckets_.assign(kMinBuckets, std::vector<Entry>());
+    if (backend_ == Backend::Calendar) {
+        if (count_ == 0) {
+            // Empty: the whole table collapses back to its floor size.
+            buckets_.assign(kMinBuckets, std::vector<Entry>());
+        } else {
+            // Pending events: rebucket into the smallest power-of-two
+            // table that fits them.  calResize also re-calibrates the
+            // bucket width and rewinds search_from_ to the earliest
+            // pending tick — without the rewind, a day-walk starting
+            // from the stale pre-shrink position could need a full
+            // fruitless lap plus the min-over-fronts fallback on every
+            // pop until the walk caught up.
+            calResize(std::max(kMinBuckets, std::bit_ceil(count_)));
+        }
         buckets_.shrink_to_fit();
-    } else {
         for (auto &b : buckets_)
             b.shrink_to_fit();
     }
@@ -249,6 +259,15 @@ EventQueue::calResize(std::size_t nbuckets)
         bucket_shift_ =
             static_cast<unsigned>(std::clamp(width, 0, 40));
     }
+
+    // The old search position was a lower bound under the old bucket
+    // width; after recalibration it can lag the earliest pending event
+    // by arbitrarily many of the new (narrower) days, turning every
+    // pop into a fruitless full lap plus the min-over-fronts fallback.
+    // The exact earliest tick is known here — restart the day-walk at
+    // it.
+    if (!all.empty())
+        search_from_ = lo;
 
     buckets_.resize(nbuckets);
     for (Entry &e : all)

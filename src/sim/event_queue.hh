@@ -97,9 +97,15 @@ class EventQueue
      * to the allocator.  Long fuzz campaigns call this between cases
      * so one large case doesn't pin peak memory across thousands of
      * iterations.  Pending events survive: shrink() only drops *spare*
-     * capacity.
+     * capacity — with events pending, the calendar rebuckets them into
+     * the smallest table that fits and restarts its day-walk at the
+     * earliest pending tick.
      */
     void shrink();
+
+    /** Calendar bucket-table width (0 under the heap backend);
+     *  exposed so tests can pin shrink()'s collapse. */
+    std::size_t bucketCount() const { return buckets_.size(); }
 
   private:
     struct Entry {

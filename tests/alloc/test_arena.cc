@@ -91,6 +91,32 @@ TEST(Arena, DoubleFreePanics)
     EXPECT_THROW(a.free(p, 4096), std::logic_error);
 }
 
+TEST(Arena, OverlappingFreePanics)
+{
+    // Regression: the double-free check used to compare exact addresses
+    // only, so a free whose range *overlapped* an existing hole spliced
+    // an overlapping block into the list — permanently, since
+    // coalescing assumes disjoint neighbours.  Both overlap directions
+    // must panic, not corrupt.
+    {
+        VirtualArena a(0);
+        auto p1 = a.allocate(4096, 64);
+        a.allocate(4096, 64); // keep bump past the freed hole
+        a.free(p1, 4096);     // hole [0, 4096)
+        // [2048, 6144) straddles the hole's end.
+        EXPECT_THROW(a.free(p1 + 2048, 4096), std::logic_error);
+    }
+    {
+        VirtualArena a(0);
+        a.allocate(4096, 64);
+        auto p2 = a.allocate(4096, 64);
+        a.allocate(64, 64);
+        a.free(p2, 4096); // hole [4096, 8192)
+        // [2048, 6144) straddles the hole's start.
+        EXPECT_THROW(a.free(p2 - 2048, 4096), std::logic_error);
+    }
+}
+
 TEST(Arena, FreeOutsideArenaPanics)
 {
     VirtualArena a(0);
@@ -132,10 +158,136 @@ TEST(Arena, ManyAllocFreeCyclesStayConsistent)
 } // namespace
 } // namespace sentinel::alloc
 
+#include <map>
+#include <utility>
+
 #include "common/rng.hh"
 
 namespace sentinel::alloc {
 namespace {
+
+/**
+ * Reference free list: the std::map-based design the vector free list
+ * replaced.  Holes are kept maximally coalesced; carving an allocation
+ * out of a hole splits it.  The arena's free list must stay *exactly*
+ * equal to this at every step — same holes, same boundaries.
+ */
+class ReferenceFreeList
+{
+  public:
+    /** Record an allocation the arena made at @p addr. */
+    void
+    onAllocate(mem::VirtAddr addr, std::uint64_t bytes)
+    {
+        if (addr >= bump_) {
+            // Bump allocation: the alignment gap becomes a hole.
+            if (addr > bump_)
+                insert(bump_, addr - bump_);
+            bump_ = addr + bytes;
+            return;
+        }
+        // Recycled: [addr, addr+bytes) must sit inside one hole.
+        auto it = holes_.upper_bound(addr);
+        ASSERT_NE(it, holes_.begin()) << "allocation outside any hole";
+        --it;
+        mem::VirtAddr hole = it->first;
+        std::uint64_t size = it->second;
+        ASSERT_LE(hole, addr);
+        ASSERT_GE(hole + size, addr + bytes)
+            << "allocation straddles a hole boundary";
+        holes_.erase(it);
+        if (addr > hole)
+            holes_.emplace(hole, addr - hole);
+        if (hole + size > addr + bytes)
+            holes_.emplace(addr + bytes, hole + size - (addr + bytes));
+    }
+
+    /** Record a free, coalescing with adjacent holes. */
+    void
+    onFree(mem::VirtAddr addr, std::uint64_t bytes)
+    {
+        insert(addr, bytes);
+    }
+
+    std::vector<std::pair<mem::VirtAddr, std::uint64_t>>
+    ranges() const
+    {
+        return { holes_.begin(), holes_.end() };
+    }
+
+  private:
+    void
+    insert(mem::VirtAddr addr, std::uint64_t bytes)
+    {
+        auto next = holes_.lower_bound(addr);
+        if (next != holes_.begin()) {
+            auto prev = std::prev(next);
+            ASSERT_LE(prev->first + prev->second, addr)
+                << "reference: overlapping free";
+            if (prev->first + prev->second == addr) {
+                addr = prev->first;
+                bytes += prev->second;
+                holes_.erase(prev);
+            }
+        }
+        if (next != holes_.end()) {
+            ASSERT_LE(addr + bytes, next->first)
+                << "reference: overlapping free";
+            if (addr + bytes == next->first) {
+                bytes += next->second;
+                holes_.erase(next);
+            }
+        }
+        holes_.emplace(addr, bytes);
+    }
+
+    std::map<mem::VirtAddr, std::uint64_t> holes_;
+    mem::VirtAddr bump_ = 0;
+};
+
+TEST(Arena, FreeListMatchesReferenceOver10kOps)
+{
+    // Round-trip 10k random alloc/free operations through the arena
+    // and the map-based reference in lockstep, requiring exact
+    // hole-set equality after every operation.  This is the property
+    // the in-place trim + coalescing fast paths must preserve; any
+    // missed merge or misplaced split shows up as a boundary diff.
+    Rng rng(0x10a);
+    VirtualArena a(0);
+    ReferenceFreeList ref;
+    struct Block {
+        mem::VirtAddr addr;
+        std::uint64_t bytes;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 10000; ++step) {
+        bool do_alloc = live.empty() || rng.bernoulli(0.55);
+        if (do_alloc) {
+            std::uint64_t bytes =
+                static_cast<std::uint64_t>(rng.uniformInt(1, 50000));
+            std::uint64_t align = 1ull << rng.uniformInt(0, 12);
+            mem::VirtAddr addr = a.allocate(bytes, align);
+            ref.onAllocate(addr, bytes);
+            live.push_back({ addr, bytes });
+        } else {
+            std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(live.size()) - 1));
+            a.free(live[i].addr, live[i].bytes);
+            ref.onFree(live[i].addr, live[i].bytes);
+            live[i] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(a.freeRanges(), ref.ranges()) << "step " << step;
+    }
+    for (const Block &b : live) {
+        a.free(b.addr, b.bytes);
+        ref.onFree(b.addr, b.bytes);
+    }
+    EXPECT_EQ(a.freeRanges(), ref.ranges());
+    EXPECT_EQ(a.bytesInUse(), 0u);
+    EXPECT_LE(a.freeBlocks(), 1u);
+}
 
 TEST(Arena, RandomizedAllocFreeInvariants)
 {

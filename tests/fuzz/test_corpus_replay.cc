@@ -78,7 +78,29 @@ TEST(CorpusReplay, SerializeRoundTrips)
         EXPECT_EQ(fc.gpu, back.gpu);
         EXPECT_EQ(fc.inject_capacity, back.inject_capacity);
         EXPECT_EQ(fc.inject_traffic, back.inject_traffic);
+        EXPECT_EQ(fc.planner, back.planner);
     }
+}
+
+TEST(CorpusReplay, PlannerKeyDefaultsAndRoundTrips)
+{
+    // Corpus entries written before the planner knob carry no
+    // `planner=` line; they must parse as greedy (the layout every
+    // committed repro shrank under).  New serializations always emit
+    // the key, and bad values are rejected.
+    FuzzCase legacy =
+        FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:1\n");
+    EXPECT_EQ(legacy.planner, "greedy");
+
+    FuzzCase fc = FuzzCase::random(3);
+    fc.planner = "interval";
+    FuzzCase back = FuzzCase::parse(fc.serialize());
+    EXPECT_EQ(back.planner, "interval");
+    EXPECT_NE(fc.serialize().find("planner=interval"), std::string::npos);
+
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\n"
+                                 "model=synthetic:1\nplanner=ilp\n"),
+                 ConfigError);
 }
 
 TEST(CorpusReplay, MalformedFilesAreRejected)

@@ -127,6 +127,31 @@ TEST(Harness, RejectsNonPositiveBatchAndSteps)
     EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
 }
 
+TEST(Harness, RejectsMalformedModelNameAsConfigError)
+{
+    // A model name that cannot build (malformed synthetic spec,
+    // unknown zoo name) is a rejected *input*, not an infeasible run:
+    // the harness converts the factory's failure into ConfigError so
+    // the fuzzer can tell it apart from a violated invariant.
+    ExperimentConfig cfg = smallConfig();
+    for (const char *name :
+         { "synthetic:1:bp=nan", "synthetic:1:bp=+0.5", "synthetic:abc",
+           "no-such-model" }) {
+        cfg.model = name;
+        EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError) << name;
+    }
+}
+
+TEST(Harness, RejectsUnknownPlannerAsConfigError)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.planner = "ilp";
+    EXPECT_THROW(runExperiment(cfg, "sentinel"), ConfigError);
+    // The knob gates Sentinel's co-allocation only, but validation is
+    // uniform: a bad value is rejected for every policy.
+    EXPECT_THROW(runExperiment(cfg, "numa"), ConfigError);
+}
+
 TEST(Harness, RejectsWarmupOutsideSteps)
 {
     ExperimentConfig cfg = smallConfig();

@@ -112,6 +112,7 @@ INSTANTIATE_TEST_SUITE_P(
     Cpu, PolicyProperties,
     ::testing::Values(Case{ "slow-only", Platform::Optane },
                       Case{ "numa", Platform::Optane },
+                      Case{ "planned", Platform::Optane },
                       Case{ "memory-mode", Platform::Optane },
                       Case{ "ial", Platform::Optane },
                       Case{ "autotm", Platform::Optane },

@@ -211,6 +211,30 @@ TEST(SyntheticRegistry, MalformedNamesAreRejected)
         "synthetic:1:cu=999",         // above bound
         "synthetic:1:bp=1.5",         // probability out of range
         "synthetic:1:cu=0,mu=0",      // no units at all
+        // Regression: strtod/strtoull accepted all of these, and NaN
+        // even slipped through the [0,1] range check (both comparisons
+        // are false for NaN).  The grammar is now explicit: optional-
+        // fraction decimal with optional exponent, no signs, no
+        // whitespace, no hex, no named specials, locale-independent.
+        "synthetic:1:bp=nan",         // NaN passes v<0||v>1
+        "synthetic:1:bp=NAN",         // case variant
+        "synthetic:1:bp=inf",         // infinity literal
+        "synthetic:1:bp=+0.5",        // explicit sign
+        "synthetic:1:bp=-0.0",        // negative zero
+        "synthetic:1:bp= 0.5",        // leading whitespace
+        "synthetic:1:bp=0x1p-4",      // hex float
+        "synthetic:1:bp=0.5f",        // trailing suffix
+        "synthetic:1:bp=.",           // no digits at all
+        "synthetic:1:bp=1e",          // empty exponent
+        "synthetic:1:bp=1e400",       // exponent overflow
+        "synthetic:1:bp=0,5",         // locale decimal comma
+        "synthetic:1:cu=+4",          // signed integer
+        "synthetic:1:cu= 4",          // whitespace integer
+        "synthetic:1:cu=0x4",         // hex integer
+        "synthetic:1:cu=99999999999999999999", // uint64 overflow
+        "synthetic: 1",               // whitespace seed
+        "synthetic:+1",               // signed seed
+        "synthetic:0x1",              // hex seed
     };
     for (const char *name : bad) {
         EXPECT_FALSE(tryParseSyntheticName(name).has_value()) << name;

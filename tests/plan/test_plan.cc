@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The offline offset planner (src/plan): soundness of every plan the
+ * solvers emit, optimality bounds on small instances, the
+ * interval-vs-class footprint invariant across the model zoo, and the
+ * full differential oracle over the committed fuzz corpus with
+ * Sentinel's co-allocation solved by the interval planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/sentinel_policy.hh"
+#include "harness/oracle.hh"
+#include "models/registry.hh"
+#include "models/synthetic.hh"
+#include "plan/offset_planner.hh"
+
+namespace sentinel::plan {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::OracleOptions;
+using harness::OracleReport;
+using harness::runOracle;
+
+std::vector<PlanTensor>
+randomInstance(std::uint64_t seed, int n)
+{
+    Rng rng(seed);
+    std::vector<PlanTensor> ts;
+    for (int i = 0; i < n; ++i) {
+        PlanTensor t;
+        t.id = static_cast<std::uint32_t>(i);
+        t.bytes = static_cast<std::uint64_t>(rng.uniformInt(1, 1 << 16));
+        int a = static_cast<int>(rng.uniformInt(0, 63));
+        int b = static_cast<int>(rng.uniformInt(0, 63));
+        t.first = std::min(a, b);
+        t.last = std::max(a, b);
+        ts.push_back(t);
+    }
+    return ts;
+}
+
+// --- Soundness ---------------------------------------------------------
+
+TEST(OffsetPlanner, EmptyInstance)
+{
+    OffsetPlan p = assignOffsets({});
+    EXPECT_EQ(p.footprint, 0u);
+    EXPECT_EQ(p.live_peak, 0u);
+    EXPECT_TRUE(validatePlan({}, p));
+}
+
+TEST(OffsetPlanner, DisjointLifetimesShareBytes)
+{
+    // Two tensors that never coexist must land on the same offset —
+    // that reuse is the planner's whole reason to exist.
+    std::vector<PlanTensor> ts = {
+        { 0, 1000, 0, 3 },
+        { 1, 1000, 4, 9 },
+    };
+    OffsetPlan p = assignOffsets(ts);
+    EXPECT_TRUE(validatePlan(ts, p));
+    EXPECT_EQ(p.offsets[0], p.offsets[1]);
+    EXPECT_EQ(p.footprint, 1024u); // 1000 aligned up to 64
+    EXPECT_EQ(p.footprint, p.live_peak);
+}
+
+TEST(OffsetPlanner, TouchingIntervalsConflict)
+{
+    // Inclusive intervals: last == other.first means both are live at
+    // that op, so they must not share bytes.
+    std::vector<PlanTensor> ts = {
+        { 0, 64, 0, 5 },
+        { 1, 64, 5, 9 },
+    };
+    OffsetPlan p = assignOffsets(ts);
+    EXPECT_TRUE(validatePlan(ts, p));
+    EXPECT_NE(p.offsets[0], p.offsets[1]);
+    EXPECT_EQ(p.footprint, 128u);
+}
+
+TEST(OffsetPlanner, BestFitReusesHoles)
+{
+    // A small tensor whose lifetime starts after a mid-range tensor
+    // dies should slot into the freed hole, not extend the footprint.
+    std::vector<PlanTensor> ts = {
+        { 0, 4096, 0, 9 }, // base, always live
+        { 1, 1024, 0, 4 }, // dies mid-run, leaves a hole
+        { 2, 4096, 0, 9 }, // always live, above the hole
+        { 3, 512, 5, 9 },  // fits the dead tensor's hole
+    };
+    OffsetPlan p = assignOffsets(ts);
+    EXPECT_TRUE(validatePlan(ts, p));
+    EXPECT_EQ(p.offsets[3], p.offsets[1]);
+    EXPECT_EQ(p.footprint, p.live_peak);
+}
+
+TEST(OffsetPlanner, RandomInstancesAreSound)
+{
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        std::vector<PlanTensor> ts =
+            randomInstance(seed, 8 + static_cast<int>(seed % 40));
+        OffsetPlan p = assignOffsets(ts);
+        std::string why;
+        EXPECT_TRUE(validatePlan(ts, p, 64, &why))
+            << "seed " << seed << ": " << why;
+        EXPECT_GE(p.footprint, p.live_peak) << "seed " << seed;
+    }
+}
+
+TEST(OffsetPlanner, Deterministic)
+{
+    std::vector<PlanTensor> ts = randomInstance(7, 30);
+    OffsetPlan a = assignOffsets(ts);
+    OffsetPlan b = assignOffsets(ts);
+    EXPECT_EQ(a.offsets, b.offsets);
+    EXPECT_EQ(a.footprint, b.footprint);
+}
+
+TEST(OffsetPlanner, RespectsAlignment)
+{
+    std::vector<PlanTensor> ts = randomInstance(11, 20);
+    for (std::uint64_t align : { 1ull, 64ull, 4096ull }) {
+        OffsetPlan p = assignOffsets(ts, Solver::Greedy, align);
+        EXPECT_TRUE(validatePlan(ts, p, align));
+        for (std::uint64_t off : p.offsets)
+            EXPECT_EQ(off % align, 0u);
+    }
+}
+
+TEST(OffsetPlanner, ValidateCatchesOverlap)
+{
+    std::vector<PlanTensor> ts = {
+        { 0, 64, 0, 5 },
+        { 1, 64, 3, 9 },
+    };
+    OffsetPlan p = assignOffsets(ts);
+    ASSERT_TRUE(validatePlan(ts, p));
+    p.offsets[1] = p.offsets[0]; // force a collision
+    std::string why;
+    EXPECT_FALSE(validatePlan(ts, p, 64, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+// --- Optimality bounds -------------------------------------------------
+
+TEST(OffsetPlanner, ExhaustiveNeverWorseThanGreedy)
+{
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        std::vector<PlanTensor> ts = randomInstance(seed, 9);
+        OffsetPlan g = assignOffsets(ts, Solver::Greedy);
+        OffsetPlan e = assignOffsets(ts, Solver::Exhaustive);
+        ASSERT_EQ(e.solver, Solver::Exhaustive);
+        EXPECT_TRUE(validatePlan(ts, e));
+        EXPECT_LE(e.footprint, g.footprint) << "seed " << seed;
+        EXPECT_GE(e.footprint, e.live_peak) << "seed " << seed;
+    }
+}
+
+TEST(OffsetPlanner, ExhaustiveDegradesToGreedyAboveLimit)
+{
+    std::vector<PlanTensor> ts =
+        randomInstance(3, static_cast<int>(kExhaustiveLimit) + 1);
+    OffsetPlan p = assignOffsets(ts, Solver::Exhaustive);
+    EXPECT_EQ(p.solver, Solver::Greedy);
+    EXPECT_TRUE(validatePlan(ts, p));
+}
+
+TEST(OffsetPlanner, GreedyOptimalOnInterleavedChain)
+{
+    // first-fit-by-size is provably optimal here: a chain of equal
+    // tensors where consecutive pairs overlap packs into exactly two
+    // slots — footprint == live peak.
+    std::vector<PlanTensor> ts;
+    for (int i = 0; i < 10; ++i)
+        ts.push_back({ static_cast<std::uint32_t>(i), 4096, i, i + 1 });
+    OffsetPlan p = assignOffsets(ts);
+    EXPECT_TRUE(validatePlan(ts, p));
+    EXPECT_EQ(p.footprint, p.live_peak);
+    EXPECT_EQ(p.footprint, 2u * 4096u);
+}
+
+// --- Graph extraction --------------------------------------------------
+
+TEST(TensorsFromGraph, LongLivedSubsetMatchesSentinelClasses)
+{
+    df::Graph g = models::makeModel("resnet32", 8);
+    std::vector<PlanTensor> all = tensorsFromGraph(g, true, false);
+    std::vector<PlanTensor> long_lived = tensorsFromGraph(g, false, true);
+    EXPECT_LT(long_lived.size(), all.size());
+    for (const PlanTensor &t : long_lived) {
+        const df::TensorDesc &d = g.tensor(t.id);
+        EXPECT_FALSE(d.preallocated) << d.name;
+        EXPECT_FALSE(d.shortLived()) << d.name;
+        EXPECT_EQ(t.first, d.first_op);
+        EXPECT_EQ(t.last, d.last_op);
+        EXPECT_EQ(t.bytes, d.bytes);
+    }
+}
+
+TEST(TensorsFromGraph, PreallocatedSpanTheWholeStep)
+{
+    df::Graph g = models::makeModel("mobilenet", 8);
+    std::vector<PlanTensor> all = tensorsFromGraph(g, true, false);
+    int prealloc = 0;
+    for (const PlanTensor &t : all) {
+        if (!g.tensor(t.id).preallocated)
+            continue;
+        ++prealloc;
+        EXPECT_EQ(t.first, 0);
+        EXPECT_EQ(t.last, static_cast<int>(g.numOps()) - 1);
+    }
+    EXPECT_EQ(prealloc,
+              static_cast<int>(g.preallocatedTensors().size()));
+}
+
+// --- Interval vs. the greedy class packing -----------------------------
+
+/**
+ * The class packing groups long-lived tensors by {first,last} layer and
+ * rounds every class region up to whole pages; the interval plan solves
+ * the unrestricted problem at 64-byte grain.  Its footprint must never
+ * exceed the class packing's on any zoo model (and in practice is
+ * strictly smaller wherever lifetimes interleave).
+ */
+TEST(IntervalVsGreedy, FootprintNeverLargerAcrossZoo)
+{
+    int strictly_smaller = 0;
+    for (const models::ModelSpec &spec : models::modelZoo()) {
+        ExperimentConfig cfg;
+        cfg.model = spec.name;
+        cfg.batch = spec.small_batch;
+
+        harness::Metrics greedy = runExperiment(cfg, "sentinel");
+        cfg.planner = "interval";
+        harness::Metrics interval = runExperiment(cfg, "sentinel");
+
+        EXPECT_LE(interval.layout_mb, greedy.layout_mb) << spec.name;
+        if (interval.layout_mb < greedy.layout_mb)
+            ++strictly_smaller;
+
+        // Same accesses, same model — layout must not change what the
+        // training step touches.
+        EXPECT_EQ(greedy.bytes_fast_mb + greedy.bytes_slow_mb,
+                  interval.bytes_fast_mb + interval.bytes_slow_mb)
+            << spec.name;
+    }
+    EXPECT_GE(strictly_smaller, 2);
+}
+
+TEST(IntervalVsGreedy, PlannedPolicyFitsLivePeak)
+{
+    // The planned baseline lays out *every* tensor offline; its
+    // footprint is bounded below by the graph's peak and is tight
+    // (fragmentation ~0) on the small zoo models.
+    ExperimentConfig cfg;
+    cfg.model = "resnet32";
+    cfg.batch = 8;
+    harness::Metrics m = runExperiment(cfg, "planned");
+    EXPECT_TRUE(m.supported);
+    EXPECT_GT(m.layout_mb, 0.0);
+
+    df::Graph g = models::makeModel(cfg.model, cfg.batch);
+    std::vector<PlanTensor> ts = tensorsFromGraph(g, true, false);
+    OffsetPlan p = assignOffsets(ts);
+    EXPECT_TRUE(validatePlan(ts, p));
+    EXPECT_NEAR(m.layout_mb, static_cast<double>(p.footprint) / 1e6,
+                1e-9);
+    EXPECT_LT(p.fragmentation(), 0.05);
+}
+
+// --- The committed corpus under planner=interval -----------------------
+
+class IntervalOracle : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IntervalOracle, MatrixInvariantsHold)
+{
+    ExperimentConfig cfg;
+    cfg.model = "synthetic:" + std::to_string(GetParam());
+    cfg.batch = 4;
+    cfg.steps = 6;
+    cfg.warmup = 3;
+    cfg.fast_fraction = 0.2;
+    cfg.planner = "interval";
+
+    OracleOptions opts;
+    opts.jobs = 2;
+    opts.run_gpu = false;
+    opts.check_determinism = false;
+    OracleReport rep = runOracle(cfg, opts);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommittedSeeds, IntervalOracle,
+    ::testing::ValuesIn(std::begin(models::kCommittedFuzzSeeds),
+                        std::end(models::kCommittedFuzzSeeds)),
+    [](const ::testing::TestParamInfo<std::uint64_t> &info) {
+        return "seed_" + std::to_string(info.param);
+    });
+
+TEST(PlannerConfig, RejectsUnknownPlanner)
+{
+    ExperimentConfig cfg;
+    cfg.model = "resnet32";
+    cfg.batch = 8;
+    cfg.planner = "simulated-annealing";
+    EXPECT_THROW(runExperiment(cfg, "sentinel"), harness::ConfigError);
+}
+
+} // namespace
+} // namespace sentinel::plan

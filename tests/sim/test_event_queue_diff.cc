@@ -9,6 +9,8 @@
  * earlier pop already did) and a mid-run reset()/shrink().
  */
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <random>
 #include <utility>
@@ -134,6 +136,70 @@ TEST(EventQueueDiff, ShrinkPreservesPendingEvents)
         ASSERT_EQ(fired.size(), 100u);
         for (Tick t = 0; t < 100; ++t)
             EXPECT_EQ(fired[static_cast<std::size_t>(t)], t * 10);
+    }
+}
+
+TEST(EventQueueDiff, MidCampaignShrinkCollapsesTableAndKeepsOrder)
+{
+    // Regression: shrink() used to release spare bucket capacity but
+    // never the grown bucket *table* itself when events were pending,
+    // and the recalibrated day-walk restarted from a stale pre-shrink
+    // position.  Grow the calendar with a big concurrent burst, pop
+    // most of it, shrink mid-campaign with a pending tail, then keep
+    // scheduling across the shrunk table: the table must collapse to
+    // the smallest power-of-two fit and the pop order must stay
+    // element-for-element identical to the heap backend.
+    auto campaign = [](EventQueue::Backend backend,
+                       std::size_t *pending_at_shrink,
+                       std::size_t *buckets_after_shrink) {
+        EventQueue q(backend);
+        PopRecord popped;
+        std::mt19937_64 rng(0xca1e9da7ull);
+        int next_id = 0;
+        // Phase 1: one burst large enough to grow the table well past
+        // its kMinBuckets floor (growth triggers at count >= 2*size).
+        for (int i = 0; i < 5000; ++i) {
+            int id = next_id++;
+            Tick when = static_cast<Tick>(rng() % 1'000'000);
+            q.schedule(when, [&popped, id](Tick t) {
+                popped.emplace_back(t, id);
+            });
+        }
+        q.runUntil(900'000); // leaves a far-future tail pending
+        q.shrink();
+        if (pending_at_shrink)
+            *pending_at_shrink = q.size();
+        if (buckets_after_shrink)
+            *buckets_after_shrink = q.bucketCount();
+        // Phase 2: the shrunk table keeps absorbing new work that
+        // interleaves with the surviving tail.
+        for (int i = 0; i < 1000; ++i) {
+            int id = next_id++;
+            Tick when = q.now() + static_cast<Tick>(rng() % 200'000);
+            q.schedule(when, [&popped, id](Tick t) {
+                popped.emplace_back(t, id);
+            });
+        }
+        q.drain();
+        return popped;
+    };
+
+    std::size_t pending = 0;
+    std::size_t buckets = 0;
+    PopRecord cal =
+        campaign(EventQueue::Backend::Calendar, &pending, &buckets);
+    PopRecord heap =
+        campaign(EventQueue::Backend::Heap, nullptr, nullptr);
+
+    ASSERT_GT(pending, 0u) << "campaign must shrink with events pending";
+    // 5000 concurrent events grow the table to 4096 buckets; after the
+    // shrink it must fit the tail exactly (floor 16).
+    EXPECT_EQ(buckets, std::max<std::size_t>(16, std::bit_ceil(pending)));
+    EXPECT_LT(buckets, 4096u);
+
+    ASSERT_EQ(cal.size(), heap.size());
+    for (std::size_t i = 0; i < cal.size(); ++i) {
+        ASSERT_EQ(cal[i], heap[i]) << "diverged at pop " << i;
     }
 }
 

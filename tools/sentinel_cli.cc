@@ -9,6 +9,7 @@
  *                check against the run's StepStats)
  *   compare      every policy on one configuration
  *   plan         the interval planner's candidate table (Fig. 5 math)
+ *                plus the offline offset map of the long-lived tensors
  *   maxbatch     max-batch search on the GPU platform (Table V cell)
  *   chaos        fault-injection degradation report (Sentinel vs. the
  *                platform baselines under a --chaos spec)
@@ -46,6 +47,7 @@
 #include "core/interval_planner.hh"
 #include "core/sentinel_policy.hh"
 #include "mem/hm.hh"
+#include "plan/offset_planner.hh"
 #include "profile/profiler.hh"
 #include "profile/serialize.hh"
 #include "server/oracle.hh"
@@ -126,6 +128,7 @@ configFrom(const Args &args)
     cfg.steps = args.getInt("steps", 9);
     cfg.warmup = args.getInt("warmup", 6);
     cfg.sentinel.forced_mil = args.getInt("mil", 0);
+    cfg.planner = args.get("planner", "greedy");
     cfg.chaos = args.get("chaos", "");
     std::string seed = args.get("chaos-seed", "");
     if (!seed.empty())
@@ -362,6 +365,58 @@ cmdPlan(const Args &args)
             .cell(c.mil == result.best.mil ? "<==" : "");
     }
     t.print(std::cout);
+
+    // Offline offset assignment over the long-lived set — the tensors
+    // Sentinel's co-allocation step lays out (`run --planner interval`
+    // adopts exactly this map).
+    std::string sname = args.get("solver", "greedy");
+    if (sname != "greedy" && sname != "exhaustive") {
+        std::fprintf(stderr,
+                     "plan: unknown --solver '%s' (want greedy or "
+                     "exhaustive)\n",
+                     sname.c_str());
+        return 1;
+    }
+    plan::Solver solver = sname == "exhaustive"
+                              ? plan::Solver::Exhaustive
+                              : plan::Solver::Greedy;
+    std::vector<plan::PlanTensor> pts =
+        plan::tensorsFromGraph(g, /*include_preallocated=*/false,
+                               /*long_lived_only=*/true);
+    plan::OffsetPlan layout = plan::assignOffsets(pts, solver);
+
+    std::vector<std::size_t> order(pts.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (layout.offsets[a] != layout.offsets[b])
+                      return layout.offsets[a] < layout.offsets[b];
+                  return pts[a].id < pts[b].id;
+              });
+    std::size_t top = static_cast<std::size_t>(args.getInt("top", 32));
+    Table m(strprintf("Offset map (%zu long-lived tensors, solver=%s)",
+                      pts.size(), plan::solverName(layout.solver)),
+            { "offset (KB)", "bytes (KB)", "first op", "last op",
+              "tensor" });
+    for (std::size_t i = 0; i < order.size() && i < top; ++i) {
+        const plan::PlanTensor &pt = pts[order[i]];
+        m.row()
+            .cell(static_cast<double>(layout.offsets[order[i]]) / 1e3, 1)
+            .cell(static_cast<double>(pt.bytes) / 1e3, 1)
+            .cell(pt.first)
+            .cell(pt.last)
+            .cell(g.tensor(pt.id).name);
+    }
+    m.print(std::cout);
+    if (pts.size() > top)
+        std::printf("... %zu more tensors (--top N to widen)\n",
+                    pts.size() - top);
+    std::printf("layout: footprint %.2f MB, live peak %.2f MB, "
+                "fragmentation %.1f%%\n",
+                static_cast<double>(layout.footprint) / 1e6,
+                static_cast<double>(layout.live_peak) / 1e6,
+                layout.fragmentation() * 100.0);
     return 0;
 }
 
@@ -641,6 +696,8 @@ usage()
         "  run       --model M --batch N --policy P [--platform "
         "cpu|gpu]\n"
         "            [--fraction F | --mem-mb M] [--steps S] [--mil K]\n"
+        "            [--planner greedy|interval] (sentinel co-alloc "
+        "solver)\n"
         "            [--trace-out FILE.json] [--metrics-out FILE.csv]\n"
         "            (run is the default command when the first arg\n"
         "             starts with --)\n"
@@ -652,7 +709,10 @@ usage()
         "            [--trace-out FILE.json]\n"
         "  compare   same options; runs every policy of the platform\n"
         "            [--jobs N] fans the policies out over N threads\n"
-        "  plan      print the interval planner's candidate table\n"
+        "  plan      print the interval planner's candidate table plus\n"
+        "            the offline offset map of the long-lived tensors\n"
+        "            (footprint / live peak / fragmentation)\n"
+        "            [--solver greedy|exhaustive] [--top N]\n"
         "  maxbatch  --model M --policy P [--mem-mb M] [--cap N]\n"
         "            [--jobs N] probes the batch ladder in parallel\n"
         "  profile   --model M --batch N [--out FILE | --in FILE]\n"

@@ -59,6 +59,7 @@ struct Options {
     bool keep_going = false;
     std::string mode = "policy"; ///< "policy" or "server"
     int colo_jobs = 2;           ///< jobs per server-mode co-location
+    std::string planner = "greedy"; ///< sentinel layout solver
 };
 
 int
@@ -71,6 +72,7 @@ usage()
         "                     [--inject traffic=F] [--no-determinism]\n"
         "                     [--no-shrink] [--keep-going]\n"
         "                     [--mode policy|server] [--colo-jobs N]\n"
+        "                     [--planner greedy|interval]\n"
         "       sentinel_fuzz --replay FILE.sentinelrepro [--jobs J]\n");
     return 1;
 }
@@ -139,6 +141,11 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.colo_jobs = std::atoi(v);
+        } else if (a == "--planner") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.planner = v;
         } else if (a == "--no-determinism") {
             o.determinism = false;
         } else if (a == "--no-shrink") {
@@ -150,7 +157,8 @@ parseArgs(int argc, char **argv, Options &o)
         }
     }
     return o.iters > 0 && o.jobs > 0 && o.colo_jobs > 0 &&
-           (o.mode == "policy" || o.mode == "server");
+           (o.mode == "policy" || o.mode == "server") &&
+           (o.planner == "greedy" || o.planner == "interval");
 }
 
 /** Per-iteration case seed: decorrelated from neighbours so adjacent
@@ -236,6 +244,7 @@ fuzzMode(const Options &o)
     for (int i = 0; i < o.iters; ++i) {
         std::uint64_t cs = caseSeed(o.seed, i);
         FuzzCase fc = FuzzCase::random(cs);
+        fc.planner = o.planner;
         fc.inject_capacity = o.inject_capacity;
         fc.inject_traffic = o.inject_traffic;
 
