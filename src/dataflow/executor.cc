@@ -47,12 +47,14 @@ Executor::setTelemetry(telemetry::Session *session)
         fast_peak_gauge_ = &m.gauge("mem.fast_peak_bytes");
         stall_hist_ = &m.histogram("exec.stall_ns");
         op_hist_ = &m.histogram("exec.op_ns");
+        board_ = session->stepBoard();
     } else {
         fast_bytes_ctr_ = nullptr;
         slow_bytes_ctr_ = nullptr;
         fast_peak_gauge_ = nullptr;
         stall_hist_ = nullptr;
         op_hist_ = nullptr;
+        board_ = nullptr;
     }
 }
 
@@ -453,6 +455,31 @@ Executor::runStep()
     if (telemetry_)
         telemetry_->emit(telemetry::EventType::StepEnd, now_, 0, 0,
                          static_cast<std::uint32_t>(step_counter_));
+
+    // Feed the live plane at the step boundary.  Rings are sized at
+    // board construction, so this keeps the steady state alloc-free.
+    if (board_) {
+        using telemetry::StepSeries;
+        board_->observe(StepSeries::StepTime,
+                        static_cast<std::uint64_t>(stats_.step_time),
+                        now_);
+        board_->observe(StepSeries::ExposedMigration,
+                        static_cast<std::uint64_t>(
+                            stats_.exposed_migration),
+                        now_);
+        board_->observe(StepSeries::PolicyTime,
+                        static_cast<std::uint64_t>(stats_.policy_time),
+                        now_);
+        board_->observe(StepSeries::PromotedBytes, stats_.promoted_bytes,
+                        now_);
+        board_->observe(StepSeries::DemotedBytes, stats_.demoted_bytes,
+                        now_);
+        board_->observe(StepSeries::SlowBytes, stats_.bytes_slow, now_);
+        board_->observe(StepSeries::PeakFastUsed, stats_.peak_fast_used,
+                        now_);
+        board_->observe(StepSeries::Stalls, stats_.num_stalls, now_);
+        board_->endStep(now_);
+    }
 
     ++step_counter_;
     return stats_;

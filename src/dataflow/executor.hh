@@ -186,6 +186,7 @@ class Executor
     int current_layer_ = -1;
 
     telemetry::Session *telemetry_ = nullptr;
+    telemetry::StepBoard *board_ = nullptr; ///< session's live plane
     telemetry::AttributionEngine *attr_ = nullptr;
     telemetry::Counter *fast_bytes_ctr_ = nullptr;
     telemetry::Counter *slow_bytes_ctr_ = nullptr;

@@ -12,6 +12,7 @@
 #include "models/registry.hh"
 #include "server/admission.hh"
 #include "server/arbiter.hh"
+#include "server/scrape.hh"
 #include "sim/event_queue.hh"
 
 namespace sentinel::server {
@@ -179,6 +180,8 @@ class NodeSim
             result_.jobs[j].admit = now;
             state_[j].active = true;
             state_[j].step = 0;
+            if (cfg_.obs)
+                cfg_.obs->onAdmit(j, now, admission_.committed());
             startStep(j, now);
         }
     }
@@ -230,10 +233,11 @@ class NodeSim
             return;
         JobResult &r = result_.jobs[j];
         Tick duration = now - st.step_start;
-        SENTINEL_ASSERT(
-            duration >= r.solo_steps[static_cast<std::size_t>(st.step)]
-                            .step_time,
-            "co-located step shorter than its solo run");
+        int finished = st.step;
+        const df::StepStats &solo =
+            r.solo_steps[static_cast<std::size_t>(finished)];
+        SENTINEL_ASSERT(duration >= solo.step_time,
+                        "co-located step shorter than its solo run");
         r.step_durations.push_back(duration);
         ++st.step;
         if (st.step == r.steps) {
@@ -244,6 +248,12 @@ class NodeSim
         } else {
             startStep(j, now);
         }
+        // Feed the plane after admission settled so the committed
+        // figure it records at `now` is the post-release/post-admit
+        // one; the finished step's identity was captured above.
+        if (cfg_.obs)
+            cfg_.obs->onStepComplete(j, finished, duration, solo, now,
+                                     admission_.committed());
     }
 
     /**
@@ -423,6 +433,22 @@ runServer(const ServerConfig &cfg, const std::vector<JobSpec> &specs)
                                                 : r.status;
     });
 
+    if (cfg.obs) {
+        cfg.obs->setNode(cfg.fast_bytes, cfg.headroom);
+        for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+            const JobResult &r = result.jobs[i];
+            Tick mean = 0;
+            if (!r.solo_steps.empty()) {
+                Tick sum = 0;
+                for (const df::StepStats &s : r.solo_steps)
+                    sum += s.step_time;
+                mean = sum / static_cast<Tick>(r.solo_steps.size());
+            }
+            cfg.obs->attachJob(i, resolved[i].name, r.quota_bytes,
+                               mean);
+        }
+    }
+
     // Phase 2: the shared node (always serial).
     NodeSim node(cfg, result, resolved);
     node.run();
@@ -446,6 +472,9 @@ runServer(const ServerConfig &cfg, const std::vector<JobSpec> &specs)
     result.makespan = makespan;
     if (makespan > 0)
         result.aggregate_throughput = samples / toSeconds(makespan);
+
+    if (cfg.obs)
+        cfg.obs->finish(makespan);
 
     if (cfg.telemetry) {
         auto &m = cfg.telemetry->metrics();

@@ -47,6 +47,8 @@
 
 namespace sentinel::server {
 
+class ObservabilityPlane;
+
 struct ServerConfig {
     harness::Platform platform = harness::Platform::Optane;
 
@@ -71,6 +73,12 @@ struct ServerConfig {
     /** Optional node-level telemetry session (counters + per-step
      *  events on one track per job). */
     telemetry::Session *telemetry = nullptr;
+
+    /** Optional live observability plane (server/scrape.hh): per-job
+     *  scrape registries fed at every node step, SLO burn alerts,
+     *  OpenMetrics rendering.  Caller-owned; fed only during phase 2,
+     *  so its contents are identical for any `jobs` value. */
+    ObservabilityPlane *obs = nullptr;
 };
 
 enum class JobStatus {

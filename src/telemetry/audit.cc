@@ -22,6 +22,8 @@ auditReasonName(AuditReason r)
         return "kPinReservedPool";
       case AuditReason::kReplanDivergence:
         return "kReplanDivergence";
+      case AuditReason::kSloBurnAlert:
+        return "kSloBurnAlert";
     }
     return "?";
 }

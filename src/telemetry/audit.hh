@@ -43,9 +43,13 @@ enum class AuditReason : std::uint8_t {
     kPinReservedPool,
     /** Mid-training re-plan triggered by the divergence monitor. */
     kReplanDivergence,
+    /** SLO burn-rate alert raised by the server's observability plane
+     *  (tensor = none, bytes = burn rate in 1/1000ths, step = the
+     *  job step that crossed the threshold). */
+    kSloBurnAlert,
 };
 
-constexpr std::size_t kNumAuditReasons = 6;
+constexpr std::size_t kNumAuditReasons = 7;
 
 /** Stable identifier of @p r (the "kCamelCase" spelling). */
 const char *auditReasonName(AuditReason r);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "telemetry/export.hh"
 
 namespace sentinel::telemetry {
 
@@ -32,6 +33,7 @@ trackOf(EventType t)
       case EventType::PolicyDecision:
       case EventType::DivergenceDetected:
       case EventType::Replan:
+      case EventType::SloBurnAlert:
         return { 1, 4 };
       case EventType::Promotion:
         return { 2, 1 };
@@ -43,37 +45,9 @@ trackOf(EventType t)
     return { 1, 1 };
 }
 
-std::string
-escapeJson(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+// JSON string escaping lives in export.hh (jsonEscape) so the trace
+// and metrics writers share one definition.
+constexpr auto escapeJson = &jsonEscape;
 
 std::string
 defaultName(const Event &e)
@@ -103,6 +77,9 @@ defaultName(const Event &e)
         return strprintf("divergence @step %u", e.id);
       case EventType::Replan:
         return strprintf("replan @step %u", e.id);
+      case EventType::SloBurnAlert:
+        return strprintf("slo burn %.1fx job %u",
+                         static_cast<double>(e.bytes) / 1e3, e.id);
     }
     return "event";
 }
@@ -172,6 +149,7 @@ writeEvent(std::ostream &os, const Event &e, const ChromeTraceOptions &opts,
       case EventType::IntervalBegin:
       case EventType::PrefetchIssued:
       case EventType::DivergenceDetected:
+      case EventType::SloBurnAlert:
         ph = "i";
         break;
       case EventType::Replan:

@@ -32,6 +32,8 @@ eventTypeName(EventType t)
         return "divergence";
       case EventType::Replan:
         return "replan";
+      case EventType::SloBurnAlert:
+        return "slo_burn_alert";
     }
     return "unknown";
 }

@@ -35,9 +35,11 @@ enum class EventType : std::uint8_t {
     Demotion,       ///< fast->slow DMA batch (dur = transfer window)
     DivergenceDetected, ///< observed step diverged from plan (id = step)
     Replan,         ///< mid-training re-plan (id = step, dur = cost)
+    SloBurnAlert,   ///< SLO error budget burning too fast (id = job,
+                    ///< bytes = burn rate in 1/1000ths)
 };
 
-constexpr std::size_t kNumEventTypes = 13;
+constexpr std::size_t kNumEventTypes = 14;
 
 /** Stable lower-case name of @p t (used in exports and tests). */
 const char *eventTypeName(EventType t);

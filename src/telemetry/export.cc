@@ -1,17 +1,70 @@
 #include "telemetry/export.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
 
 namespace sentinel::telemetry {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        out += c;
+        if (c == '"')
+            out += '"';
+    }
+    out += '"';
+    return out;
+}
 
 void
 writeMetricsCsv(const MetricRegistry &metrics, std::ostream &os)
 {
     os << "name,kind,count,sum,min,max,p50,p99\n";
     for (const MetricRow &r : metrics.snapshot()) {
-        os << r.name << ',' << r.kind << ',' << r.count << ',' << r.sum
-           << ',' << r.min << ',' << r.max << ',' << r.p50 << ','
-           << r.p99 << '\n';
+        os << csvField(r.name) << ',' << csvField(r.kind) << ','
+           << r.count << ',' << r.sum << ',' << r.min << ',' << r.max
+           << ',' << r.p50 << ',' << r.p99 << '\n';
     }
 }
 
@@ -22,11 +75,11 @@ writeMetricsJson(const MetricRegistry &metrics, std::ostream &os)
     os << "{\"metrics\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const MetricRow &r = rows[i];
-        os << (i ? ",\n" : "\n") << "{\"name\":\"" << r.name
-           << "\",\"kind\":\"" << r.kind << "\",\"count\":" << r.count
-           << ",\"sum\":" << r.sum << ",\"min\":" << r.min
-           << ",\"max\":" << r.max << ",\"p50\":" << r.p50
-           << ",\"p99\":" << r.p99 << "}";
+        os << (i ? ",\n" : "\n") << "{\"name\":\"" << jsonEscape(r.name)
+           << "\",\"kind\":\"" << jsonEscape(r.kind)
+           << "\",\"count\":" << r.count << ",\"sum\":" << r.sum
+           << ",\"min\":" << r.min << ",\"max\":" << r.max
+           << ",\"p50\":" << r.p50 << ",\"p99\":" << r.p99 << "}";
     }
     os << "\n]}\n";
 }
@@ -42,6 +95,220 @@ saveMetrics(const MetricRegistry &metrics, const std::string &path)
     else
         writeMetricsJson(metrics, out);
     return static_cast<bool>(out);
+}
+
+namespace {
+
+[[noreturn]] void
+dumpError(const std::string &path, const std::string &what)
+{
+    throw std::runtime_error(
+        strprintf("metrics dump '%s': %s", path.c_str(), what.c_str()));
+}
+
+/** Unescape the subset jsonEscape emits; @p i sits on the opening
+ *  quote and lands one past the closing quote. */
+std::string
+jsonUnstring(const std::string &s, std::size_t &i)
+{
+    std::string out;
+    ++i; // opening quote
+    while (i < s.size() && s[i] != '"') {
+        char c = s[i];
+        if (c == '\\' && i + 1 < s.size()) {
+            ++i;
+            switch (s[i]) {
+              case 'n':
+                c = '\n';
+                break;
+              case 't':
+                c = '\t';
+                break;
+              case 'u': {
+                unsigned v = 0;
+                if (i + 4 < s.size())
+                    v = static_cast<unsigned>(
+                        std::strtoul(s.substr(i + 1, 4).c_str(), nullptr,
+                                     16));
+                i += 4;
+                c = static_cast<char>(v);
+                break;
+              }
+              default:
+                c = s[i]; // \" and \\ (and anything else, verbatim)
+            }
+        }
+        out += c;
+        ++i;
+    }
+    ++i; // closing quote
+    return out;
+}
+
+std::vector<MetricRow>
+parseJsonDump(const std::string &path, const std::string &text)
+{
+    std::vector<MetricRow> rows;
+    std::size_t i = 0;
+    while ((i = text.find('{', i + 1)) != std::string::npos) {
+        // One row object per '{' after the document root.
+        MetricRow r;
+        std::size_t end = i;
+        bool saw_name = false;
+        while (end < text.size() && text[end] != '}') {
+            std::size_t k = text.find('"', end);
+            if (k == std::string::npos)
+                dumpError(path, "unterminated row object");
+            std::size_t at = k;
+            std::string key = jsonUnstring(text, at);
+            std::size_t colon = text.find(':', at);
+            if (colon == std::string::npos)
+                dumpError(path, "key without value");
+            std::size_t v = colon + 1;
+            if (key == "name" || key == "kind") {
+                while (v < text.size() && text[v] != '"')
+                    ++v;
+                std::string sval = jsonUnstring(text, v);
+                (key == "name" ? r.name : r.kind) = sval;
+                if (key == "name")
+                    saw_name = true;
+            } else {
+                char *num_end = nullptr;
+                double num = std::strtod(text.c_str() + v, &num_end);
+                if (num_end == text.c_str() + v)
+                    dumpError(path, "unparsable number for " + key);
+                auto u = static_cast<std::uint64_t>(num);
+                if (key == "count")
+                    r.count = u;
+                else if (key == "sum")
+                    r.sum = u;
+                else if (key == "min")
+                    r.min = u;
+                else if (key == "max")
+                    r.max = u;
+                else if (key == "p50")
+                    r.p50 = u;
+                else if (key == "p99")
+                    r.p99 = u;
+                v = static_cast<std::size_t>(num_end - text.c_str());
+            }
+            end = v;
+            while (end < text.size() && text[end] != ',' &&
+                   text[end] != '}')
+                ++end;
+            if (end < text.size() && text[end] == ',')
+                ++end;
+        }
+        if (saw_name)
+            rows.push_back(std::move(r));
+        i = end;
+    }
+    return rows;
+}
+
+/** Split one CSV line honoring quoted fields. */
+std::vector<std::string>
+csvSplit(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            out.push_back(std::move(cur));
+            cur.clear();
+        } else if (c != '\r') {
+            cur += c;
+        }
+    }
+    out.push_back(std::move(cur));
+    return out;
+}
+
+/** Unbalanced quotes mean a quoted field continues past the newline
+ *  (RFC 4180 allows embedded line breaks). */
+bool
+csvRowIsOpen(const std::string &row)
+{
+    std::size_t quotes = 0;
+    for (char c : row)
+        quotes += c == '"';
+    return quotes % 2 != 0;
+}
+
+std::vector<MetricRow>
+parseCsvDump(const std::string &path, std::istream &is)
+{
+    std::vector<MetricRow> rows;
+    std::string line;
+    bool header = true;
+    while (std::getline(is, line)) {
+        if (header) {
+            header = false;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        std::string next;
+        while (csvRowIsOpen(line) && std::getline(is, next))
+            line += '\n' + next;
+        std::vector<std::string> f = csvSplit(line);
+        if (f.size() != 8)
+            dumpError(path, strprintf("CSV row with %zu fields (want 8)",
+                                      f.size()));
+        MetricRow r;
+        r.name = f[0];
+        r.kind = f[1];
+        r.count = std::strtoull(f[2].c_str(), nullptr, 10);
+        r.sum = std::strtoull(f[3].c_str(), nullptr, 10);
+        r.min = std::strtoull(f[4].c_str(), nullptr, 10);
+        r.max = std::strtoull(f[5].c_str(), nullptr, 10);
+        r.p50 = std::strtoull(f[6].c_str(), nullptr, 10);
+        r.p99 = std::strtoull(f[7].c_str(), nullptr, 10);
+        rows.push_back(std::move(r));
+    }
+    return rows;
+}
+
+} // namespace
+
+std::vector<MetricRow>
+loadMetricsDump(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        dumpError(path, "cannot open");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string text = buf.str();
+
+    std::size_t first = text.find_first_not_of(" \t\r\n");
+    std::vector<MetricRow> rows;
+    if (first != std::string::npos && text[first] == '{') {
+        rows = parseJsonDump(path, text);
+    } else {
+        std::istringstream ss(text);
+        rows = parseCsvDump(path, ss);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const MetricRow &a, const MetricRow &b) {
+                  return a.name < b.name;
+              });
+    return rows;
 }
 
 } // namespace sentinel::telemetry

@@ -4,6 +4,14 @@
  *
  * The CSV loads directly into pandas/gnuplot for the paper-style
  * figures; the JSON is for dashboards and the golden-file tests.
+ * Instrument names are caller-supplied strings (model names, fuzzer
+ * labels) and pass through jsonEscape/csvField, so a hostile name
+ * degrades into an ugly cell instead of corrupting the document —
+ * the same contract chrome_trace.hh established for trace labels.
+ *
+ * `loadMetricsDump` reads either format back for offline tooling
+ * (`sentinel-cli metrics-diff` triages perf-regress failures by
+ * diffing two dumps).
  */
 
 #ifndef SENTINEL_TELEMETRY_EXPORT_HH
@@ -16,6 +24,14 @@
 
 namespace sentinel::telemetry {
 
+/** JSON string-literal escaping ('"', '\\', control chars).  Shared
+ *  by every JSON writer in the subsystem. */
+std::string jsonEscape(const std::string &s);
+
+/** RFC-4180 CSV field: quoted (with doubled quotes) only when the
+ *  value contains a comma, quote, or newline. */
+std::string csvField(const std::string &s);
+
 /** CSV with header: name,kind,count,sum,min,max,p50,p99 */
 void writeMetricsCsv(const MetricRegistry &metrics, std::ostream &os);
 
@@ -24,6 +40,13 @@ void writeMetricsJson(const MetricRegistry &metrics, std::ostream &os);
 
 /** Write CSV (.csv) or JSON (anything else) to @p path. */
 bool saveMetrics(const MetricRegistry &metrics, const std::string &path);
+
+/**
+ * Read a metrics dump written by saveMetrics — JSON (leading '{') or
+ * CSV — back into rows, name-sorted.  Throws std::runtime_error on an
+ * unreadable file or a row that does not parse.
+ */
+std::vector<MetricRow> loadMetricsDump(const std::string &path);
 
 } // namespace sentinel::telemetry
 

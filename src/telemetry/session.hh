@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "telemetry/event_sink.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/timeseries.hh"
 
 namespace sentinel::telemetry {
 
@@ -48,6 +49,17 @@ class Session
 
     MetricRegistry &metrics() { return metrics_; }
     const MetricRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Attach (or detach, with null) a caller-owned step board: the
+     * live per-step time-series plane.  Attached before the run, the
+     * executor feeds it at every step boundary; its rings are sized at
+     * construction, so the feed keeps the steady-state loop
+     * allocation-free (see timeseries.hh).
+     */
+    void attachStepBoard(StepBoard *board) { board_ = board; }
+    StepBoard *stepBoard() { return board_; }
+    const StepBoard *stepBoard() const { return board_; }
 
     /** Convenience emitter used by the instrumentation hooks. */
     void
@@ -98,6 +110,7 @@ class Session
     TelemetryConfig cfg_;
     EventSink sink_;
     MetricRegistry metrics_;
+    StepBoard *board_ = nullptr;
     std::uint64_t synced_drops_ = 0;
     bool warned_drops_ = false;
 };

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Windowed per-step time series: the live half of the telemetry
+ * subsystem.
+ *
+ * Counters and histograms (metrics.hh) answer "what happened over the
+ * whole run"; a TimeSeries answers "what is happening NOW".  Each
+ * series keeps
+ *
+ *  - a fixed-capacity ring of the most recent samples (the raw
+ *    material for sparklines and snapshot replay),
+ *  - an O(1) sliding-window sum (window min/max/mean are computed on
+ *    demand by scanning the — small — window; scrapes may pay O(W),
+ *    pushes may not),
+ *  - an exponentially weighted moving average of the sample value and,
+ *    when samples carry simulated timestamps, of the sample *rate* per
+ *    simulated second, and
+ *  - a streaming percentile sketch over ALL samples, reusing the log2
+ *    Histogram so p50/p99 cost no memory proportional to the run.
+ *
+ * Everything is sized at construction: push() never allocates, which
+ * is what lets the observability plane ride inside the zero-alloc
+ * steady-state loop (tests/integration/test_zero_alloc.cc pins this).
+ *
+ * StepBoard bundles the fixed set of per-step series the executor
+ * feeds at every step boundary; it is the producer side of the
+ * OpenMetrics scrape (openmetrics.hh) and of the multi-job server's
+ * per-job scrape registries (server/scrape.hh).
+ */
+
+#ifndef SENTINEL_TELEMETRY_TIMESERIES_HH
+#define SENTINEL_TELEMETRY_TIMESERIES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "telemetry/metrics.hh"
+
+namespace sentinel::telemetry {
+
+struct TimeSeriesOptions {
+    /** Ring capacity: most recent samples retained for replay. */
+    std::size_t capacity = 128;
+
+    /** Sliding-window length in samples (clamped to capacity). */
+    std::size_t window = 32;
+
+    /** EWMA smoothing factor in (0, 1]; higher = more reactive. */
+    double ewma_alpha = 0.25;
+};
+
+/** Point-in-time aggregate of a series' sliding window. */
+struct WindowStats {
+    std::size_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+};
+
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(TimeSeriesOptions opts = {});
+
+    /** Record one sample.  O(1), allocation-free. */
+    void push(std::uint64_t v);
+
+    /**
+     * Record one sample stamped at simulated time @p now.  Also feeds
+     * the rate EWMA with v / dt (per simulated second) where dt is the
+     * gap since the previous stamped push; the first stamped push only
+     * anchors the clock.
+     */
+    void pushAt(std::uint64_t v, Tick now);
+
+    /** Total samples ever pushed (not capped by the ring). */
+    std::uint64_t total() const { return total_; }
+
+    /** Most recent sample (0 before the first push). */
+    std::uint64_t last() const;
+
+    /** Aggregate of the last min(window, total) samples. */
+    WindowStats window() const;
+
+    /** EWMA of the sample value (0 before the first push). */
+    double ewma() const { return ewma_; }
+
+    /** EWMA of the per-simulated-second rate (pushAt feeds it). */
+    double ewmaRate() const { return ewma_rate_; }
+
+    /** Streaming log2 percentile sketch over every pushed sample. */
+    const Histogram &sketch() const { return sketch_; }
+
+    /**
+     * The @p i-th retained sample, oldest first; @p i must be <
+     * retained().  Exposes the ring for snapshot replay and
+     * sparklines.
+     */
+    std::uint64_t sample(std::size_t i) const;
+    std::size_t retained() const;
+
+    const TimeSeriesOptions &options() const { return opts_; }
+
+    /** Forget everything; capacity (and thus allocation) is kept. */
+    void reset();
+
+  private:
+    TimeSeriesOptions opts_;
+    std::vector<std::uint64_t> ring_;
+    std::uint64_t total_ = 0;
+    std::uint64_t window_sum_ = 0;
+    double ewma_ = 0.0;
+    double ewma_rate_ = 0.0;
+    Tick last_tick_ = -1;
+    Histogram sketch_;
+};
+
+/**
+ * The fixed set of per-step series a training run exposes live.  An
+ * enum (not a name-addressed registry) so the executor's step-boundary
+ * feed is an array index, not a map lookup, and so the set is closed —
+ * every consumer (OpenMetrics renderer, `sentinel-cli top`, the server
+ * plane) agrees on what exists.
+ */
+enum class StepSeries : std::uint8_t {
+    StepTime,        ///< step wall time (ns)
+    ExposedMigration,///< stalls on the critical path (ns)
+    PolicyTime,      ///< policy decision overhead (ns)
+    PromotedBytes,   ///< slow->fast DMA volume
+    DemotedBytes,    ///< fast->slow DMA volume
+    SlowBytes,       ///< access traffic served from the slow tier
+    PeakFastUsed,    ///< high-water fast occupancy (bytes)
+    Stalls,          ///< stall event count
+};
+
+constexpr std::size_t kNumStepSeries = 8;
+
+/** Stable snake_case name of @p s (OpenMetrics series stem). */
+const char *stepSeriesName(StepSeries s);
+
+/**
+ * One training run's live board: a TimeSeries per StepSeries, fed by
+ * the executor at every step boundary.  Attach to a telemetry::Session
+ * and the executor does the rest; all storage is sized up front.
+ */
+class StepBoard
+{
+  public:
+    explicit StepBoard(TimeSeriesOptions opts = {});
+
+    TimeSeries &series(StepSeries s);
+    const TimeSeries &series(StepSeries s) const;
+
+    /** Push @p v into @p s stamped at @p now.  Allocation-free. */
+    void
+    observe(StepSeries s, std::uint64_t v, Tick now)
+    {
+        series(s).pushAt(v, now);
+    }
+
+    /** Mark a step boundary at simulated time @p now. */
+    void
+    endStep(Tick now)
+    {
+        ++steps_;
+        last_tick_ = now;
+    }
+
+    /** Steps observed so far. */
+    std::uint64_t steps() const { return steps_; }
+
+    /** Simulated time of the last step boundary (-1 = none yet). */
+    Tick lastTick() const { return last_tick_; }
+
+    void reset();
+
+  private:
+    std::array<TimeSeries, kNumStepSeries> series_;
+    std::uint64_t steps_ = 0;
+    Tick last_tick_ = -1;
+};
+
+} // namespace sentinel::telemetry
+
+#endif // SENTINEL_TELEMETRY_TIMESERIES_HH

@@ -65,5 +65,45 @@ TEST(PercentileSummary, EmptyIsAllZero)
     EXPECT_EQ(s.p99, 0.0);
 }
 
+TEST(Percentile, AllDuplicatesCollapseToTheValue)
+{
+    // Every rank selects the same sample, so every quantile — the
+    // edges included — is that value.
+    std::vector<double> v(7, 4.25);
+    EXPECT_EQ(percentile(v, 0.0), 4.25);
+    EXPECT_EQ(percentile(v, 0.5), 4.25);
+    EXPECT_EQ(percentile(v, 0.99), 4.25);
+    EXPECT_EQ(percentile(v, 1.0), 4.25);
+}
+
+TEST(Percentile, TwoSamplesSplitAtTheMedian)
+{
+    // ceil(q*2): q<=0.5 selects the first sample, q>0.5 the second.
+    std::vector<double> v{ 10, 20 };
+    EXPECT_EQ(percentile(v, 0.0), 10);
+    EXPECT_EQ(percentile(v, 0.5), 10);
+    EXPECT_EQ(percentile(v, 0.51), 20);
+    EXPECT_EQ(percentile(v, 1.0), 20);
+}
+
+TEST(PercentileSummary, SingleSampleFillsEveryQuantile)
+{
+    PercentileSummary s = PercentileSummary::of({ 3.5 });
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.p50, 3.5);
+    EXPECT_EQ(s.p95, 3.5);
+    EXPECT_EQ(s.p99, 3.5);
+}
+
+TEST(PercentileSummary, AllDuplicates)
+{
+    PercentileSummary s =
+        PercentileSummary::of(std::vector<double>(50, 7.0));
+    EXPECT_EQ(s.count, 50u);
+    EXPECT_EQ(s.p50, 7.0);
+    EXPECT_EQ(s.p95, 7.0);
+    EXPECT_EQ(s.p99, 7.0);
+}
+
 } // namespace
 } // namespace sentinel

@@ -20,6 +20,8 @@
 #include "mem/hm.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
+#include "telemetry/session.hh"
+#include "telemetry/timeseries.hh"
 
 using namespace sentinel;
 
@@ -63,6 +65,46 @@ TEST(ZeroAlloc, SentinelSteadyStateStepDoesNotAllocate)
     std::uint64_t after = common::allocCount();
     EXPECT_EQ(after - before, 0u)
         << (after - before) << " heap allocations across 50 warm steps";
+}
+
+TEST(ZeroAlloc, LiveObservabilityPlaneDoesNotAllocateInSteadyState)
+{
+    if (!common::allocHookActive())
+        GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+    if (mem::PageTable::defaultBackend() != mem::PageTable::Backend::Dense)
+        GTEST_SKIP() << "hash page-table fallback allocates by design";
+
+    df::Graph g = models::makeModel("resnet20", 8);
+    std::uint64_t fast = mem::roundUpToPages(g.peakMemoryBytes() / 5);
+    auto prof_hm = makeHm(fast);
+    prof::Profiler profiler;
+    auto profile = profiler.profile(g, prof_hm, df::ExecParams{});
+
+    auto hm = makeHm(fast);
+    core::SentinelPolicy policy(profile.db);
+    df::Executor ex(g, hm, df::ExecParams{}, policy);
+
+    // The live plane attached: event ring + metric registry + step
+    // board.  The board's rings are sized at construction, so the
+    // executor's per-step feed (pushes into eight series plus the
+    // percentile sketches) must stay off the heap; only SCRAPES
+    // (render/snapshot) may allocate, and none happen inside the loop.
+    telemetry::Session session;
+    telemetry::StepBoard board;
+    session.attachStepBoard(&board);
+    ex.setTelemetry(&session);
+
+    ex.run(8);
+
+    std::uint64_t before = common::allocCount();
+    for (int i = 0; i < 50; ++i)
+        ex.runStep();
+    std::uint64_t after = common::allocCount();
+    EXPECT_EQ(after - before, 0u)
+        << (after - before)
+        << " heap allocations across 50 warm steps with the "
+           "observability plane enabled";
+    EXPECT_EQ(board.steps(), 58u); // the board really was fed
 }
 
 } // namespace

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The observability plane: burn-rate alert semantics (edge trigger,
+ * re-arm, event-ring + audit-log join), scrape-snapshot determinism
+ * across phase-1 parallelism, the HTTP loopback path, and the
+ * `sentinel-cli top` frame renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "server/http.hh"
+#include "server/scrape.hh"
+#include "server/server.hh"
+#include "telemetry/openmetrics.hh"
+
+using namespace sentinel;
+using namespace sentinel::server;
+
+namespace {
+
+df::StepStats
+soloStep(Tick step_time, std::uint64_t promoted = 0)
+{
+    df::StepStats s;
+    s.step_time = step_time;
+    s.promoted_bytes = promoted;
+    s.peak_fast_used = 1 << 20;
+    return s;
+}
+
+/** A plane with one job whose solo step is 1 ms (target 1.5 ms). */
+ObservabilityPlane
+makePlane(telemetry::Session *session, telemetry::AuditLog *audit,
+          std::ostream *snap = nullptr, int snapshot_every = 0)
+{
+    ScrapeConfig cfg;
+    cfg.slo.target_factor = 1.5;
+    cfg.slo.error_budget = 0.1;
+    cfg.slo.burn_threshold = 2.0;
+    cfg.slo.window = 8;
+    cfg.snapshot_every = snapshot_every;
+    ObservabilityPlane plane(cfg, session, audit, snap);
+    plane.setNode(64 << 20, 1.0);
+    plane.attachJob(0, "job0", 16 << 20, /*solo_mean=*/1'000'000);
+    return plane;
+}
+
+TEST(ObservabilityPlane, NoAlertWhileStepsMeetTarget)
+{
+    telemetry::Session session;
+    telemetry::AuditLog audit;
+    ObservabilityPlane plane = makePlane(&session, &audit);
+    plane.onAdmit(0, 0, 16 << 20);
+    for (int s = 0; s < 20; ++s)
+        plane.onStepComplete(0, s, 1'200'000, soloStep(1'000'000),
+                             (s + 1) * 1'200'000, 16 << 20);
+    EXPECT_EQ(plane.alerts(), 0u);
+    EXPECT_EQ(plane.job(0).violations, 0u);
+    EXPECT_DOUBLE_EQ(plane.job(0).attainment(), 1.0);
+    EXPECT_EQ(session.events().size(), 0u);
+    EXPECT_EQ(audit.size(), 0u);
+}
+
+TEST(ObservabilityPlane, BurnAlertIsEdgeTriggeredAndJoinsAudit)
+{
+    telemetry::Session session;
+    telemetry::AuditLog audit;
+    ObservabilityPlane plane = makePlane(&session, &audit);
+    plane.onAdmit(0, 0, 16 << 20);
+
+    // Every step misses the 1.5 ms target.  The window (8) must fill
+    // before the monitor may fire; the burn then is 1.0/0.1 = 10x and
+    // exactly ONE alert fires for the whole episode.
+    Tick now = 0;
+    for (int s = 0; s < 20; ++s) {
+        now += 3'000'000;
+        plane.onStepComplete(0, s, 3'000'000, soloStep(1'000'000), now,
+                             16 << 20);
+    }
+    EXPECT_EQ(plane.alerts(), 1u);
+    EXPECT_EQ(plane.job(0).alerts, 1u);
+    EXPECT_EQ(plane.job(0).violations, 20u);
+    EXPECT_TRUE(plane.job(0).alerting);
+
+    // The event and the audit record join on the shared timestamp, the
+    // same contract Promotion/Demotion events follow.
+    auto events = session.events().snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].type, telemetry::EventType::SloBurnAlert);
+    EXPECT_EQ(events[0].id, 0u);
+    EXPECT_EQ(events[0].ts, 8 * 3'000'000); // fires when the window fills
+    EXPECT_EQ(events[0].bytes, 10'000u);    // 10.0x in 1/1000ths
+
+    ASSERT_EQ(audit.size(), 1u);
+    const telemetry::AuditRecord &rec = audit.records()[0];
+    EXPECT_EQ(rec.reason, telemetry::AuditReason::kSloBurnAlert);
+    EXPECT_EQ(rec.ts, events[0].ts);
+    EXPECT_EQ(rec.bytes, events[0].bytes);
+    EXPECT_EQ(rec.tensor, telemetry::kAuditNoTensor);
+    EXPECT_EQ(rec.step, 7);
+}
+
+TEST(ObservabilityPlane, AlertReArmsAfterRecovery)
+{
+    telemetry::Session session;
+    telemetry::AuditLog audit;
+    ObservabilityPlane plane = makePlane(&session, &audit);
+    plane.onAdmit(0, 0, 16 << 20);
+
+    Tick now = 0;
+    auto run = [&](int steps, Tick duration) {
+        for (int s = 0; s < steps; ++s) {
+            now += duration;
+            plane.onStepComplete(0, s, duration, soloStep(1'000'000),
+                                 now, 16 << 20);
+        }
+    };
+    run(10, 3'000'000); // episode 1: all misses -> one alert
+    EXPECT_EQ(plane.alerts(), 1u);
+    run(10, 1'200'000); // recovery: window drains below threshold
+    EXPECT_FALSE(plane.job(0).alerting);
+    run(10, 3'000'000); // episode 2: a second alert may fire
+    EXPECT_EQ(plane.alerts(), 2u);
+    EXPECT_EQ(audit.size(), 2u);
+}
+
+TEST(ObservabilityPlane, RenderIsValidOpenMetrics)
+{
+    telemetry::Session session;
+    telemetry::AuditLog audit;
+    ObservabilityPlane plane = makePlane(&session, &audit);
+    plane.onAdmit(0, 0, 16 << 20);
+    for (int s = 0; s < 4; ++s)
+        plane.onStepComplete(0, s, 1'100'000, soloStep(1'000'000, 4096),
+                             (s + 1) * 1'100'000, 16 << 20);
+
+    std::string text = plane.renderString();
+    EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+    std::vector<telemetry::OmSample> samples;
+    std::string err;
+    ASSERT_TRUE(telemetry::parseOpenMetrics(text, samples, &err)) << err;
+
+    auto find = [&](const std::string &name) -> const telemetry::OmSample * {
+        for (const auto &s : samples)
+            if (s.name == name)
+                return &s;
+        return nullptr;
+    };
+    const telemetry::OmSample *steps = find("sentinel_job_steps_total");
+    ASSERT_NE(steps, nullptr);
+    EXPECT_EQ(steps->value, 4.0);
+    EXPECT_EQ(steps->label("job"), "job0");
+    const telemetry::OmSample *dma = find("sentinel_job_dma_bytes_total");
+    ASSERT_NE(dma, nullptr);
+    EXPECT_EQ(dma->value, 4.0 * 4096);
+    ASSERT_NE(find("sentinel_node_fast_bytes"), nullptr);
+    EXPECT_EQ(find("sentinel_node_fast_bytes")->value,
+              static_cast<double>(64 << 20));
+}
+
+/** Two colocated jobs through the real server, obs plane attached. */
+ServerResult
+runWithPlane(int jobs, ObservabilityPlane &plane)
+{
+    ServerConfig cfg;
+    cfg.fast_bytes = 48ull << 20;
+    cfg.jobs = jobs;
+    cfg.default_steps = 6;
+    cfg.default_warmup = 2;
+    cfg.obs = &plane;
+    std::vector<JobSpec> specs = JobSpec::parseList(
+        "model=resnet20 quota=0.4; model=resnet20 quota=0.35");
+    return runServer(cfg, specs);
+}
+
+TEST(ObservabilityPlane, SnapshotsAreByteIdenticalAcrossJobs)
+{
+    ScrapeConfig cfg;
+    cfg.snapshot_every = 3;
+
+    std::ostringstream snap1, snap4;
+    ObservabilityPlane p1(cfg, nullptr, nullptr, &snap1);
+    ObservabilityPlane p4(cfg, nullptr, nullptr, &snap4);
+    runWithPlane(1, p1);
+    runWithPlane(4, p4);
+
+    EXPECT_GT(p1.snapshots(), 0);
+    EXPECT_EQ(p1.snapshots(), p4.snapshots());
+    EXPECT_EQ(snap1.str(), snap4.str());
+
+    // And the stream is a parseable sequence of frames.
+    auto frames = telemetry::splitScrapeFrames(snap1.str());
+    EXPECT_EQ(static_cast<int>(frames.size()), p1.snapshots());
+    for (const std::string &f : frames) {
+        std::vector<telemetry::OmSample> samples;
+        std::string err;
+        EXPECT_TRUE(telemetry::parseOpenMetrics(f, samples, &err))
+            << err;
+        EXPECT_FALSE(samples.empty());
+    }
+}
+
+TEST(TopFrame, RendersJobsAndNodeFooter)
+{
+    telemetry::Session session;
+    telemetry::AuditLog audit;
+    ObservabilityPlane plane = makePlane(&session, &audit);
+    plane.onAdmit(0, 0, 16 << 20);
+    for (int s = 0; s < 4; ++s)
+        plane.onStepComplete(0, s, 1'100'000, soloStep(1'000'000),
+                             (s + 1) * 1'100'000, 16 << 20);
+
+    std::vector<telemetry::OmSample> samples;
+    std::string err;
+    ASSERT_TRUE(telemetry::parseOpenMetrics(plane.renderString(),
+                                            samples, &err))
+        << err;
+    std::string frame = renderTopFrame(samples);
+    EXPECT_NE(frame.find("job0"), std::string::npos);
+    EXPECT_NE(frame.find("p50_ms"), std::string::npos);
+    EXPECT_NE(frame.find("node:"), std::string::npos);
+    EXPECT_NE(frame.find("steps 4"), std::string::npos);
+}
+
+TEST(MetricsHttp, ServesTheExpositionOverLoopback)
+{
+    telemetry::Session session;
+    telemetry::AuditLog audit;
+    ObservabilityPlane plane = makePlane(&session, &audit);
+    plane.onAdmit(0, 0, 16 << 20);
+    plane.onStepComplete(0, 0, 1'100'000, soloStep(1'000'000),
+                         1'100'000, 16 << 20);
+    std::string expect = plane.renderString();
+
+    MetricsHttpServer http;
+    ASSERT_TRUE(http.listen(0)) << http.error();
+    ASSERT_GT(http.port(), 0);
+    std::thread server([&] {
+        http.serve([&] { return plane.renderString(); },
+                   /*max_requests=*/2);
+    });
+
+    std::string body, err;
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", http.port(), "/metrics", body, &err))
+        << err;
+    EXPECT_EQ(body, expect);
+
+    // The body parses and renders as a top frame — the exact pipeline
+    // `sentinel-cli top --endpoint` runs.
+    std::vector<telemetry::OmSample> samples;
+    ASSERT_TRUE(telemetry::parseOpenMetrics(body, samples, &err)) << err;
+    EXPECT_NE(renderTopFrame(samples).find("job0"), std::string::npos);
+
+    // Unknown paths 404 without killing the responder.
+    std::string miss;
+    EXPECT_FALSE(
+        httpGet("127.0.0.1", http.port(), "/nope", miss, &err));
+    server.join();
+    http.shutdown();
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Hostile-name escaping in the metric exporters, the dump loader that
+ * powers `sentinel-cli metrics-diff`, and the OpenMetrics helpers
+ * (name sanitizing, label escaping, render/parse round-trip).
+ *
+ * The hostile instrument name here is the golden case: a fuzzer label
+ * carrying quotes, commas, newlines, and a control byte must come back
+ * from both exporters byte-exact, not corrupt the document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/export.hh"
+#include "telemetry/openmetrics.hh"
+
+using namespace sentinel::telemetry;
+
+namespace {
+
+// Quotes, comma, backslash, newline, tab, and a control byte: every
+// class of character that can break CSV or JSON framing.
+const char *kHostile = "evil\"name,with\\stuff\nand\tmore\x01" "end";
+
+std::string
+tempPath(const char *stem)
+{
+    return testing::TempDir() + stem;
+}
+
+TEST(Export, JsonEscapesHostileNames)
+{
+    MetricRegistry reg;
+    reg.counter(kHostile).add(7);
+
+    std::ostringstream os;
+    writeMetricsJson(reg, os);
+    std::string json = os.str();
+
+    // The raw quote/newline must not appear inside the string literal.
+    EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+    EXPECT_NE(json.find("evil\\\"name"), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\t"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(Export, CsvQuotesHostileFields)
+{
+    MetricRegistry reg;
+    reg.counter(kHostile).add(7);
+    reg.counter("plain_name").add(1);
+
+    std::ostringstream os;
+    writeMetricsCsv(reg, os);
+    std::string csv = os.str();
+
+    // RFC 4180: the hostile field is quoted with inner quotes doubled;
+    // the plain one stays bare.
+    EXPECT_NE(csv.find("\"evil\"\"name,with\\stuff"), std::string::npos);
+    EXPECT_NE(csv.find("\nplain_name,counter,"), std::string::npos);
+}
+
+TEST(Export, HostileNameRoundTripsThroughBothFormats)
+{
+    MetricRegistry reg;
+    reg.counter(kHostile).add(42);
+    reg.histogram("h.lat").record(100);
+
+    for (const char *stem : { "hostile.json", "hostile.csv" }) {
+        std::string path = tempPath(stem);
+        ASSERT_TRUE(saveMetrics(reg, path)) << path;
+        std::vector<MetricRow> rows = loadMetricsDump(path);
+        ASSERT_EQ(rows.size(), 2u) << path;
+        // Name-sorted: "evil..." sorts before "h.lat".
+        EXPECT_EQ(rows[0].name, kHostile) << path;
+        EXPECT_EQ(rows[0].sum, 42u) << path;
+        EXPECT_EQ(rows[1].name, "h.lat") << path;
+        EXPECT_EQ(rows[1].count, 1u) << path;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Export, LoadMetricsDumpThrowsOnGarbage)
+{
+    EXPECT_THROW(loadMetricsDump(tempPath("no_such_dump.json")),
+                 std::runtime_error);
+
+    std::string path = tempPath("truncated.csv");
+    {
+        std::ofstream os(path);
+        os << "name,kind,count,sum,min,max,p50,p99\n"
+           << "short,counter,1\n"; // 3 fields, want 8
+    }
+    EXPECT_THROW(loadMetricsDump(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(OpenMetrics, SanitizeName)
+{
+    EXPECT_EQ(omSanitizeName("mem.promoted_bytes"),
+              "mem_promoted_bytes");
+    EXPECT_EQ(omSanitizeName("9lives"), "_9lives");
+    EXPECT_EQ(omSanitizeName(""), "_");
+    EXPECT_EQ(omSanitizeName("ok:name_1"), "ok:name_1");
+    EXPECT_EQ(omSanitizeName("spaces and-dashes"),
+              "spaces_and_dashes");
+}
+
+TEST(OpenMetrics, LabelEscaping)
+{
+    EXPECT_EQ(omEscapeLabel("plain"), "plain");
+    EXPECT_EQ(omEscapeLabel("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(OpenMetrics, RenderParsesBackExactly)
+{
+    MetricRegistry reg;
+    reg.counter("mem.promoted_bytes").add(4096);
+    reg.gauge("mem.fast_peak").noteMax(1 << 20);
+    reg.histogram("exec.stall_ns").record(100);
+
+    std::ostringstream os;
+    writeOpenMetrics(reg, os, { { "job", "evil\"job\nname" } });
+    omWriteEof(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE mem_promoted_bytes_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+
+    std::vector<OmSample> samples;
+    std::string err;
+    ASSERT_TRUE(parseOpenMetrics(text, samples, &err)) << err;
+    ASSERT_GE(samples.size(), 4u);
+    bool found_counter = false;
+    for (const OmSample &s : samples) {
+        EXPECT_EQ(s.label("job"), "evil\"job\nname") << s.name;
+        if (s.name == "mem_promoted_bytes_total") {
+            found_counter = true;
+            EXPECT_EQ(s.value, 4096.0);
+        }
+    }
+    EXPECT_TRUE(found_counter);
+}
+
+TEST(OpenMetrics, ParseRejectsMalformedLines)
+{
+    std::vector<OmSample> samples;
+    std::string err;
+    EXPECT_FALSE(parseOpenMetrics("{bad} 1\n", samples, &err));
+    EXPECT_FALSE(parseOpenMetrics("name{key=1} 2\n", samples, &err));
+    EXPECT_FALSE(parseOpenMetrics("name{k=\"v} 2\n", samples, &err));
+    EXPECT_FALSE(parseOpenMetrics("name\n", samples, &err));
+    EXPECT_FALSE(parseOpenMetrics("name notanumber\n", samples, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(OpenMetrics, SplitScrapeFrames)
+{
+    std::string two = "# scrape k=1 tick=5\na 1\n# EOF\n"
+                      "# scrape k=2 tick=9\na 2\n# EOF\n";
+    std::vector<std::string> frames = splitScrapeFrames(two);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_NE(frames[0].find("a 1"), std::string::npos);
+    EXPECT_NE(frames[1].find("a 2"), std::string::npos);
+    // A trailing partial frame (no terminator) is dropped, not
+    // half-parsed.
+    EXPECT_EQ(splitScrapeFrames("a 1\n").size(), 0u);
+}
+
+TEST(OpenMetrics, ValueFormattingIsGrepFriendly)
+{
+    EXPECT_EQ(omFormatValue(0.0), "0");
+    EXPECT_EQ(omFormatValue(4096.0), "4096");
+    EXPECT_EQ(omFormatValue(-3.0), "-3");
+    EXPECT_EQ(omFormatValue(0.5), "0.5");
+}
+
+} // namespace

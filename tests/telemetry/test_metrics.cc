@@ -64,6 +64,63 @@ TEST(Histogram, PercentileIsBucketUpperBound)
     EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
 }
 
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Bucket i holds values of bit width i: zeros land in bucket 0
+    // (reported as 0), a value of 2^(i-1) and one of 2^i - 1 share
+    // bucket i and both report the upper bound 2^i - 1.
+    Histogram zeros;
+    zeros.record(0);
+    EXPECT_EQ(zeros.percentile(0.5), 0u);
+    EXPECT_EQ(zeros.percentile(1.0), 0u);
+
+    Histogram one;
+    one.record(1); // bit width 1 -> bucket 1 -> upper bound 1
+    EXPECT_EQ(one.percentile(0.5), 1u);
+
+    Histogram lo, hi;
+    lo.record(64);  // 2^6: width 7
+    hi.record(127); // 2^7 - 1: width 7
+    EXPECT_EQ(lo.percentile(1.0), 127u);
+    EXPECT_EQ(hi.percentile(1.0), 127u);
+
+    Histogram next;
+    next.record(128); // 2^7: first value of the NEXT bucket
+    EXPECT_EQ(next.percentile(1.0), 255u);
+}
+
+TEST(Histogram, SingleSampleEveryQuantile)
+{
+    Histogram h;
+    h.record(100); // width 7 -> upper bound 127
+    EXPECT_EQ(h.percentile(0.0), 127u);
+    EXPECT_EQ(h.percentile(0.5), 127u);
+    EXPECT_EQ(h.percentile(1.0), 127u);
+}
+
+TEST(Histogram, AllDuplicatesAndTopBucketClamp)
+{
+    Histogram dup;
+    for (int i = 0; i < 32; ++i)
+        dup.record(1000); // width 10 -> upper bound 1023
+    EXPECT_EQ(dup.percentile(0.01), 1023u);
+    EXPECT_EQ(dup.percentile(0.99), 1023u);
+
+    // Values of width >= 64 have no representable 2^i - 1 upper
+    // bound; the histogram reports the observed max instead.
+    Histogram top;
+    top.record(~0ull);
+    EXPECT_EQ(top.percentile(1.0), ~0ull);
+}
+
 TEST(MetricRegistry, FindOrCreateReturnsStableInstrument)
 {
     MetricRegistry reg;

@@ -48,6 +48,8 @@
 #include "mem/page.hh"
 #include "models/registry.hh"
 #include "profile/profiler.hh"
+#include "telemetry/session.hh"
+#include "telemetry/timeseries.hh"
 
 using namespace sentinel;
 
@@ -125,6 +127,16 @@ measureAllocsPerStep(const std::string &model, const std::string &policy)
 
     mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration);
     df::Executor ex(graph, hm, rc.exec, *pol);
+
+    // The live observability plane rides along: its per-step feed
+    // (event ring, cached counters, the step board's series pushes)
+    // is part of the zero-allocation promise — only scrapes may
+    // allocate, and none happen inside the counted window.
+    telemetry::Session session;
+    telemetry::StepBoard board;
+    session.attachStepBoard(&board);
+    ex.setTelemetry(&session);
+
     ex.run(cfg.warmup);
 
     const int measured = cfg.steps - cfg.warmup;

@@ -17,7 +17,13 @@
  *                differential oracle (exit 0 clean, 2 on violations)
  *   serve        co-locate several training jobs on one simulated HM
  *                node: admission control, capacity quotas, and the
- *                global migration-bandwidth arbiter (src/server)
+ *                global migration-bandwidth arbiter (src/server);
+ *                --listen / --scrape-out expose the run's live
+ *                observability plane (OpenMetrics + SLO burn alerts)
+ *   top          per-job terminal view of a scrape: --endpoint for a
+ *                live /metrics responder, --snapshot for a frame file
+ *   metrics-diff compare two --metrics-out dumps with percent-change
+ *                thresholds (exit 2 when a change exceeds them)
  *   models       list the model zoo
  *
  * Examples:
@@ -38,6 +44,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,10 +57,13 @@
 #include "plan/offset_planner.hh"
 #include "profile/profiler.hh"
 #include "profile/serialize.hh"
+#include "server/http.hh"
 #include "server/oracle.hh"
+#include "server/scrape.hh"
 #include "sim/fault_injector.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/export.hh"
+#include "telemetry/openmetrics.hh"
 #include "telemetry/session.hh"
 
 using namespace sentinel;
@@ -89,6 +99,12 @@ class Args
     {
         auto it = values_.find(key);
         return it == values_.end() ? dflt : it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return values_.find(key) != values_.end();
     }
 
     int
@@ -663,9 +679,206 @@ cmdServe(const Args &args)
         return rep.ok() ? 0 : 2;
     }
 
+    // The live observability plane: --scrape-out streams deterministic
+    // OpenMetrics frames, --listen serves the final exposition over
+    // HTTP (for `sentinel-cli top --endpoint` and curl).
+    std::string scrape_out = args.get("scrape-out", "");
+    bool listen = args.has("listen");
+    bool want_obs = !scrape_out.empty() || listen ||
+                    args.getInt("obs", 0) != 0;
+
+    server::ScrapeConfig scfg;
+    scfg.slo.target_factor = args.getDouble("slo-target", 1.5);
+    scfg.slo.error_budget = args.getDouble("slo-budget", 0.1);
+    scfg.slo.burn_threshold = args.getDouble("burn-threshold", 2.0);
+    scfg.slo.window =
+        static_cast<std::size_t>(args.getInt("burn-window", 16));
+    scfg.snapshot_every = args.getInt("scrape-every", 4);
+
+    std::optional<telemetry::Session> session;
+    telemetry::AuditLog audit;
+    std::optional<std::ofstream> snap;
+    std::optional<server::ObservabilityPlane> obs;
+    if (want_obs) {
+        session.emplace();
+        if (!scrape_out.empty()) {
+            snap.emplace(scrape_out, std::ios::binary);
+            if (!*snap)
+                SENTINEL_FATAL("could not write '%s'",
+                               scrape_out.c_str());
+        }
+        obs.emplace(scfg, &*session, &audit,
+                    snap ? &*snap : nullptr);
+        cfg.obs = &*obs;
+        cfg.telemetry = &*session;
+    }
+
     server::ServerResult r = server::runServer(cfg, specs);
     std::printf("%s", r.summary().c_str());
+
+    if (obs) {
+        std::printf("observability: %llu SLO burn alert(s), %llu "
+                    "violation step(s)\n",
+                    static_cast<unsigned long long>(obs->alerts()),
+                    [&] {
+                        unsigned long long v = 0;
+                        for (std::size_t j = 0; j < obs->numJobs(); ++j)
+                            v += obs->job(j).violations;
+                        return v;
+                    }());
+        if (!scrape_out.empty())
+            std::printf("scrape: %d frame(s) written to %s\n",
+                        obs->snapshots(), scrape_out.c_str());
+    }
+
+    if (listen) {
+        server::MetricsHttpServer http;
+        if (!http.listen(args.getInt("listen", 0)))
+            SENTINEL_FATAL("%s", http.error().c_str());
+        int count = args.getInt("listen-count", 0);
+        // The body is rendered per request so the endpoint always
+        // reflects the (final, settled) plane state.
+        std::printf("serving /metrics on http://127.0.0.1:%d%s\n",
+                    http.port(),
+                    count > 0
+                        ? strprintf(" for %d request(s)", count).c_str()
+                        : " (ctrl-c to stop)");
+        std::fflush(stdout);
+        http.serve([&] { return obs->renderString(); }, count);
+    }
     return 0;
+}
+
+int
+cmdTop(const Args &args)
+{
+    std::string endpoint = args.get("endpoint", "");
+    std::string snapshot = args.get("snapshot", "");
+    if (endpoint.empty() == snapshot.empty())
+        SENTINEL_FATAL(
+            "top needs exactly one of --endpoint HOST:PORT or "
+            "--snapshot FILE");
+
+    std::string text;
+    if (!endpoint.empty()) {
+        std::size_t colon = endpoint.rfind(':');
+        if (colon == std::string::npos)
+            SENTINEL_FATAL("--endpoint wants HOST:PORT, got '%s'",
+                           endpoint.c_str());
+        std::string host = endpoint.substr(0, colon);
+        int port = std::atoi(endpoint.c_str() + colon + 1);
+        std::string err;
+        if (!server::httpGet(host, port, "/metrics", text, &err))
+            SENTINEL_FATAL("scrape failed: %s", err.c_str());
+    } else {
+        std::ifstream is(snapshot, std::ios::binary);
+        if (!is)
+            SENTINEL_FATAL("could not read '%s'", snapshot.c_str());
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text = buf.str();
+    }
+
+    // A snapshot file holds a sequence of frames; default to the most
+    // recent, --frame K (1-based) rewinds.
+    std::vector<std::string> frames =
+        telemetry::splitScrapeFrames(text);
+    if (frames.empty())
+        SENTINEL_FATAL("no OpenMetrics frame found (missing '# EOF')");
+    int frame = args.getInt("frame", static_cast<int>(frames.size()));
+    if (frame < 1 || frame > static_cast<int>(frames.size()))
+        SENTINEL_FATAL("--frame %d out of range (1..%zu)", frame,
+                       frames.size());
+
+    std::vector<telemetry::OmSample> samples;
+    std::string err;
+    if (!telemetry::parseOpenMetrics(
+            frames[static_cast<std::size_t>(frame - 1)], samples, &err))
+        SENTINEL_FATAL("bad exposition: %s", err.c_str());
+    if (frames.size() > 1)
+        std::printf("frame %d of %zu\n", frame, frames.size());
+    std::printf("%s", server::renderTopFrame(samples).c_str());
+    return 0;
+}
+
+int
+cmdMetricsDiff(const std::string &file_a, const std::string &file_b,
+               const Args &args)
+{
+    double threshold = args.getDouble("threshold", 10.0);
+    std::vector<telemetry::MetricRow> a =
+        telemetry::loadMetricsDump(file_a);
+    std::vector<telemetry::MetricRow> b =
+        telemetry::loadMetricsDump(file_b);
+
+    auto pct = [](double from, double to) {
+        if (from == 0.0)
+            return to == 0.0 ? 0.0 : 100.0;
+        return 100.0 * (to - from) / from;
+    };
+
+    Table t(strprintf("metrics diff: %s -> %s (threshold %.1f%%)",
+                      file_a.c_str(), file_b.c_str(), threshold),
+            { "metric", "field", "a", "b", "change_pct", "flag" });
+    int flagged = 0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        // Both dumps are name-sorted: a linear merge finds adds,
+        // drops, and common rows in one pass.
+        if (j >= b.size() || (i < a.size() && a[i].name < b[j].name)) {
+            t.row().cell(a[i].name).cell("-").cell("present").cell(
+                "missing");
+            t.cell("-").cell("REMOVED");
+            ++flagged;
+            ++i;
+            continue;
+        }
+        if (i >= a.size() || b[j].name < a[i].name) {
+            t.row().cell(b[j].name).cell("-").cell("missing").cell(
+                "present");
+            t.cell("-").cell("ADDED");
+            ++flagged;
+            ++j;
+            continue;
+        }
+        const telemetry::MetricRow &ra = a[i];
+        const telemetry::MetricRow &rb = b[j];
+        struct Field {
+            const char *name;
+            std::uint64_t va, vb;
+        } fields[] = {
+            { "count", ra.count, rb.count }, { "sum", ra.sum, rb.sum },
+            { "p50", ra.p50, rb.p50 },       { "p99", ra.p99, rb.p99 },
+            { "max", ra.max, rb.max },
+        };
+        for (const Field &f : fields) {
+            double change = pct(static_cast<double>(f.va),
+                                static_cast<double>(f.vb));
+            bool over = change > threshold || change < -threshold;
+            if (f.va == f.vb && !over)
+                continue; // identical fields stay out of the report
+            t.row()
+                .cell(ra.name)
+                .cell(f.name)
+                .cell(f.va)
+                .cell(f.vb)
+                .cell(change, 1)
+                .cell(over ? "OVER" : "");
+            if (over)
+                ++flagged;
+        }
+        ++i;
+        ++j;
+    }
+    if (t.numRows() == 0) {
+        std::printf("no differences (%zu metrics compared)\n",
+                    a.size());
+        return 0;
+    }
+    t.print(std::cout);
+    std::printf("%d flagged difference(s)%s\n", flagged,
+                flagged ? "" : " above threshold");
+    return flagged ? 2 : 0;
 }
 
 int
@@ -731,6 +944,18 @@ usage()
         "            [--steps S] [--warmup W] [--headroom F]\n"
         "            [--boost F]; --oracle 1 re-verifies the run's\n"
         "            invariants instead (exit 2 on violations)\n"
+        "            observability: [--scrape-out FILE]\n"
+        "            [--scrape-every N] [--slo-target F]\n"
+        "            [--slo-budget F] [--burn-threshold F]\n"
+        "            [--burn-window N] [--listen PORT (0=ephemeral)]\n"
+        "            [--listen-count N (0=forever)] [--obs 1]\n"
+        "  top       --endpoint HOST:PORT | --snapshot FILE "
+        "[--frame K]\n"
+        "            render one per-job scrape frame as a table\n"
+        "  metrics-diff A B [--threshold PCT]  compare two metrics\n"
+        "            dumps (JSON or CSV); exit 2 when any field moved\n"
+        "            more than PCT percent or a metric was added or\n"
+        "            removed\n"
         "  models    list the model zoo\n\n"
         "fault injection: --chaos SPEC (and --chaos-seed N) perturb the\n"
         "training run of any command, e.g.\n"
@@ -759,6 +984,16 @@ main(int argc, char **argv)
         if (cmd.rfind("--", 0) == 0) {
             Args args(argc, argv, 1);
             return cmdRun(args);
+        }
+        if (cmd == "metrics-diff") {
+            // Two positional dump files, then --key value options.
+            if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
+                std::string(argv[3]).rfind("--", 0) == 0)
+                SENTINEL_FATAL(
+                    "metrics-diff needs two dump files: "
+                    "sentinel-cli metrics-diff a.json b.json");
+            Args dargs(argc, argv, 4);
+            return cmdMetricsDiff(argv[2], argv[3], dargs);
         }
         if (cmd == "replay") {
             // The file rides as the first positional operand
@@ -790,6 +1025,8 @@ main(int argc, char **argv)
             return cmdChaos(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "top")
+            return cmdTop(args);
         if (cmd == "models")
             return cmdModels();
     } catch (const std::exception &e) {
