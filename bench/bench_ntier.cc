@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Three-tier DRAM-size sweep: how much middle tier does staged
+ * prefetch need?
+ *
+ * The LLM-era hierarchy is HBM -> DRAM -> NVMe: the fast tier is fixed
+ * by the accelerator, the slow tier is effectively unbounded, and the
+ * knob an operator actually buys is the DRAM staging buffer in the
+ * middle.  For each workload this bench runs the sentinel cell on the
+ * classic two-tier system once as the reference, then sweeps the
+ * middle tier from 1x to 8x the fast tier's size (the
+ * `ExperimentConfig::mid_fraction` knob, `--mid-capacity` on the CLI)
+ * and reports step time, exposed migration, and migrated volume at
+ * each point.  Staged prefetch turns DRAM into lead time: a larger
+ * middle tier lets the planner start the slow leg of a two-leg
+ * prefetch earlier, so exposed stalls should fall monotonically until
+ * the working set fits and the curve flattens.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "models/synthetic.hh"
+
+using namespace sentinel;
+
+namespace {
+
+struct Workload {
+    std::string model;
+    int batch;
+};
+
+std::vector<Workload>
+workloads(const std::string &only)
+{
+    // Two LLM presets (the hierarchy's target scale) plus the smallest
+    // conv net as a sanity row at the other end of the spectrum.
+    std::vector<Workload> out = {
+        { "llm:tiny", models::modelSpec("llm:tiny").small_batch },
+        { "llm:small", models::modelSpec("llm:small").small_batch },
+        { "resnet32", models::modelSpec("resnet32").small_batch },
+    };
+    if (!only.empty())
+        std::erase_if(out,
+                      [&](const Workload &w) { return w.model != only; });
+    return out;
+}
+
+constexpr double kMidFractions[] = { 1.0, 2.0, 4.0, 8.0 };
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::banner("three-tier DRAM-size sweep (bench_ntier)",
+                  "Sec. III interval migration, staged through a "
+                  "middle tier");
+
+    Table t("Sentinel on HBM+DRAM+NVMe vs. the two-tier reference",
+            { "model", "mid (x fast)", "step (ms)", "2-tier step (ms)",
+              "exposed (ms)", "migrated (MB)", "throughput" });
+
+    for (const Workload &w : workloads(args.only)) {
+        harness::ExperimentConfig base;
+        base.model = w.model;
+        base.batch = w.batch;
+
+        std::vector<harness::SweepCell> cells;
+        cells.push_back({ base, "sentinel" }); // two-tier reference
+        for (double mf : kMidFractions) {
+            harness::ExperimentConfig cfg = base;
+            cfg.tiers = 3;
+            cfg.mid_fraction = mf;
+            cells.push_back({ cfg, "sentinel" });
+        }
+        std::vector<harness::Metrics> m =
+            harness::runSweep(cells, args.jobs);
+
+        const harness::Metrics &ref = m[0];
+        for (std::size_t i = 0; i < std::size(kMidFractions); ++i) {
+            const harness::Metrics &cell = m[i + 1];
+            t.row()
+                .cell(w.model)
+                .cell(kMidFractions[i], 1)
+                .cell(cell.step_time_ms)
+                .cell(ref.step_time_ms)
+                .cell(cell.exposed_ms)
+                .cell(cell.migrated_mb())
+                .cell(cell.throughput);
+        }
+    }
+    t.printWithCsv(std::cout);
+    return 0;
+}

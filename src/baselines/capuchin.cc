@@ -171,7 +171,7 @@ CapuchinPolicy::onLayerEnd(df::Executor &ex, int layer)
     // Discards free device memory instantly and move no bytes.
     for (df::TensorId id :
          discard_at_[static_cast<std::size_t>(layer)])
-        teleportTensor(ex, id, mem::Tier::Slow);
+        teleportTensor(ex, id, ex.hm().slowestTier());
 }
 
 } // namespace sentinel::baselines

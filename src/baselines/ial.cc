@@ -86,7 +86,7 @@ IalPolicy::onRangeAccess(df::Executor &ex, mem::PageRun run, bool is_write,
     while (covered < run.count) {
         mem::PageRunState rs = hm.residentRange(run.first + covered,
                                                 run.count - covered, now);
-        if (rs.tier == mem::Tier::Slow && !rs.in_flight)
+        if (rs.tier != mem::Tier::Fast && !rs.in_flight)
             break;
         covered += rs.count;
     }
@@ -106,7 +106,7 @@ IalPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
 {
     mem::HeterogeneousMemory &hm = ex.hm();
     Tick now = ex.now();
-    if (hm.residentTier(page, now) != mem::Tier::Slow ||
+    if (hm.residentTier(page, now) == mem::Tier::Fast ||
         hm.inFlight(page, now))
         return {};
 

@@ -7,7 +7,7 @@ MemoryModePolicy::onPageAccess(df::Executor &ex, mem::PageId page,
                                bool is_write)
 {
     const mem::TierParams &slow =
-        ex.hm().tierParams(mem::Tier::Slow);
+        ex.hm().tierParams(ex.hm().slowestTier());
     mem::DramCacheResult r = cache_.access(page, is_write);
 
     df::PageAccessResult out;
@@ -35,7 +35,8 @@ MemoryModePolicy::onRangeAccess(df::Executor &ex, mem::PageRun run,
     // state), so a whole run batches into one segment.  Every miss
     // fills exactly one page, so the aggregate cost decomposes into
     // per-page terms identical to the onPageAccess() path.
-    const mem::TierParams &slow = ex.hm().tierParams(mem::Tier::Slow);
+    const mem::TierParams &slow =
+        ex.hm().tierParams(ex.hm().slowestTier());
     mem::DramCacheRangeResult r =
         cache_.accessRange(run.first, run.count, is_write);
 

@@ -32,10 +32,12 @@ class MemoryModePolicy : public df::MemoryPolicy
     std::string name() const override { return "memory-mode"; }
 
     df::AllocDecision
-    allocate(df::Executor &, const df::TensorDesc &tensor) override
+    allocate(df::Executor &ex, const df::TensorDesc &tensor) override
     {
-        // Software only ever sees the slow tier; DRAM is invisible.
-        return { arena_.allocate(tensor.bytes, 64), mem::Tier::Slow };
+        // Software only ever sees the backing store (the chain's far
+        // end); the DRAM cache is invisible.
+        return { arena_.allocate(tensor.bytes, 64),
+                 ex.hm().slowestTier() };
     }
 
     void

@@ -33,13 +33,14 @@ PlannedPolicy::onTrainingStart(df::Executor &ex)
 }
 
 df::AllocDecision
-PlannedPolicy::allocate(df::Executor &, const df::TensorDesc &tensor)
+PlannedPolicy::allocate(df::Executor &ex, const df::TensorDesc &tensor)
 {
     SENTINEL_ASSERT(tensor.id < addr_.size() &&
                         addr_[tensor.id] != kInvalidAddr,
                     "tensor %u has no planned address", tensor.id);
-    return { addr_[tensor.id],
-             fast_[tensor.id] ? mem::Tier::Fast : mem::Tier::Slow };
+    return { addr_[tensor.id], fast_[tensor.id]
+                                   ? mem::Tier::Fast
+                                   : ex.hm().slowestTier() };
 }
 
 std::unique_ptr<df::MemoryPolicy>

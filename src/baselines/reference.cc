@@ -12,8 +12,8 @@ makeFastOnly()
 std::unique_ptr<df::MemoryPolicy>
 makeSlowOnly()
 {
-    return std::make_unique<PackedReferencePolicy>("slow-only",
-                                                   mem::Tier::Slow);
+    return std::make_unique<PackedReferencePolicy>(
+        "slow-only", mem::Tier::Slow, /*prefer_slowest=*/true);
 }
 
 std::unique_ptr<df::MemoryPolicy>

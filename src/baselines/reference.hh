@@ -23,6 +23,7 @@
 #include <string>
 
 #include "alloc/arena.hh"
+#include "dataflow/executor.hh"
 #include "dataflow/policy.hh"
 
 namespace sentinel::baselines {
@@ -30,17 +31,24 @@ namespace sentinel::baselines {
 class PackedReferencePolicy : public df::MemoryPolicy
 {
   public:
-    PackedReferencePolicy(std::string name, mem::Tier preferred)
-        : name_(std::move(name)), preferred_(preferred), arena_(0)
+    /** @param prefer_slowest resolve the preference to the chain's
+     *         slowest tier at allocation time (slow-only semantics on
+     *         chains longer than two tiers). */
+    PackedReferencePolicy(std::string name, mem::Tier preferred,
+                          bool prefer_slowest = false)
+        : name_(std::move(name)), preferred_(preferred),
+          prefer_slowest_(prefer_slowest), arena_(0)
     {
     }
 
     std::string name() const override { return name_; }
 
     df::AllocDecision
-    allocate(df::Executor &, const df::TensorDesc &tensor) override
+    allocate(df::Executor &ex, const df::TensorDesc &tensor) override
     {
-        return { arena_.allocate(tensor.bytes, 64), preferred_ };
+        mem::Tier t =
+            prefer_slowest_ ? ex.hm().slowestTier() : preferred_;
+        return { arena_.allocate(tensor.bytes, 64), t };
     }
 
     void
@@ -67,6 +75,7 @@ class PackedReferencePolicy : public df::MemoryPolicy
   private:
     std::string name_;
     mem::Tier preferred_;
+    bool prefer_slowest_;
     alloc::VirtualArena arena_;
 };
 

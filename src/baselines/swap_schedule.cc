@@ -50,10 +50,10 @@ ScheduledSwapPolicy::allocate(df::Executor &ex,
                               const df::TensorDesc &tensor)
 {
     SENTINEL_ASSERT(scheduled_, "allocate() before buildSchedule()");
-    mem::Tier tier = mem::Tier::Slow;
+    // "Slow" for a swap policy means host memory: the chain's far end.
+    mem::Tier tier = ex.hm().slowestTier();
     switch (placement_[tensor.id]) {
       case Placement::Slow:
-        tier = mem::Tier::Slow;
         break;
       case Placement::PinFast:
         tier = mem::Tier::Fast;
@@ -153,7 +153,7 @@ ScheduledSwapPolicy::onLayerEnd(df::Executor &ex, int layer)
     // Swap-outs are asynchronous even for AutoTM (they are not on the
     // use path; only fetches block).
     for (df::TensorId id : swap_out_at_[static_cast<std::size_t>(layer)])
-        migrateTensor(ex, id, mem::Tier::Slow, false);
+        migrateTensor(ex, id, ex.hm().slowestTier(), false);
 }
 
 } // namespace sentinel::baselines

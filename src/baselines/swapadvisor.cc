@@ -140,7 +140,7 @@ SwapAdvisorPolicy::buildSchedule(df::Executor &ex)
     std::uint64_t S = ex.hm().tier(mem::Tier::Fast).capacity();
     double bw = ex.hm().promoteChannel().bandwidth();
     fast_read_bw_ = ex.hm().tierParams(mem::Tier::Fast).read_bw;
-    slow_read_bw_ = ex.hm().tierParams(mem::Tier::Slow).read_bw;
+    slow_read_bw_ = ex.hm().tierParams(ex.hm().slowestTier()).read_bw;
 
     candidates_.clear();
     for (const auto &t : db_.tensors()) {

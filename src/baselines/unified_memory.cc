@@ -75,7 +75,8 @@ UnifiedMemoryPolicy::evictLru(df::Executor &ex,
         victims.push_back(victim);
         reclaimed += mem::kPageSize;
     }
-    hm.migratePages(victims, mem::Tier::Slow, now);
+    // cudaMemPrefetchAsync back to the host: the far end of the chain.
+    hm.migratePages(victims, hm.slowestTier(), now);
 }
 
 void
@@ -129,7 +130,7 @@ UnifiedMemoryPolicy::onPageAccess(df::Executor &ex, mem::PageId page,
         // Eviction in flight; the fault must wait for it, then the
         // page comes back.
         out.extra += hm.arrivalTime(page) - now;
-        out.effective = mem::Tier::Slow;
+        out.effective = hm.slowestTier();
         return out;
     }
 
@@ -143,8 +144,8 @@ UnifiedMemoryPolicy::onPageAccess(df::Executor &ex, mem::PageId page,
         touchLru(page);
     } else {
         // Device still full (evictions in flight): the fault is
-        // retried against host memory mapping this time.
-        out.effective = mem::Tier::Slow;
+        // retried against the page's current host-side mapping.
+        out.effective = hm.residentTier(page, now);
     }
     return out;
 }

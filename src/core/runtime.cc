@@ -1,8 +1,86 @@
 #include "core/runtime.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace sentinel::core {
+
+std::vector<mem::TierParams>
+RuntimeConfig::tierChain() const
+{
+    std::vector<mem::TierParams> chain;
+    chain.push_back(fast);
+    if (single_tier) {
+        SENTINEL_ASSERT(mids.empty(),
+                        "single_tier excludes middle tiers");
+        return chain;
+    }
+    for (const mem::TierParams &t : mids)
+        chain.push_back(t);
+    chain.push_back(slow);
+    return chain;
+}
+
+std::vector<mem::MigrationParams>
+RuntimeConfig::linkChain() const
+{
+    if (single_tier)
+        return {};
+    if (!links.empty()) {
+        SENTINEL_ASSERT(links.size() == mids.size() + 1,
+                        "links must cover every tier pair (%zu links "
+                        "for %zu tiers)",
+                        links.size(), mids.size() + 2);
+        return links;
+    }
+    return std::vector<mem::MigrationParams>(mids.size() + 1, migration);
+}
+
+void
+RuntimeConfig::insertMidTiers(int count, std::uint64_t bytes_each,
+                              double bw_override)
+{
+    SENTINEL_ASSERT(count > 0, "need at least one middle tier");
+    SENTINEL_ASSERT(!single_tier && mids.empty() && links.empty(),
+                    "insertMidTiers() wants a pristine two-tier config");
+    auto lerp = [](double a, double b, double w) {
+        // Geometric interpolation: tier parameters span orders of
+        // magnitude, so the middle of HBM and NVMe is their geometric
+        // mean, not their average.
+        return std::pow(a, 1.0 - w) * std::pow(b, w);
+    };
+    int n = count + 2; // chain length
+    for (int j = 1; j <= count; ++j) {
+        double w = static_cast<double>(j) / static_cast<double>(n - 1);
+        mem::TierParams mid;
+        mid.name = count == 1 ? "mid" : "mid" + std::to_string(j);
+        mid.capacity = bytes_each;
+        mid.read_bw = bw_override > 0.0
+                          ? bw_override
+                          : lerp(fast.read_bw, slow.read_bw, w);
+        mid.write_bw = bw_override > 0.0
+                           ? bw_override
+                           : lerp(fast.write_bw, slow.write_bw, w);
+        mid.read_latency = static_cast<Tick>(
+            lerp(static_cast<double>(fast.read_latency),
+                 static_cast<double>(slow.read_latency), w));
+        mid.write_latency = static_cast<Tick>(
+            lerp(static_cast<double>(fast.write_latency),
+                 static_cast<double>(slow.write_latency), w));
+        mids.push_back(mid);
+    }
+    // Link 0 keeps the profiled migration channel; the far legs run at
+    // the override (when given) so a staged prefetch's early hops are
+    // visibly cheaper or dearer than its final fast-bound hop.
+    links.assign(static_cast<std::size_t>(count) + 1, migration);
+    if (bw_override > 0.0) {
+        for (std::size_t i = 1; i < links.size(); ++i) {
+            links[i].promote_bw = bw_override;
+            links[i].demote_bw = bw_override;
+        }
+    }
+}
 
 RuntimeConfig
 RuntimeConfig::optane(std::uint64_t fast_bytes)
@@ -56,8 +134,8 @@ Runtime::Runtime(df::Graph graph, RuntimeConfig cfg)
     SENTINEL_ASSERT(graph_.finalized(), "graph must be finalized");
     if (cfg_.telemetry.enabled)
         telemetry_ = std::make_unique<telemetry::Session>(cfg_.telemetry);
-    hm_ = std::make_unique<mem::HeterogeneousMemory>(cfg_.fast, cfg_.slow,
-                                                     cfg_.migration);
+    hm_ = std::make_unique<mem::HeterogeneousMemory>(cfg_.tierChain(),
+                                                     cfg_.linkChain());
     hm_->setTelemetry(telemetry_.get());
 }
 
@@ -69,8 +147,8 @@ Runtime::ensureProfiled()
     // Profiling runs on its own memory system snapshot: the real
     // implementation profiles the 11th step in place, but the page-
     // aligned profiling allocation must not linger in the training HM.
-    mem::HeterogeneousMemory profiling_hm(cfg_.fast, cfg_.slow,
-                                          cfg_.migration);
+    mem::HeterogeneousMemory profiling_hm(cfg_.tierChain(),
+                                          cfg_.linkChain());
     prof::Profiler profiler(cfg_.profiler);
     profile_ = profiler.profile(graph_, profiling_hm, cfg_.exec);
 }

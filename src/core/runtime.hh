@@ -38,6 +38,43 @@ struct RuntimeConfig {
     SentinelOptions sentinel;
 
     /**
+     * Middle tiers between fast and slow, ordered fast-to-slow; empty
+     * = the classic two-tier system.  insertMidTiers() fills this with
+     * geometrically interpolated parameters.
+     */
+    std::vector<mem::TierParams> mids;
+
+    /**
+     * Per-link migration parameters; entry i drives the link between
+     * chain tiers i and i+1.  Empty = every link reuses `migration`;
+     * when set, size must be mids.size() + 1.
+     */
+    std::vector<mem::MigrationParams> links;
+
+    /** Single-tier chain: only the fast tier exists, no links, no
+     *  migration.  `mids` must be empty. */
+    bool single_tier = false;
+
+    /** The ordered tier chain ([fast, mids..., slow]) the memory
+     *  system consumes. */
+    std::vector<mem::TierParams> tierChain() const;
+
+    /** Per-link migration parameters matching tierChain(). */
+    std::vector<mem::MigrationParams> linkChain() const;
+
+    /**
+     * Insert @p count middle tiers of @p bytes_each between fast and
+     * slow.  Each mid's bandwidth/latency interpolates geometrically
+     * between the fast and slow endpoints by chain position; when
+     * @p bw_override > 0 it replaces every mid's read/write bandwidth
+     * and the bandwidth of every link below the first mid (the far
+     * legs a staged prefetch crosses early).  Link 0 (fast <-> first
+     * mid) keeps the preset `migration` channel.
+     */
+    void insertMidTiers(int count, std::uint64_t bytes_each,
+                        double bw_override = 0.0);
+
+    /**
      * Structured event tracing (off by default).  When enabled the
      * runtime owns a telemetry::Session wired into the executor, the
      * memory system, and the Sentinel policy; read it back through

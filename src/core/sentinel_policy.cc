@@ -251,7 +251,7 @@ SentinelPolicy::onTrainingStart(df::Executor &ex)
     in.fast_capacity = S;
     in.promote_bw = hm.promoteChannel().bandwidth();
     in.fast_read_bw = hm.tierParams(mem::Tier::Fast).read_bw;
-    in.slow_read_bw = hm.tierParams(mem::Tier::Slow).read_bw;
+    in.slow_read_bw = hm.tierParams(hm.slowestTier()).read_bw;
     computePlan(in, rs_cap);
 
     if (opts_.use_reserved_pool && planner_result_.rs_bytes > 0) {
@@ -292,7 +292,7 @@ SentinelPolicy::replan(df::Executor &ex, int step)
     in.fast_capacity = hm.tier(mem::Tier::Fast).capacity();
     in.promote_bw = hm.promoteChannel().bandwidth();
     in.fast_read_bw = hm.tierParams(mem::Tier::Fast).read_bw;
-    in.slow_read_bw = hm.tierParams(mem::Tier::Slow).read_bw;
+    in.slow_read_bw = hm.tierParams(hm.slowestTier()).read_bw;
     int L = db_.numLayers();
     std::vector<double> ratios;
     ratios.reserve(static_cast<std::size_t>(L));
@@ -376,9 +376,10 @@ SentinelPolicy::allocate(df::Executor &ex, const df::TensorDesc &tensor)
     }
 
     if (tensor.preallocated) {
-        // Before training everything starts in slow memory (Sec. VI);
-        // the plan prefetches the hot ones immediately.
-        return { static_addr_[tensor.id], mem::Tier::Slow };
+        // Before training everything starts in slow memory (Sec. VI) —
+        // the chain's far end; the plan prefetches the hot ones
+        // immediately (staged through the middle tiers, if any).
+        return { static_addr_[tensor.id], ex.hm().slowestTier() };
     }
 
     if (tensor.shortLived() && pool_) {
@@ -492,7 +493,7 @@ SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
             while (p < end) {
                 mem::PageRunState rs =
                     hm.residentRange(p, end - p, now);
-                if (rs.tier == mem::Tier::Slow && !rs.in_flight)
+                if (rs.tier != mem::Tier::Fast && !rs.in_flight)
                     for (std::uint64_t i = 0; i < rs.count; ++i)
                         batch_.push_back(p + i);
                 p += rs.count;
@@ -514,6 +515,52 @@ SentinelPolicy::drainPrefetchQueue(df::Executor &ex)
             return;
         }
         ++pending_head_;
+    }
+}
+
+void
+SentinelPolicy::stagePrefetches(df::Executor &ex, int interval)
+{
+    mem::HeterogeneousMemory &hm = ex.hm();
+    if (hm.numTiers() <= 2 || plan_.prefetch_at.empty())
+        return;
+    Tick now = ex.now();
+    int N = static_cast<int>(plan_.prefetch_at.size());
+
+    // Middle tiers are staging buffers (Sec. IV-C generalized): a
+    // tensor the plan promotes `lead` intervals from now should sit
+    // `lead` legs from fast memory by then, so each interval moves it
+    // one leg closer and the final slow->fast hop crosses only link 0.
+    // Worked for the 3-tier case: a tensor due in interval k+2 moves
+    // slowest->middle now (interval k) and middle->fast at k+1.
+    for (unsigned lead = 1; lead + 1 < hm.numTiers(); ++lead) {
+        mem::Tier stage = mem::makeTier(lead);
+        const auto &list = plan_.prefetch_at[static_cast<std::size_t>(
+            (interval + static_cast<int>(lead)) % N)];
+        for (df::TensorId id : list) {
+            if (!ex.isAllocated(id))
+                continue;
+            const df::TensorPlacement &pl = ex.placementOf(id);
+            if (isPoolPage(pl.firstPage()))
+                continue;
+            batch_.clear();
+            mem::PageId p = pl.firstPage();
+            const mem::PageId end = pl.endPage();
+            while (p < end) {
+                mem::PageRunState rs = hm.residentRange(p, end - p, now);
+                if (mem::tierIndex(rs.tier) > lead && !rs.in_flight)
+                    for (std::uint64_t i = 0; i < rs.count; ++i)
+                        batch_.push_back(p + i);
+                p += rs.count;
+            }
+            // Best-effort: a full middle tier simply leaves the pages
+            // where they are; the direct promotion path still covers
+            // them when their own interval arrives.
+            std::size_t scheduled = hm.migratePages(batch_, stage, now);
+            if (scheduled > 0)
+                auditAppend(ex, telemetry::AuditReason::kPrefetchStage,
+                            id, scheduled * mem::kPageSize);
+        }
     }
 }
 
@@ -595,7 +642,7 @@ SentinelPolicy::evictForSpace(df::Executor &ex,
             }
         }
         std::size_t scheduled =
-            hm.migratePages(batch_, mem::Tier::Slow, now);
+            hm.migratePages(batch_, hm.slowestTier(), now);
         if (scheduled > 0)
             auditAppend(ex, telemetry::AuditReason::kEvictForSpace, id,
                         scheduled * mem::kPageSize);
@@ -627,7 +674,7 @@ SentinelPolicy::issueDemotions(df::Executor &ex, int layer)
             }
         }
         std::size_t scheduled =
-            hm.migratePages(batch_, mem::Tier::Slow, now);
+            hm.migratePages(batch_, hm.slowestTier(), now);
         if (scheduled > 0)
             auditAppend(ex, telemetry::AuditReason::kEvictDeadTensor, id,
                         scheduled * mem::kPageSize);
@@ -671,6 +718,9 @@ SentinelPolicy::onLayerBegin(df::Executor &ex, int layer)
     }
 
     issuePrefetch(ex, interval);
+    // Middle-tier staging rides behind the interval's own prefetch so
+    // the tensors needed soonest get the channels and capacity first.
+    stagePrefetches(ex, interval);
 }
 
 void
@@ -778,7 +828,7 @@ SentinelPolicy::onPageAccess(df::Executor &ex, mem::PageId page, bool)
         return {};
     mem::HeterogeneousMemory &hm = ex.hm();
     Tick now = ex.now();
-    if (hm.residentTier(page, now) != mem::Tier::Slow ||
+    if (hm.residentTier(page, now) == mem::Tier::Fast ||
         hm.inFlight(page, now))
         return {};
 
@@ -841,7 +891,7 @@ SentinelPolicy::onRangeAccess(df::Executor &ex, mem::PageRun run,
     while (covered < run.count) {
         mem::PageRunState rs = hm.residentRange(run.first + covered,
                                                 run.count - covered, now);
-        if (rs.tier == mem::Tier::Slow && !rs.in_flight)
+        if (rs.tier != mem::Tier::Fast && !rs.in_flight)
             break;
         covered += rs.count;
     }

@@ -237,6 +237,7 @@ class SentinelPolicy : public df::MemoryPolicy
     /** Mid-training re-plan against the *observed* environment. */
     void replan(df::Executor &ex, int step);
     void issuePrefetch(df::Executor &ex, int interval);
+    void stagePrefetches(df::Executor &ex, int interval);
     /**
      * Plan-guided demand eviction: when an allocation cannot fit,
      * demote tensors the plan would evict soon anyway (they are the

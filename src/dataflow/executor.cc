@@ -189,6 +189,9 @@ Executor::notePeakFastUsage()
 {
     stats_.peak_fast_used =
         std::max(stats_.peak_fast_used, hm_.tier(mem::Tier::Fast).used());
+    for (unsigned t = 0; t < hm_.numTiers(); ++t)
+        stats_.peak_tier_used[t] = std::max(
+            stats_.peak_tier_used[t], hm_.tier(mem::makeTier(t)).used());
     if (telemetry_)
         fast_peak_gauge_->noteMax(hm_.tier(mem::Tier::Fast).used());
 }
@@ -245,13 +248,19 @@ Executor::execUsePerPage(const TensorUse &use, const TensorPlacement &pl,
             tier = *r.effective;
         } else {
             if (hm_.inFlight(p, now_)) {
-                // Only prefetches toward fast memory are worth
+                // Only transfers toward faster memory are worth
                 // stalling for; a demotion in flight still serves
-                // reads from its (fast) source.
-                bool toward_fast =
-                    hm_.residentTier(p, now_) == mem::Tier::Slow;
-                if (toward_fast && policy_.stallForInflight(*this, p))
+                // reads from its (faster) source.
+                mem::HeterogeneousMemory::FlightInfo fi =
+                    hm_.flightInfo(p);
+                if (fi.toward_fast &&
+                    policy_.stallForInflight(*this, p)) {
+                    if (attr_)
+                        attr_->setStallLink(fi.link);
                     stallUntil(hm_.arrivalTime(p));
+                    if (attr_)
+                        attr_->setStallLink(0);
+                }
             }
             tier = hm_.residentTier(p, now_);
         }
@@ -315,9 +324,16 @@ Executor::execUseRanges(const TensorUse &use, const TensorPlacement &pl,
                 // Migration boundary: resolve page by page, since each
                 // page has its own arrival and a stall here can land
                 // later pages' transfers (changing their state).
-                bool toward_fast = rs.tier == mem::Tier::Slow;
-                if (toward_fast && policy_.stallForInflight(*this, pos))
+                mem::HeterogeneousMemory::FlightInfo fi =
+                    hm_.flightInfo(pos);
+                if (fi.toward_fast &&
+                    policy_.stallForInflight(*this, pos)) {
+                    if (attr_)
+                        attr_->setStallLink(fi.link);
                     stallUntil(hm_.arrivalTime(pos));
+                    if (attr_)
+                        attr_->setStallLink(0);
+                }
                 accountPages(hm_.residentTier(pos, now_), pos - first, 1,
                              tr, use, kind, mem_total);
                 pos += 1;
@@ -400,7 +416,8 @@ Executor::runStep()
         chaos_->beginStep(step_counter_);
         hm_.setMigrationBandwidthScale(chaos_->promoteBwScale(),
                                        chaos_->demoteBwScale());
-        hm_.setFastCapacityScale(chaos_->fastCapacityScale());
+        for (unsigned t = 0; t < hm_.numTiers(); ++t)
+            hm_.setTierCapacityScale(t, chaos_->capacityScale(t));
         const sim::StepStalls &st = chaos_->stepStalls();
         if (st.promote > 0 || st.demote > 0)
             hm_.stallMigration(now_, st.promote, st.demote);

@@ -84,6 +84,14 @@ struct StepStats {
     /** High-water fast-memory occupancy observed during the step. */
     std::uint64_t peak_fast_used = 0;
 
+    /** Chain length the array below can carry (mem::kMaxTiers). */
+    static constexpr std::size_t kMaxTierSlots = 8;
+
+    /** High-water occupancy of every chain tier (index = tier index,
+     *  fastest first; slot 0 mirrors peak_fast_used).  Unused slots
+     *  stay zero. */
+    std::array<std::uint64_t, kMaxTierSlots> peak_tier_used{};
+
     /** Number of stall events (exposed-migration occurrences). */
     std::uint64_t num_stalls = 0;
 };

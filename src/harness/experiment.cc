@@ -29,6 +29,18 @@ platformConfig(Platform p, std::uint64_t fast_bytes)
                : core::RuntimeConfig::gpu(fast_bytes);
 }
 
+core::RuntimeConfig
+platformConfig(Platform p, std::uint64_t fast_bytes, int tiers,
+               std::uint64_t mid_bytes, double mid_bw)
+{
+    core::RuntimeConfig rc = platformConfig(p, fast_bytes);
+    if (tiers == 1)
+        rc.single_tier = true;
+    else if (tiers >= 3)
+        rc.insertMidTiers(tiers - 2, mid_bytes, mid_bw);
+    return rc;
+}
+
 const std::vector<std::string> &
 cpuPolicies()
 {
@@ -131,6 +143,17 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
         throw ConfigError(strprintf(
             "config: planner must be 'greedy' or 'interval' (got '%s')",
             cfg.planner.c_str()));
+    if (cfg.tiers < 1 || cfg.tiers > static_cast<int>(mem::kMaxTiers))
+        throw ConfigError(strprintf(
+            "config: tiers must lie in [1, %u] (got %d)", mem::kMaxTiers,
+            cfg.tiers));
+    if (cfg.tiers >= 3 && cfg.mid_bytes == 0 && cfg.mid_fraction <= 0.0)
+        throw ConfigError(strprintf(
+            "config: mid_fraction must be positive (got %g)",
+            cfg.mid_fraction));
+    if (cfg.mid_bw < 0.0)
+        throw ConfigError(strprintf(
+            "config: mid_bw must be non-negative (got %g)", cfg.mid_bw));
 
     // A bad model name (unknown, or a malformed synthetic:<seed> spec)
     // is a rejected input, not an infeasible run: surface it as
@@ -183,7 +206,26 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
                 static_cast<unsigned long long>(fast_bytes)));
     }
 
-    core::RuntimeConfig rc = platformConfig(cfg.platform, fast_bytes);
+    // Middle-tier sizing: explicit bytes, or a multiple of the fast
+    // tier.  A sub-page middle tier could never hold a staged page —
+    // reject it instead of simulating a chain that silently degrades.
+    std::uint64_t mid_bytes = 0;
+    if (cfg.tiers >= 3) {
+        mid_bytes = cfg.mid_bytes != 0
+                        ? cfg.mid_bytes
+                        : mem::roundUpToPages(static_cast<std::uint64_t>(
+                              static_cast<double>(fast_bytes) *
+                              cfg.mid_fraction));
+        if (mid_bytes < mem::kPageSize)
+            throw ConfigError(strprintf(
+                "config: middle tier (%llu bytes) is smaller than one "
+                "page (%llu); raise mid_bytes or mid_fraction",
+                static_cast<unsigned long long>(mid_bytes),
+                static_cast<unsigned long long>(mem::kPageSize)));
+    }
+
+    core::RuntimeConfig rc = platformConfig(
+        cfg.platform, fast_bytes, cfg.tiers, mid_bytes, cfg.mid_bw);
 
     if (policy == "vdnn" && !baselines::VdnnPolicy::supports(graph)) {
         m.supported = false;
@@ -194,7 +236,7 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
     // Profiling phase (one step on a scratch memory system).
     std::optional<prof::ProfileResult> profile;
     if (needsProfile(policy)) {
-        mem::HeterogeneousMemory prof_hm(rc.fast, rc.slow, rc.migration,
+        mem::HeterogeneousMemory prof_hm(rc.tierChain(), rc.linkChain(),
                                          cfg.page_table);
         prof::Profiler profiler(rc.profiler);
         profile = profiler.profile(graph, prof_hm, rc.exec);
@@ -203,7 +245,7 @@ runExperimentSteps(const ExperimentConfig &cfg, const std::string &policy)
     auto pol = makePolicy(policy, cfg, fast_bytes,
                           profile ? &profile->db : nullptr);
 
-    mem::HeterogeneousMemory hm(rc.fast, rc.slow, rc.migration,
+    mem::HeterogeneousMemory hm(rc.tierChain(), rc.linkChain(),
                                 cfg.page_table);
     df::Executor ex(graph, hm, rc.exec, *pol);
     if (cfg.telemetry) {

@@ -58,6 +58,30 @@ struct ExperimentConfig {
     double fast_fraction = 0.2;
     std::uint64_t fast_bytes = 0;
 
+    /**
+     * Memory-tier chain length.  2 (default) is the paper's two-tier
+     * system; 3 inserts a middle tier between fast and slow (the
+     * HBM + DRAM + NVMe shape the staged-prefetch path targets); 1 is
+     * a fast-only chain with no migration at all.  Longer chains add
+     * further interpolated middle tiers, up to mem::kMaxTiers.
+     */
+    int tiers = 2;
+
+    /** Middle-tier capacity in bytes; 0 derives mid_fraction x the
+     *  fast tier's size.  Only read when tiers >= 3.  Sub-page values
+     *  (explicit or derived) are a ConfigError. */
+    std::uint64_t mid_bytes = 0;
+
+    /** Middle-tier capacity as a multiple of the fast tier (used when
+     *  mid_bytes == 0): the staging buffer is a few times the tier it
+     *  feeds. */
+    double mid_fraction = 4.0;
+
+    /** Middle-tier bandwidth override in bytes/s, applied to the mid
+     *  tiers and their far links (see RuntimeConfig::insertMidTiers);
+     *  0 interpolates between the fast and slow endpoints. */
+    double mid_bw = 0.0;
+
     /** Page-table backend for both the profiling and training memory
      *  systems; non-default only in the layout equivalence suite. */
     mem::PageTable::Backend page_table = mem::PageTable::defaultBackend();
@@ -162,6 +186,15 @@ struct Metrics {
 
 /** Platform preset with the fast tier sized to @p fast_bytes. */
 core::RuntimeConfig platformConfig(Platform p, std::uint64_t fast_bytes);
+
+/**
+ * Platform preset extended to an N-tier chain: @p tiers total tiers
+ * (1 = fast only, 2 = the classic preset, >= 3 inserts middle tiers
+ * of @p mid_bytes each, bandwidth-overridden by @p mid_bw when > 0).
+ */
+core::RuntimeConfig platformConfig(Platform p, std::uint64_t fast_bytes,
+                                   int tiers, std::uint64_t mid_bytes,
+                                   double mid_bw);
 
 /** All CPU-platform policy names, in the paper's comparison order. */
 const std::vector<std::string> &cpuPolicies();

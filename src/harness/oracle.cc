@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "models/llm.hh"
 #include "models/registry.hh"
 #include "models/synthetic.hh"
 #include "telemetry/session.hh"
@@ -135,26 +136,99 @@ runCell(const ExperimentConfig &base, const std::string &policy,
             static_cast<double>(r.cell.total_traffic) *
             (1.0 + opts.inject_traffic_skew));
 
-    // --- capacity ------------------------------------------------------
+    // --- capacity (every chain tier) ----------------------------------
     if (!oversized) {
-        std::uint64_t cap = fast_bytes;
-        if (injected && opts.inject_capacity_underreport > 0.0)
-            cap = static_cast<std::uint64_t>(
-                static_cast<double>(cap) *
-                (1.0 - opts.inject_capacity_underreport));
+        // Rebuild the capacities exactly as runExperimentSteps sizes
+        // them (same platformConfig path).
+        std::uint64_t mid_bytes = 0;
+        if (cfg.tiers >= 3)
+            mid_bytes =
+                cfg.mid_bytes != 0
+                    ? cfg.mid_bytes
+                    : mem::roundUpToPages(static_cast<std::uint64_t>(
+                          static_cast<double>(fast_bytes) *
+                          cfg.mid_fraction));
+        std::vector<mem::TierParams> chain =
+            platformConfig(plat, fast_bytes, cfg.tiers, mid_bytes,
+                           cfg.mid_bw)
+                .tierChain();
+        bool violated = false;
         for (const df::StepStats &s : trace.steps) {
-            if (s.peak_fast_used > cap) {
-                addViolation(
-                    r, "capacity",
-                    strprintf("step %d peak fast occupancy %llu bytes > "
-                              "capacity %llu bytes",
-                              s.step,
-                              static_cast<unsigned long long>(
-                                  s.peak_fast_used),
-                              static_cast<unsigned long long>(cap)));
-                break;
+            for (std::size_t t = 0; t < chain.size() && !violated; ++t) {
+                std::uint64_t cap = chain[t].capacity;
+                if (t == 0 && injected &&
+                    opts.inject_capacity_underreport > 0.0)
+                    cap = static_cast<std::uint64_t>(
+                        static_cast<double>(cap) *
+                        (1.0 - opts.inject_capacity_underreport));
+                if (s.peak_tier_used[t] > cap) {
+                    addViolation(
+                        r, "capacity",
+                        strprintf(
+                            "step %d peak %s occupancy %llu bytes > "
+                            "capacity %llu bytes",
+                            s.step, chain[t].name.c_str(),
+                            static_cast<unsigned long long>(
+                                s.peak_tier_used[t]),
+                            static_cast<unsigned long long>(cap)));
+                    violated = true;
+                }
             }
+            if (violated)
+                break;
         }
+    }
+
+    // --- link conservation ---------------------------------------------
+    // Each page-move charges every link its legs cross, once per leg;
+    // the HM's StepStats totals charge the page once.  On a one-link
+    // chain the two counts coincide exactly; on a longer chain the
+    // per-link sum is bounded by [1, numLinks] legs per page.  (The
+    // tick-exact per-link stall identity is enforced inside the
+    // attribution engine itself and surfaces as internal-panic.)
+    {
+        std::uint64_t promoted = 0;
+        std::uint64_t demoted = 0;
+        for (const df::StepStats &s : trace.steps) {
+            promoted += s.promoted_bytes;
+            demoted += s.demoted_bytes;
+        }
+        std::uint64_t link_promoted = 0;
+        std::uint64_t link_demoted = 0;
+        for (const telemetry::LinkAttr &l : attr.byLink()) {
+            link_promoted += l.promoted_bytes;
+            link_demoted += l.demoted_bytes;
+        }
+        std::uint64_t links =
+            cfg.tiers > 1 ? static_cast<std::uint64_t>(cfg.tiers) - 1 : 0;
+        auto conserved = [links](std::uint64_t pages_bytes,
+                                 std::uint64_t leg_bytes) {
+            if (links <= 1)
+                return leg_bytes == pages_bytes;
+            return leg_bytes >= pages_bytes &&
+                   leg_bytes <= links * pages_bytes;
+        };
+        if (cfg.tiers == 1 && (promoted != 0 || demoted != 0))
+            addViolation(r, "link-conservation",
+                         strprintf("single-tier chain migrated bytes "
+                                   "(promoted %llu, demoted %llu)",
+                                   static_cast<unsigned long long>(
+                                       promoted),
+                                   static_cast<unsigned long long>(
+                                       demoted)));
+        else if (!conserved(promoted, link_promoted) ||
+                 !conserved(demoted, link_demoted))
+            addViolation(
+                r, "link-conservation",
+                strprintf("per-link migrated bytes (promote %llu, "
+                          "demote %llu) do not conserve the StepStats "
+                          "totals (promote %llu, demote %llu) over %llu "
+                          "links",
+                          static_cast<unsigned long long>(link_promoted),
+                          static_cast<unsigned long long>(link_demoted),
+                          static_cast<unsigned long long>(promoted),
+                          static_cast<unsigned long long>(demoted),
+                          static_cast<unsigned long long>(links)));
     }
 
     // --- attribution exactness ----------------------------------------
@@ -251,6 +325,10 @@ runOracle(const ExperimentConfig &base, const OracleOptions &opts)
         throw ConfigError(strprintf(
             "config: planner must be 'greedy' or 'interval' (got '%s')",
             work.planner.c_str()));
+    if (work.tiers < 1 || work.tiers > static_cast<int>(mem::kMaxTiers))
+        throw ConfigError(strprintf(
+            "config: tiers %d out of range [1, %d]", work.tiers,
+            static_cast<int>(mem::kMaxTiers)));
 
     df::Graph graph = [&] {
         try {
@@ -391,6 +469,9 @@ FuzzCase::random(std::uint64_t seed)
     c.warmup = c.steps / 2;
     c.cpu = true;
     c.gpu = rng.bernoulli(0.35);
+    // Drawn after the legacy fields so the two-tier portion of every
+    // historical case seed is unchanged.
+    c.tiers = rng.bernoulli(0.3) ? 3 : 2;
     return c;
 }
 
@@ -404,6 +485,7 @@ FuzzCase::config() const
     cfg.steps = steps;
     cfg.warmup = warmup;
     cfg.planner = planner;
+    cfg.tiers = tiers;
     return cfg;
 }
 
@@ -440,6 +522,7 @@ FuzzCase::serialize() const
     out << "cpu=" << (cpu ? 1 : 0) << "\n";
     out << "gpu=" << (gpu ? 1 : 0) << "\n";
     out << "planner=" << planner << "\n";
+    out << "tiers=" << tiers << "\n";
     out << strprintf("inject_capacity=%.17g\n", inject_capacity);
     out << strprintf("inject_traffic=%.17g\n", inject_traffic);
     out << "inject_policy=" << inject_policy << "\n";
@@ -527,6 +610,8 @@ FuzzCase::parse(const std::string &text)
             c.gpu = want_bool(key, value);
         } else if (key == "planner") {
             c.planner = value;
+        } else if (key == "tiers") {
+            c.tiers = want_int(key, value);
         } else if (key == "inject_capacity") {
             c.inject_capacity = want_double(key, value);
         } else if (key == "inject_traffic") {
@@ -547,6 +632,10 @@ FuzzCase::parse(const std::string &text)
         throw ConfigError(strprintf(
             "sentinelrepro: malformed synthetic model name '%s'",
             c.model.c_str()));
+    if (models::isLlmName(c.model) && !models::tryParseLlmName(c.model))
+        throw ConfigError(strprintf(
+            "sentinelrepro: malformed llm model name '%s'",
+            c.model.c_str()));
     if (c.batch < 1 || c.steps < 1 || c.warmup < 0 ||
         c.warmup >= c.steps)
         throw ConfigError(strprintf(
@@ -561,6 +650,10 @@ FuzzCase::parse(const std::string &text)
         throw ConfigError(strprintf(
             "sentinelrepro: planner '%s' (want greedy or interval)",
             c.planner.c_str()));
+    if (c.tiers < 1 || c.tiers > static_cast<int>(mem::kMaxTiers))
+        throw ConfigError(strprintf(
+            "sentinelrepro: tiers %d out of range [1, %d]", c.tiers,
+            static_cast<int>(mem::kMaxTiers)));
     if (c.inject_capacity < 0.0 || c.inject_capacity >= 1.0 ||
         c.inject_traffic < -0.9 || c.inject_traffic > 10.0)
         throw ConfigError("sentinelrepro: injection knob out of range");
@@ -710,6 +803,12 @@ transforms()
             if (c.warmup == 0)
                 return false;
             c.warmup = 0;
+            return true;
+        },
+        [](FuzzCase &c) {
+            if (c.tiers == 2)
+                return false;
+            c.tiers = 2;
             return true;
         },
         [](FuzzCase &c) {

@@ -9,9 +9,13 @@
  * + attribution engine + audit log), and checks the invariants that
  * must hold for *any* structurally valid workload:
  *
- *  - capacity:     fast-tier occupancy <= configured capacity at every
- *                  step (fast-only excepted — its tier is oversized by
- *                  design when unsized);
+ *  - capacity:     every chain tier's occupancy <= its configured
+ *                  capacity at every step (fast-only excepted — its
+ *                  tier is oversized by design when unsized);
+ *  - link-conservation: migrated bytes summed over the per-link
+ *                  attribution slots equal the StepStats totals — a
+ *                  staged (multi-leg) migration charges each leg to
+ *                  exactly one link, nothing double counted or lost;
  *  - traffic:      total access traffic (fast + slow bytes) is
  *                  policy-invariant — policies move data, they don't
  *                  change what the model touches;
@@ -83,9 +87,10 @@ struct OracleOptions {
 
 /** One invariant failure. */
 struct OracleViolation {
-    std::string invariant; ///< capacity | traffic | attribution-exact |
-                           ///< attribution-events | audit-join |
-                           ///< determinism | internal-panic | run-error
+    std::string invariant; ///< capacity | link-conservation | traffic |
+                           ///< attribution-exact | attribution-events |
+                           ///< audit-join | determinism |
+                           ///< internal-panic | run-error
     std::string policy;
     std::string platform; ///< "cpu" | "gpu"
     std::string detail;
@@ -141,6 +146,11 @@ struct FuzzCase {
      *  ExperimentConfig::planner).  Corpus entries predating the
      *  planner default to greedy. */
     std::string planner = "greedy";
+
+    /** Memory-tier chain length (see ExperimentConfig::tiers).  Corpus
+     *  entries predating the N-tier hierarchy default to the classic
+     *  two-tier system. */
+    int tiers = 2;
 
     // Injection knobs (committed corpus entries keep them at 0; the
     // shrinker acceptance tests set them).

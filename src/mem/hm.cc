@@ -1,26 +1,79 @@
 #include "mem/hm.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 
 namespace sentinel::mem {
 
+namespace {
+
+/** Channel names: link 0 keeps the historical "promote"/"demote". */
+std::string
+channelName(const char *base, unsigned link)
+{
+    if (link == 0)
+        return base;
+    return std::string(base) + std::to_string(link);
+}
+
+} // namespace
+
+const sim::BandwidthChannel &
+HeterogeneousMemory::nullChannel()
+{
+    // Non-zero bandwidth so planning ratios stay finite; the channel is
+    // never submitted to (a single-tier chain cannot migrate).
+    static const sim::BandwidthChannel ch("none", 1.0, 0);
+    return ch;
+}
+
 HeterogeneousMemory::HeterogeneousMemory(TierParams fast, TierParams slow,
                                          MigrationParams migration,
                                          PageTable::Backend backend)
-    : fast_(std::move(fast)), slow_(std::move(slow)),
-      promote_("promote", migration.promote_bw, migration.startup),
-      demote_("demote", migration.demote_bw, migration.startup),
-      base_promote_bw_(migration.promote_bw),
-      base_demote_bw_(migration.demote_bw),
-      base_fast_capacity_(fast_.capacity()), table_(backend)
+    : HeterogeneousMemory(
+          std::vector<TierParams>{ std::move(fast), std::move(slow) },
+          std::vector<MigrationParams>{ migration }, backend)
 {
+}
+
+HeterogeneousMemory::HeterogeneousMemory(std::vector<TierParams> tiers,
+                                         std::vector<MigrationParams> links,
+                                         PageTable::Backend backend)
+    : table_(backend)
+{
+    SENTINEL_ASSERT(!tiers.empty() && tiers.size() <= kMaxTiers,
+                    "tier chain must have 1..%u tiers (got %zu)",
+                    kMaxTiers, tiers.size());
+    SENTINEL_ASSERT(links.size() + 1 == tiers.size(),
+                    "tier chain of %zu tiers needs %zu links (got %zu)",
+                    tiers.size(), tiers.size() - 1, links.size());
+    tiers_.reserve(tiers.size());
+    base_capacity_.reserve(tiers.size());
+    for (TierParams &tp : tiers) {
+        base_capacity_.push_back(tp.capacity);
+        tiers_.emplace_back(std::move(tp));
+    }
+    links_.reserve(links.size());
+    for (unsigned i = 0; i < links.size(); ++i) {
+        const MigrationParams &mp = links[i];
+        links_.push_back(Link{
+            sim::BandwidthChannel(channelName("promote", i), mp.promote_bw,
+                                  mp.startup),
+            sim::BandwidthChannel(channelName("demote", i), mp.demote_bw,
+                                  mp.startup),
+            mp.promote_bw, mp.demote_bw });
+    }
 }
 
 bool
 HeterogeneousMemory::tryMapPage(PageId page, Tier t)
 {
+    // Chains shorter than a caller assumes (a single-tier system asked
+    // for Tier::Slow) simply have no such tier to map into.
+    if (tierIndex(t) >= numTiers())
+        return false;
     if (!tier(t).tryReserve(kPageSize))
         return false;
     table_.map(page, t);
@@ -30,18 +83,29 @@ HeterogeneousMemory::tryMapPage(PageId page, Tier t)
 Tier
 HeterogeneousMemory::mapPage(PageId page, Tier preferred)
 {
+    // A preference beyond the chain's end clamps to the slowest tier.
+    const unsigned pref = std::min(tierIndex(preferred), numTiers() - 1);
+    preferred = makeTier(pref);
     if (tryMapPage(page, preferred))
         return preferred;
-    Tier fallback = otherTier(preferred);
-    if (tryMapPage(page, fallback))
-        return fallback;
-    SENTINEL_FATAL("out of memory: both tiers full mapping page %llu "
-                   "(fast %llu/%llu, slow %llu/%llu)",
-                   static_cast<unsigned long long>(page),
-                   static_cast<unsigned long long>(fast_.used()),
-                   static_cast<unsigned long long>(fast_.capacity()),
-                   static_cast<unsigned long long>(slow_.used()),
-                   static_cast<unsigned long long>(slow_.capacity()));
+    // Spill order: slower tiers first (nearest-slower outward), then
+    // back toward the faster tiers — the two-tier behavior ("the other
+    // tier") is the n = 2 case of this walk.
+    for (unsigned t = pref + 1; t < numTiers(); ++t)
+        if (tryMapPage(page, makeTier(t)))
+            return makeTier(t);
+    for (unsigned t = pref; t-- > 0;)
+        if (tryMapPage(page, makeTier(t)))
+            return makeTier(t);
+    SENTINEL_FATAL("out of memory: all %u tiers full mapping page %llu "
+                   "(fast %llu/%llu, slowest %llu/%llu)",
+                   numTiers(), static_cast<unsigned long long>(page),
+                   static_cast<unsigned long long>(tiers_.front().used()),
+                   static_cast<unsigned long long>(
+                       tiers_.front().capacity()),
+                   static_cast<unsigned long long>(tiers_.back().used()),
+                   static_cast<unsigned long long>(
+                       tiers_.back().capacity()));
 }
 
 void
@@ -50,31 +114,39 @@ HeterogeneousMemory::mapRange(PageId first, std::uint64_t count,
 {
     if (count == 0)
         return;
-    // How many leading pages fit in the preferred tier; the rest spill
-    // to the fallback, exactly as a per-page mapPage() loop would place
-    // them (preferred fills first, then every later page falls back).
-    std::uint64_t n_pref =
-        std::min<std::uint64_t>(count, tier(preferred).free() / kPageSize);
-    if (n_pref > 0) {
-        bool ok = tier(preferred).tryReserve(n_pref * kPageSize);
+    // Fill the preferred tier, then spill the suffix tier-by-tier in
+    // mapPage() fallback order — page-for-page what a mapPage() loop
+    // would place (preferred fills first, then every later page falls
+    // to the next tier with space).
+    const unsigned pref = std::min(tierIndex(preferred), numTiers() - 1);
+    PageId next = first;
+    std::uint64_t left = count;
+    auto take = [&](unsigned t) {
+        std::uint64_t n = std::min<std::uint64_t>(
+            left, tier(makeTier(t)).free() / kPageSize);
+        if (n == 0)
+            return;
+        bool ok = tier(makeTier(t)).tryReserve(n * kPageSize);
         SENTINEL_ASSERT(ok, "range reservation failed");
-        table_.mapRange(first, n_pref, preferred);
-    }
-    std::uint64_t rest = count - n_pref;
-    if (rest > 0) {
-        Tier fallback = otherTier(preferred);
-        if (!tier(fallback).tryReserve(rest * kPageSize))
-            SENTINEL_FATAL(
-                "out of memory: both tiers full mapping %llu pages at %llu "
-                "(fast %llu/%llu, slow %llu/%llu)",
-                static_cast<unsigned long long>(rest),
-                static_cast<unsigned long long>(first + n_pref),
-                static_cast<unsigned long long>(fast_.used()),
-                static_cast<unsigned long long>(fast_.capacity()),
-                static_cast<unsigned long long>(slow_.used()),
-                static_cast<unsigned long long>(slow_.capacity()));
-        table_.mapRange(first + n_pref, rest, fallback);
-    }
+        table_.mapRange(next, n, makeTier(t));
+        next += n;
+        left -= n;
+    };
+    take(pref);
+    for (unsigned t = pref + 1; t < numTiers() && left > 0; ++t)
+        take(t);
+    for (unsigned t = pref; t-- > 0 && left > 0;)
+        take(t);
+    if (left > 0)
+        SENTINEL_FATAL(
+            "out of memory: all %u tiers full mapping %llu pages at %llu "
+            "(fast %llu/%llu, slowest %llu/%llu)",
+            numTiers(), static_cast<unsigned long long>(left),
+            static_cast<unsigned long long>(next),
+            static_cast<unsigned long long>(tiers_.front().used()),
+            static_cast<unsigned long long>(tiers_.front().capacity()),
+            static_cast<unsigned long long>(tiers_.back().used()),
+            static_cast<unsigned long long>(tiers_.back().capacity()));
 }
 
 void
@@ -96,7 +168,7 @@ void
 HeterogeneousMemory::unmapRange(PageId first, std::uint64_t count, Tick now)
 {
     commitUpTo(now);
-    std::uint64_t fast_pages = 0;
+    std::uint64_t per_tier[kMaxTiers] = {};
     for (std::uint64_t i = 0; i < count; ++i) {
         PageId p = first + i;
         const PageEntry &e = table_.entry(p);
@@ -104,13 +176,11 @@ HeterogeneousMemory::unmapRange(PageId first, std::uint64_t count, Tick now)
             tier(e.dest).release(kPageSize);
             table_.cancelMigration(p);
         }
-        if (e.tier == Tier::Fast)
-            ++fast_pages;
+        ++per_tier[tierIndex(e.tier)];
     }
-    if (fast_pages > 0)
-        fast_.release(fast_pages * kPageSize);
-    if (count - fast_pages > 0)
-        slow_.release((count - fast_pages) * kPageSize);
+    for (unsigned t = 0; t < numTiers(); ++t)
+        if (per_tier[t] > 0)
+            tiers_[t].release(per_tier[t] * kPageSize);
     table_.unmapRange(first, count);
 }
 
@@ -151,16 +221,34 @@ HeterogeneousMemory::arrivalTime(PageId page) const
     return e.arrival;
 }
 
-std::vector<std::pair<PageId, Tick>>
-HeterogeneousMemory::takeBatchBuffer()
+HeterogeneousMemory::FlightInfo
+HeterogeneousMemory::flightInfo(PageId page) const
+{
+    const PageEntry &e = table_.entry(page);
+    SENTINEL_ASSERT(e.in_flight, "flightInfo() of non-migrating page");
+    FlightInfo fi;
+    const unsigned src = tierIndex(e.tier);
+    const unsigned dst = tierIndex(e.dest);
+    fi.toward_fast = dst < src;
+    // The arrival the caller waits on is the FINAL leg's completion:
+    // the link adjacent to the destination tier.
+    fi.link = fi.toward_fast ? dst : dst - 1;
+    return fi;
+}
+
+HeterogeneousMemory::PendingBatch
+HeterogeneousMemory::takeBatch()
 {
     if (batch_pool_.empty())
         return {};
-    std::vector<std::pair<PageId, Tick>> buf =
-        std::move(batch_pool_.back());
+    PendingBatch b = std::move(batch_pool_.back());
     batch_pool_.pop_back();
-    buf.clear();
-    return buf;
+    b.pages.clear();
+    b.src.clear();
+    b.next_arrival = 0;
+    b.seq0 = 0;
+    b.cursor = 0;
+    return b;
 }
 
 void
@@ -173,6 +261,31 @@ HeterogeneousMemory::pushBatch(PendingBatch &&b)
 }
 
 Tick
+HeterogeneousMemory::submitLegs(unsigned src, unsigned dst, Tick ready,
+                                std::uint32_t &startup_paid)
+{
+    Tick t = ready;
+    if (dst < src) {
+        for (unsigned l = src; l-- > dst;) {
+            const std::uint32_t bit = 1u << (2 * l);
+            sim::BandwidthChannel &ch = links_[l].up;
+            t = (startup_paid & bit) ? ch.submitWithStartup(t, kPageSize, 0)
+                                     : ch.submit(t, kPageSize);
+            startup_paid |= bit;
+        }
+    } else {
+        for (unsigned l = src; l < dst; ++l) {
+            const std::uint32_t bit = 1u << (2 * l + 1);
+            sim::BandwidthChannel &ch = links_[l].down;
+            t = (startup_paid & bit) ? ch.submitWithStartup(t, kPageSize, 0)
+                                     : ch.submit(t, kPageSize);
+            startup_paid |= bit;
+        }
+    }
+    return t;
+}
+
+Tick
 HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
 {
     commitUpTo(ready);
@@ -182,17 +295,20 @@ HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
     if (!tier(dst).tryReserve(kPageSize))
         return -1;
 
-    sim::BandwidthChannel &ch = dst == Tier::Fast ? promote_ : demote_;
-    Tick arrival = ch.submit(ready, kPageSize);
+    const unsigned src = tierIndex(e.tier);
+    const unsigned d = tierIndex(dst);
+    std::uint32_t startup_paid = 0;
+    Tick arrival = submitLegs(src, d, ready, startup_paid);
     std::uint64_t seq = table_.beginMigration(page, dst, arrival);
-    PendingBatch b;
+    PendingBatch b = takeBatch();
     b.seq0 = seq;
     b.dst = dst;
-    b.pages = takeBatchBuffer();
     b.pages.emplace_back(page, arrival);
+    b.src.push_back(static_cast<std::uint8_t>(src));
     pushBatch(std::move(b));
 
-    if (dst == Tier::Fast) {
+    const bool promote = d < src;
+    if (promote) {
         stats_.promoted_bytes += kPageSize;
         stats_.promoted_pages += 1;
     } else {
@@ -200,10 +316,17 @@ HeterogeneousMemory::migratePage(PageId page, Tier dst, Tick ready)
         stats_.demoted_pages += 1;
     }
     if (telemetry_)
-        noteMigration(dst, ready, arrival, kPageSize,
-                      static_cast<std::uint32_t>(page));
-    if (attr_)
-        attr_->noteMigration(dst == Tier::Fast, kPageSize);
+        noteMigrationEvent(promote, ready, arrival, kPageSize,
+                           static_cast<std::uint32_t>(page));
+    if (attr_) {
+        // Each leg charges its own link.
+        if (promote)
+            for (unsigned l = src; l-- > d;)
+                attr_->noteMigration(l, true, kPageSize);
+        else
+            for (unsigned l = src; l < d; ++l)
+                attr_->noteMigration(l, false, kPageSize);
+    }
     return arrival;
 }
 
@@ -212,13 +335,20 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
                                   Tick ready)
 {
     commitUpTo(ready);
-    sim::BandwidthChannel &ch = dst == Tier::Fast ? promote_ : demote_;
+    // Clamp to the chain (a single-tier system's "demote to slow"
+    // becomes a no-op below: every page is already in the only tier).
+    const unsigned d = std::min(tierIndex(dst), numTiers() - 1);
+    dst = makeTier(d);
     std::size_t scheduled = 0;
-    Tick last_arrival = ready;
-    std::uint32_t first_page = 0;
-    PendingBatch b;
+    std::uint32_t startup_paid = 0;
+    // Per-direction batch telemetry (a batch migrating to a MIDDLE
+    // tier can mix promotes and demotes); per-link attribution bytes.
+    std::uint64_t dir_bytes[2] = { 0, 0 };      // [promote, demote]
+    Tick dir_last[2] = { ready, ready };
+    std::uint32_t dir_first[2] = { 0, 0 };
+    std::uint64_t link_bytes[2][kMaxTiers] = {};
+    PendingBatch b = takeBatch();
     b.dst = dst;
-    b.pages = takeBatchBuffer();
     // Walk the request as maximal consecutive page stretches and query
     // the table once per uniform run instead of once per page; eligible
     // runs reserve, schedule, and begin migration in bulk.
@@ -250,33 +380,38 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
             if (take == 0)
                 break;
 
-            // First page of the batch pays the setup cost; the rest
-            // stream.
+            const unsigned src = tierIndex(rs.tier);
+            const unsigned dir = d < src ? 0 : 1;
+            // First page of the batch to touch each channel pays the
+            // setup cost; the rest stream.
             const std::size_t base = b.pages.size();
             for (std::uint64_t k = 0; k < take; ++k) {
-                Tick arrival =
-                    scheduled + k == 0
-                        ? ch.submit(ready, kPageSize)
-                        : ch.submitWithStartup(ready, kPageSize, 0);
+                Tick arrival = submitLegs(src, d, ready, startup_paid);
                 b.pages.emplace_back(run + k, arrival);
+                b.src.push_back(static_cast<std::uint8_t>(src));
             }
             std::uint64_t seq = table_.beginMigrationRun(
                 std::span<const std::pair<PageId, Tick>>(
                     b.pages.data() + base, take),
                 dst);
-            if (scheduled == 0) {
-                first_page = static_cast<std::uint32_t>(run);
+            if (scheduled == 0)
                 b.seq0 = seq;
-            }
-            last_arrival = b.pages.back().second;
+            if (dir_bytes[dir] == 0)
+                dir_first[dir] = static_cast<std::uint32_t>(run);
+            dir_bytes[dir] += take * kPageSize;
+            dir_last[dir] = b.pages.back().second;
             scheduled += take;
 
-            if (dst == Tier::Fast) {
+            if (dir == 0) {
                 stats_.promoted_bytes += take * kPageSize;
                 stats_.promoted_pages += take;
+                for (unsigned l = src; l-- > d;)
+                    link_bytes[0][l] += take * kPageSize;
             } else {
                 stats_.demoted_bytes += take * kPageSize;
                 stats_.demoted_pages += take;
+                for (unsigned l = src; l < d; ++l)
+                    link_bytes[1][l] += take * kPageSize;
             }
             run += take;
             if (dest_full)
@@ -287,23 +422,33 @@ HeterogeneousMemory::migratePages(std::span<const PageId> pages, Tier dst,
     if (scheduled > 0)
         pushBatch(std::move(b));
     else
-        batch_pool_.push_back(std::move(b.pages));
-    // One event per batch (matching the one-transfer cost model), not
-    // per page — keeps the ring proportional to decisions, not volume.
-    if (telemetry_ && scheduled > 0)
-        noteMigration(dst, ready, last_arrival, scheduled * kPageSize,
-                      first_page);
-    if (attr_ && scheduled > 0)
-        attr_->noteMigration(dst == Tier::Fast, scheduled * kPageSize);
+        batch_pool_.push_back(std::move(b));
+    // One event per batch and direction (matching the one-transfer cost
+    // model), not per page — keeps the ring proportional to decisions,
+    // not volume.
+    if (telemetry_ && dir_bytes[0] > 0)
+        noteMigrationEvent(true, ready, dir_last[0], dir_bytes[0],
+                           dir_first[0]);
+    if (telemetry_ && dir_bytes[1] > 0)
+        noteMigrationEvent(false, ready, dir_last[1], dir_bytes[1],
+                           dir_first[1]);
+    if (attr_ && scheduled > 0) {
+        for (unsigned l = 0; l < numLinks(); ++l) {
+            if (link_bytes[0][l] > 0)
+                attr_->noteMigration(l, true, link_bytes[0][l]);
+            if (link_bytes[1][l] > 0)
+                attr_->noteMigration(l, false, link_bytes[1][l]);
+        }
+    }
     return scheduled;
 }
 
 void
-HeterogeneousMemory::noteMigration(Tier dst, Tick ready, Tick arrival,
-                                   std::uint64_t bytes,
-                                   std::uint32_t first_page)
+HeterogeneousMemory::noteMigrationEvent(bool promote, Tick ready,
+                                        Tick arrival, std::uint64_t bytes,
+                                        std::uint32_t first_page)
 {
-    if (dst == Tier::Fast) {
+    if (promote) {
         telemetry_->emit(telemetry::EventType::Promotion, ready,
                          arrival - ready, bytes, first_page);
         promoted_ctr_->add(bytes);
@@ -332,28 +477,35 @@ HeterogeneousMemory::setMigrationBandwidthScale(double promote, double demote)
 {
     SENTINEL_ASSERT(promote > 0.0 && demote > 0.0,
                     "bandwidth scales must be positive");
-    promote_.setBandwidth(base_promote_bw_ * promote);
-    demote_.setBandwidth(base_demote_bw_ * demote);
+    for (Link &l : links_) {
+        l.up.setBandwidth(l.base_up_bw * promote);
+        l.down.setBandwidth(l.base_down_bw * demote);
+    }
 }
 
 void
-HeterogeneousMemory::setFastCapacityScale(double scale)
+HeterogeneousMemory::setTierCapacityScale(unsigned tier_idx, double scale)
 {
     SENTINEL_ASSERT(scale > 0.0, "capacity scale must be positive");
+    SENTINEL_ASSERT(tier_idx < numTiers(),
+                    "capacity scale for tier %u of a %u-tier chain",
+                    tier_idx, numTiers());
     std::uint64_t cap = static_cast<std::uint64_t>(
-        static_cast<double>(base_fast_capacity_) * scale);
+        static_cast<double>(base_capacity_[tier_idx]) * scale);
     // Keep whole pages so reservation arithmetic stays page-granular.
-    fast_.setCapacity(cap / kPageSize * kPageSize);
+    tiers_[tier_idx].setCapacity(cap / kPageSize * kPageSize);
 }
 
 void
 HeterogeneousMemory::stallMigration(Tick now, Tick promote_for,
                                     Tick demote_for)
 {
-    if (promote_for > 0)
-        promote_.blockUntil(now + promote_for);
-    if (demote_for > 0)
-        demote_.blockUntil(now + demote_for);
+    for (Link &l : links_) {
+        if (promote_for > 0)
+            l.up.blockUntil(now + promote_for);
+        if (demote_for > 0)
+            l.down.blockUntil(now + demote_for);
+    }
 }
 
 bool
@@ -385,10 +537,13 @@ HeterogeneousMemory::drainArrivals(Tick now)
         const std::uint32_t n = static_cast<std::uint32_t>(b.pages.size());
         while (b.cursor < n && b.pages[b.cursor].second <= now) {
             // Commit consecutive arrived pages as one run; batch pages
-            // are ascending, so stretches are common.
+            // are ascending, so stretches are common.  A stretch stops
+            // at a source-tier boundary so the release below frees the
+            // right tier.
             std::uint32_t k = b.cursor + 1;
             while (k < n && b.pages[k].second <= now &&
-                   b.pages[k].first == b.pages[k - 1].first + 1)
+                   b.pages[k].first == b.pages[k - 1].first + 1 &&
+                   b.src[k] == b.src[b.cursor])
                 ++k;
             std::uint64_t committed = table_.commitMigrationRun(
                 b.pages[b.cursor].first, k - b.cursor, b.seq0 + b.cursor);
@@ -397,14 +552,15 @@ HeterogeneousMemory::drainArrivals(Tick now)
             // was cancelled; unmapPage()/cancel paths already released
             // the destination reservation in that case.
             if (committed > 0)
-                tier(otherTier(b.dst)).release(committed * kPageSize);
+                tier(makeTier(b.src[b.cursor]))
+                    .release(committed * kPageSize);
             b.cursor = k;
         }
         if (b.cursor < n) {
             b.next_arrival = b.pages[b.cursor].second;
             std::push_heap(pending_.begin(), pending_.end(), BatchLater{});
         } else {
-            batch_pool_.push_back(std::move(b.pages));
+            batch_pool_.push_back(std::move(b));
             pending_.pop_back();
         }
     }
@@ -421,13 +577,15 @@ HeterogeneousMemory::tierParams(Tier t) const
 void
 HeterogeneousMemory::reset()
 {
-    fast_.reset();
-    slow_.reset();
-    promote_.reset();
-    demote_.reset();
+    for (MemoryTier &t : tiers_)
+        t.reset();
+    for (Link &l : links_) {
+        l.up.reset();
+        l.down.reset();
+    }
     table_.clear();
     for (PendingBatch &b : pending_)
-        batch_pool_.push_back(std::move(b.pages));
+        batch_pool_.push_back(std::move(b));
     pending_.clear();
     next_arrival_ = kNoArrival;
     stats_ = HmStats{};

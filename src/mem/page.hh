@@ -71,18 +71,53 @@ struct PageRun {
     constexpr bool empty() const { return count == 0; }
 };
 
-/** The two tiers of a heterogeneous memory system. */
+/**
+ * A tier id within an ordered heterogeneous memory hierarchy.
+ *
+ * Tiers are numbered fastest-first: 0 is the fastest tier (DRAM on CPU
+ * systems, HBM on GPU systems) and larger indices are progressively
+ * slower (host DRAM, Optane PMM, NVMe).  The classic two-tier
+ * configuration uses exactly {Fast, Slow}; N-tier chains reuse the same
+ * enum as an index (see makeTier / tierIndex) so two-tier code keeps
+ * reading naturally.
+ */
 enum class Tier : std::uint8_t {
-    Fast = 0, ///< DRAM (CPU systems) or HBM (GPU systems)
-    Slow = 1, ///< Optane PMM (CPU systems) or host DRAM (GPU systems)
+    Fast = 0, ///< fastest tier: DRAM (CPU systems) or HBM (GPU systems)
+    Slow = 1, ///< second tier: PMM (CPU systems) or host DRAM (GPU systems)
 };
 
+/** Upper bound on chain length (tier index must fit 3 state bits). */
+constexpr unsigned kMaxTiers = 8;
+
+constexpr unsigned
+tierIndex(Tier t)
+{
+    return static_cast<unsigned>(t);
+}
+
+constexpr Tier
+makeTier(unsigned index)
+{
+    return static_cast<Tier>(index);
+}
+
+/**
+ * Positional tier name: "fast", "slow", "slow2", "slow3", ...  The
+ * first two match the legacy two-tier vocabulary exactly (telemetry
+ * traces and tables depend on it); deeper tiers extend the "slow" side
+ * of the chain.
+ */
 constexpr const char *
 tierName(Tier t)
 {
-    return t == Tier::Fast ? "fast" : "slow";
+    constexpr const char *names[kMaxTiers] = {
+        "fast", "slow", "slow2", "slow3",
+        "slow4", "slow5", "slow6", "slow7",
+    };
+    return names[tierIndex(t) < kMaxTiers ? tierIndex(t) : kMaxTiers - 1];
 }
 
+/** The other tier of a TWO-tier system (legacy two-tier call sites). */
 constexpr Tier
 otherTier(Tier t)
 {

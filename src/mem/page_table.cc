@@ -36,7 +36,8 @@ PageTable::chunkFor(PageId page)
         if (!ch.state)
             ch.state = std::make_unique<std::uint8_t[]>(kChunkPages);
         std::memset(ch.state.get(), kStateUnmapped, kChunkPages);
-        ch.mapped = ch.fast = ch.inflight = 0;
+        ch.mapped = ch.inflight = 0;
+        std::memset(ch.tiers, 0, sizeof(ch.tiers));
         ch.epoch = epoch_;
     }
     return ch;
@@ -48,6 +49,7 @@ PageTable::ensureCold(Chunk &ch)
     if (!ch.arrival) {
         ch.arrival = std::make_unique<Tick[]>(kChunkPages);
         ch.seq = std::make_unique<std::uint64_t[]>(kChunkPages);
+        ch.dest = std::make_unique<std::uint8_t[]>(kChunkPages);
     }
 }
 
@@ -68,8 +70,7 @@ PageTable::map(PageId page, Tier tier)
                     static_cast<unsigned long long>(page));
     s = stateByte(tier, false);
     ++ch.mapped;
-    if (tier == Tier::Fast)
-        ++ch.fast;
+    ++ch.tiers[tierIndex(tier)];
     ++num_mapped_;
 }
 
@@ -96,8 +97,7 @@ PageTable::mapRange(PageId first, std::uint64_t count, Tier tier)
                             static_cast<unsigned long long>(p + i));
         std::memset(s, val, in_chunk);
         ch.mapped += static_cast<std::uint32_t>(in_chunk);
-        if (tier == Tier::Fast)
-            ch.fast += static_cast<std::uint32_t>(in_chunk);
+        ch.tiers[tierIndex(tier)] += static_cast<std::uint32_t>(in_chunk);
         num_mapped_ += in_chunk;
         p += in_chunk;
         left -= in_chunk;
@@ -108,9 +108,13 @@ void
 PageTable::unmap(PageId page)
 {
     if (backend_ == Backend::Hash) {
-        auto erased = entries_.erase(page);
-        SENTINEL_ASSERT(erased == 1, "unmap of unmapped page %llu",
+        auto it = entries_.find(page);
+        SENTINEL_ASSERT(it != entries_.end(),
+                        "unmap of unmapped page %llu",
                         static_cast<unsigned long long>(page));
+        if (it->second.in_flight)
+            --num_inflight_;
+        entries_.erase(it);
         --num_mapped_;
         return;
     }
@@ -121,10 +125,11 @@ PageTable::unmap(PageId page)
     Chunk &ch = const_cast<Chunk &>(*c);
     std::uint8_t &s = ch.state[page & kChunkMask];
     --ch.mapped;
-    if (s & kStateFastBit)
-        --ch.fast;
-    if (s & kStateFlightBit)
+    --ch.tiers[s & kStateTierMask];
+    if (s & kStateFlightBit) {
         --ch.inflight;
+        --num_inflight_;
+    }
     s = kStateUnmapped;
     --num_mapped_;
 }
@@ -148,18 +153,21 @@ PageTable::unmapRange(PageId first, std::uint64_t count)
         std::uint64_t in_chunk = std::min<std::uint64_t>(left,
                                                          kChunkPages - off);
         std::uint8_t *s = ch.state.get() + off;
-        std::uint32_t fast = 0, inflight = 0;
+        std::uint32_t tiers[kMaxTiers] = {};
+        std::uint32_t inflight = 0;
         for (std::uint64_t i = 0; i < in_chunk; ++i) {
             SENTINEL_ASSERT(s[i] != kStateUnmapped,
                             "unmap of unmapped page %llu",
                             static_cast<unsigned long long>(p + i));
-            fast += (s[i] & kStateFastBit) ? 1 : 0;
+            ++tiers[s[i] & kStateTierMask];
             inflight += (s[i] & kStateFlightBit) ? 1 : 0;
         }
         std::memset(s, kStateUnmapped, in_chunk);
         ch.mapped -= static_cast<std::uint32_t>(in_chunk);
-        ch.fast -= fast;
+        for (unsigned t = 0; t < kMaxTiers; ++t)
+            ch.tiers[t] -= tiers[t];
         ch.inflight -= inflight;
+        num_inflight_ -= inflight;
         num_mapped_ -= in_chunk;
         p += in_chunk;
         left -= in_chunk;
@@ -194,9 +202,9 @@ PageTable::entry(PageId page) const
     PageEntry e;
     e.tier = tierOf(s);
     e.in_flight = flightOf(s);
-    // With two tiers the destination is always "the other one"; the
-    // cold arrays hold arrival/seq only while the in-flight bit is set.
-    e.dest = e.in_flight ? otherTier(e.tier) : e.tier;
+    // The cold arrays hold dest/arrival/seq only while the in-flight
+    // bit is set; an idle page's destination is its own tier.
+    e.dest = (e.in_flight && c->dest) ? makeTier(c->dest[off]) : e.tier;
     e.arrival = (e.in_flight && c->arrival) ? c->arrival[off] : 0;
     e.seq = c->seq ? c->seq[off] : 0;
     return e;
@@ -239,10 +247,8 @@ PageTable::runState(PageId first, std::uint64_t count) const
         std::uint64_t in_chunk = std::min<std::uint64_t>(left,
                                                          kChunkPages - off);
         bool uniform = false;
-        if (c->inflight == 0 && !flightOf(s0)) {
-            uniform = (s0 & kStateFastBit) ? c->fast == c->mapped
-                                           : c->fast == 0;
-        }
+        if (c->inflight == 0 && !flightOf(s0))
+            uniform = c->tiers[s0 & kStateTierMask] == c->mapped;
         if (uniform) {
             rs.count += in_chunk;
         } else {
@@ -331,6 +337,7 @@ PageTable::beginMigration(PageId page, Tier dest, Tick arrival)
         e.dest = dest;
         e.arrival = arrival;
         e.seq = next_seq_++;
+        ++num_inflight_;
         return e.seq;
     }
     const Chunk *c = findChunk(page);
@@ -346,8 +353,10 @@ PageTable::beginMigration(PageId page, Tier dest, Tick arrival)
     ensureCold(ch);
     s |= kStateFlightBit;
     ++ch.inflight;
+    ++num_inflight_;
     ch.arrival[off] = arrival;
     ch.seq[off] = next_seq_++;
+    ch.dest[off] = static_cast<std::uint8_t>(tierIndex(dest));
     return ch.seq[off];
 }
 
@@ -363,6 +372,7 @@ PageTable::commitMigration(PageId page, std::uint64_t seq)
             return false; // cancelled or superseded
         e.tier = e.dest;
         e.in_flight = false;
+        --num_inflight_;
         return true;
     }
     const Chunk *c = findChunk(page);
@@ -373,15 +383,13 @@ PageTable::commitMigration(PageId page, std::uint64_t seq)
     if (s == kStateUnmapped || !flightOf(s) || c->seq[off] != seq)
         return false; // freed, cancelled, or superseded
     Chunk &ch = const_cast<Chunk &>(*c);
-    // Arriving at "the other tier": flip the fast bit, clear in-flight.
-    std::uint8_t flipped = (s ^ kStateFastBit) &
-                           static_cast<std::uint8_t>(~kStateFlightBit);
-    ch.state[off] = flipped;
-    if (flipped & kStateFastBit)
-        ++ch.fast;
-    else
-        --ch.fast;
+    // Arrive at the recorded destination tier, clear in-flight.
+    std::uint8_t landed = ch.dest[off];
+    ch.state[off] = landed;
+    --ch.tiers[s & kStateTierMask];
+    ++ch.tiers[landed & kStateTierMask];
     --ch.inflight;
+    --num_inflight_;
     return true;
 }
 
@@ -423,8 +431,10 @@ PageTable::beginMigrationRun(std::span<const std::pair<PageId, Tick>> run,
             s |= kStateFlightBit;
             ch.arrival[off + k] = run[i + k].second;
             ch.seq[off + k] = next_seq_++;
+            ch.dest[off + k] = static_cast<std::uint8_t>(tierIndex(dest));
         }
         ch.inflight += static_cast<std::uint32_t>(in_chunk);
+        num_inflight_ += in_chunk;
         i += in_chunk;
     }
     return seq0;
@@ -458,14 +468,12 @@ PageTable::commitMigrationRun(PageId first, std::uint64_t count,
             if (s == kStateUnmapped || !flightOf(s) ||
                 ch.seq[off + m] != seq0 + k + m)
                 continue; // freed, cancelled, or superseded
-            std::uint8_t flipped = (s ^ kStateFastBit) &
-                                   static_cast<std::uint8_t>(~kStateFlightBit);
-            ch.state[off + m] = flipped;
-            if (flipped & kStateFastBit)
-                ++ch.fast;
-            else
-                --ch.fast;
+            std::uint8_t landed = ch.dest[off + m];
+            ch.state[off + m] = landed;
+            --ch.tiers[s & kStateTierMask];
+            ++ch.tiers[landed & kStateTierMask];
             --ch.inflight;
+            --num_inflight_;
             ++done;
         }
         k += in_chunk;
@@ -484,6 +492,7 @@ PageTable::cancelMigration(PageId page)
         SENTINEL_ASSERT(it->second.in_flight,
                         "cancel of non-migrating page");
         it->second.in_flight = false;
+        --num_inflight_;
         return;
     }
     const Chunk *c = findChunk(page);
@@ -495,6 +504,7 @@ PageTable::cancelMigration(PageId page)
     SENTINEL_ASSERT(flightOf(s), "cancel of non-migrating page");
     s &= static_cast<std::uint8_t>(~kStateFlightBit);
     --ch.inflight;
+    --num_inflight_;
 }
 
 void
@@ -502,6 +512,7 @@ PageTable::clear()
 {
     entries_.clear();
     num_mapped_ = 0;
+    num_inflight_ = 0;
     // O(1) dense clear: bump the epoch; old chunks become stale and are
     // recycled (not re-allocated) on their next touch.  On the
     // (astronomically rare) wrap, drop the chunks so stale epochs

@@ -48,6 +48,8 @@ struct PageEntry {
     std::uint64_t seq = 0;      ///< migration epoch, guards stale commits
 };
 
+static_assert(kMaxTiers <= 8, "tier index must fit the 3 state bits");
+
 /**
  * State of the maximal uniform prefix of a page range: @c count leading
  * pages that share one (tier, in_flight) state.
@@ -138,6 +140,9 @@ class PageTable
 
     std::size_t numMapped() const { return num_mapped_; }
 
+    /** Mapped pages with a migration still pending. */
+    std::size_t numInFlight() const { return num_inflight_; }
+
     void clear();
 
   private:
@@ -153,23 +158,24 @@ class PageTable
     /** 2^36 pages = a 256 TiB virtual space; bounds directory growth. */
     static constexpr std::uint64_t kMaxPages = 1ull << 36;
 
-    // Hot per-page state, one byte: bit 0 = resident tier is Fast,
-    // bit 1 = migration in flight, 0xFF = unmapped.
+    // Hot per-page state, one byte: bits 0-2 = resident tier index
+    // (fastest-first chain position), bit 3 = migration in flight,
+    // 0xFF = unmapped.
     static constexpr std::uint8_t kStateUnmapped = 0xFF;
-    static constexpr std::uint8_t kStateFastBit = 0x01;
-    static constexpr std::uint8_t kStateFlightBit = 0x02;
+    static constexpr std::uint8_t kStateTierMask = 0x07;
+    static constexpr std::uint8_t kStateFlightBit = 0x08;
 
     static constexpr std::uint8_t
     stateByte(Tier t, bool in_flight)
     {
         return static_cast<std::uint8_t>(
-            (t == Tier::Fast ? kStateFastBit : 0) |
+            (tierIndex(t) & kStateTierMask) |
             (in_flight ? kStateFlightBit : 0));
     }
     static constexpr Tier
     tierOf(std::uint8_t s)
     {
-        return (s & kStateFastBit) ? Tier::Fast : Tier::Slow;
+        return makeTier(s & kStateTierMask);
     }
     static constexpr bool
     flightOf(std::uint8_t s)
@@ -181,12 +187,16 @@ class PageTable
         /** Chunk contents are valid iff epoch == PageTable::epoch_. */
         std::uint32_t epoch = 0;
         std::uint32_t mapped = 0;   ///< mapped pages in this chunk
-        std::uint32_t fast = 0;     ///< mapped pages resident in Fast
         std::uint32_t inflight = 0; ///< mapped pages migrating
+        /** Mapped pages resident in each tier (by current tier bits). */
+        std::uint32_t tiers[kMaxTiers] = {};
         std::unique_ptr<std::uint8_t[]> state;
         // Cold migration SoA, allocated on the chunk's first migration.
+        // `dest` holds the destination tier index while in flight (an
+        // N-tier chain has more than one "other" tier to arrive at).
         std::unique_ptr<Tick[]> arrival;
         std::unique_ptr<std::uint64_t[]> seq;
+        std::unique_ptr<std::uint8_t[]> dest;
     };
 
     /** Chunk holding @p page, or nullptr if absent/stale this epoch. */
@@ -215,6 +225,7 @@ class PageTable
     std::unordered_map<PageId, PageEntry> entries_;
 
     std::size_t num_mapped_ = 0;
+    std::size_t num_inflight_ = 0;
     std::uint64_t next_seq_ = 1;
 };
 

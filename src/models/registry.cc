@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "models/bert.hh"
 #include "models/dcgan.hh"
+#include "models/llm.hh"
 #include "models/lstm.hh"
 #include "models/mobilenet.hh"
 #include "models/resnet.hh"
@@ -42,18 +43,28 @@ findModelSpec(const std::string &name)
     for (const auto &spec : modelZoo())
         if (spec.name == name)
             return &spec;
+    // Name-grammar families (synthetic:, llm:) mint specs on demand;
+    // std::map node stability keeps the returned pointers valid for
+    // the process lifetime.
+    static std::mutex mu;
+    static std::map<std::string, ModelSpec> cache;
     if (isSyntheticName(name)) {
         std::optional<SyntheticParams> p = tryParseSyntheticName(name);
         if (!p)
             return nullptr;
-        // Synthetic specs are minted on demand; std::map node stability
-        // keeps the returned pointers valid for the process lifetime.
-        static std::mutex mu;
-        static std::map<std::string, ModelSpec> cache;
         std::lock_guard<std::mutex> lock(mu);
         auto it = cache
                       .try_emplace(name,
                                    ModelSpec{ name, 4, 16, p->hasConvs() })
+                      .first;
+        return &it->second;
+    }
+    if (isLlmName(name)) {
+        if (!tryParseLlmName(name))
+            return nullptr;
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache
+                      .try_emplace(name, ModelSpec{ name, 2, 8, false })
                       .first;
         return &it->second;
     }
@@ -68,6 +79,9 @@ makeModel(const std::string &name, int batch)
     // name, matching the unknown-model behaviour below).
     if (isSyntheticName(name))
         return buildSynthetic(parseSyntheticName(name), batch);
+    // LLM-scale transformers for the N-tier experiments.
+    if (isLlmName(name))
+        return buildLlm(parseLlmName(name), batch);
     // The Table III zoo.
     if (name == "resnet32")
         return buildCifarResNet(32, batch);

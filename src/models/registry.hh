@@ -39,8 +39,9 @@ const ModelSpec &modelSpec(const std::string &name);
  * The factory accepts more names than the zoo lists (the Fig. 11
  * ResNet variants) — callers defaulting a batch size from the spec
  * should fall back gracefully for those.  Well-formed
- * "synthetic:<seed>[:k=v,...]" names (see models/synthetic.hh) resolve
- * to an on-demand spec; malformed synthetic names return null.
+ * "synthetic:<seed>[:k=v,...]" (models/synthetic.hh) and
+ * "llm:<preset>[:k=v,...]" (models/llm.hh) names resolve to an
+ * on-demand spec; malformed family names return null.
  */
 const ModelSpec *findModelSpec(const std::string &name);
 

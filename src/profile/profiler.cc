@@ -27,12 +27,12 @@ class ProfilingPolicy : public df::MemoryPolicy
     std::string name() const override { return "sentinel-profiler"; }
 
     df::AllocDecision
-    allocate(df::Executor &, const df::TensorDesc &tensor) override
+    allocate(df::Executor &ex, const df::TensorDesc &tensor) override
     {
         // One tensor per page: page alignment plus page-rounded size.
         mem::VirtAddr addr = arena_.allocate(tensor.pageAlignedBytes(),
                                              mem::kPageSize);
-        return { addr, mem::Tier::Slow };
+        return { addr, ex.hm().slowestTier() };
     }
 
     void
@@ -97,9 +97,10 @@ class PackedSlowPolicy : public df::MemoryPolicy
     std::string name() const override { return "packed-slow"; }
 
     df::AllocDecision
-    allocate(df::Executor &, const df::TensorDesc &tensor) override
+    allocate(df::Executor &ex, const df::TensorDesc &tensor) override
     {
-        return { arena_.allocate(tensor.bytes, 64), mem::Tier::Slow };
+        return { arena_.allocate(tensor.bytes, 64),
+                 ex.hm().slowestTier() };
     }
 
     void

@@ -116,6 +116,17 @@ FaultSpec::parse(const std::string &text)
                     static_cast<Tick>(parseDouble(val, clause) * kUsec);
             } else if (key == "ch") {
                 ev.channel = parseChannel(val, clause);
+            } else if (key == "tier") {
+                if (ev.kind != FaultKind::CapacityShrink)
+                    SENTINEL_FATAL("chaos clause '%s': key 'tier' is only "
+                                   "valid for shrink",
+                                   clause.c_str());
+                double t = parseDouble(val, clause);
+                if (t < 0.0 || t >= static_cast<double>(kMaxFaultTiers))
+                    SENTINEL_FATAL("chaos clause '%s': tier must be in "
+                                   "[0, %u)",
+                                   clause.c_str(), kMaxFaultTiers);
+                ev.tier = static_cast<unsigned>(t);
             } else {
                 SENTINEL_FATAL("chaos clause '%s': unknown key '%s'",
                                clause.c_str(), key.c_str());
@@ -159,7 +170,8 @@ FaultInjector::beginStep(int step)
     any_active_ = false;
     promote_scale_ = 1.0;
     demote_scale_ = 1.0;
-    capacity_scale_ = 1.0;
+    for (double &s : capacity_scales_)
+        s = 1.0;
     traffic_scale_ = 1.0;
     jitter_amp_ = 0.0;
     stalls_ = StepStalls{};
@@ -186,7 +198,7 @@ FaultInjector::beginStep(int step)
             }
             break;
         case FaultKind::CapacityShrink:
-            capacity_scale_ *= ev.factor;
+            capacity_scales_[ev.tier] *= ev.factor;
             break;
         case FaultKind::ComputeJitter:
             jitter_amp_ = std::max(jitter_amp_, ev.amplitude);

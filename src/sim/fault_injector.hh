@@ -14,8 +14,9 @@
  *  - `stall`:  block a migration channel for a fixed duration at one
  *              step's start (a hiccup: page-migration daemon descheduled,
  *              PCIe reset);
- *  - `shrink`: reduce the effective fast-tier capacity from a step
- *              onward (a co-tenant claims memory);
+ *  - `shrink`: reduce a tier's effective capacity from a step onward
+ *              (a co-tenant claims memory); `tier=` selects which tier
+ *              of the chain (default 0 = fast);
  *  - `jitter`: perturb per-layer compute times with a seeded
  *              per-(step, layer) multiplier (input-dependent kernels);
  *  - `drift`:  scale per-op memory traffic (batch/shape drift away
@@ -48,6 +49,9 @@ enum class FaultKind : std::uint8_t {
 /** Which migration channel a bw/stall fault applies to. */
 enum class ChannelSel : std::uint8_t { Promote, Demote, Both };
 
+/** Longest tier chain a shrink fault can address (mem::kMaxTiers). */
+constexpr unsigned kMaxFaultTiers = 8;
+
 /** One scheduled fault. */
 struct FaultEvent {
     FaultKind kind = FaultKind::BwDegrade;
@@ -56,6 +60,7 @@ struct FaultEvent {
     double factor = 1.0;                   ///< bw / shrink / drift scale
     double amplitude = 0.0;                ///< jitter half-width
     Tick duration = 0;                     ///< stall length
+    unsigned tier = 0;                     ///< shrink target tier index
 };
 
 /**
@@ -65,7 +70,7 @@ struct FaultEvent {
  *
  *     bw:step=6,factor=0.5[,ch=promote|demote|both]
  *     stall:step=7,ms=2[,ch=...]
- *     shrink:step=6,factor=0.7
+ *     shrink:step=6,factor=0.7[,tier=1]
  *     jitter:step=3,amp=0.2
  *     drift:step=5,factor=1.3
  *
@@ -109,7 +114,13 @@ class FaultInjector
     /** Multiplier on the demote channel's profiled bandwidth. */
     double demoteBwScale() const { return demote_scale_; }
     /** Multiplier on the fast tier's configured capacity. */
-    double fastCapacityScale() const { return capacity_scale_; }
+    double fastCapacityScale() const { return capacityScale(0); }
+    /** Multiplier on @p tier's configured capacity (1.0 if untouched). */
+    double
+    capacityScale(unsigned tier) const
+    {
+        return tier < kMaxFaultTiers ? capacity_scales_[tier] : 1.0;
+    }
     /** Multiplier on every op's memory traffic (batch drift). */
     double trafficScale() const { return traffic_scale_; }
 
@@ -132,7 +143,8 @@ class FaultInjector
     bool any_active_ = false;
     double promote_scale_ = 1.0;
     double demote_scale_ = 1.0;
-    double capacity_scale_ = 1.0;
+    double capacity_scales_[kMaxFaultTiers] = { 1.0, 1.0, 1.0, 1.0,
+                                                1.0, 1.0, 1.0, 1.0 };
     double traffic_scale_ = 1.0;
     double jitter_amp_ = 0.0;
     StepStalls stalls_;

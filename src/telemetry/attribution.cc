@@ -124,6 +124,19 @@ AttributionEngine::endStep(Tick step_time, Tick exposed_migration,
             static_cast<unsigned long long>(num_stalls));
     }
     steps_.push_back(sa);
+    exposed_cum_ += sa.bucket.exposedMigration();
+    // The per-link decomposition must stay exact too: every exposed /
+    // alloc tick was routed to exactly one link slot.
+    Tick link_sum = 0;
+    for (const LinkAttr &la : link_slots_)
+        link_sum += la.exposedMigration();
+    if (link_sum != exposed_cum_) {
+        SENTINEL_PANIC(
+            "per-link attribution drift after step %d: link slots sum "
+            "to %lld exposed ticks, engine attributed %lld",
+            sa.step, static_cast<long long>(link_sum),
+            static_cast<long long>(exposed_cum_));
+    }
     step_ = -1;
     layer_ = -1;
 }
@@ -174,6 +187,16 @@ AttributionEngine::charge(AttrComponent c, Tick t, std::uint64_t events)
         else
             ta.exposed += t;
         ta.stall_events += events;
+
+        // Per-link decomposition: each exposed tick belongs to the one
+        // link the executor is blocking on (link 0 unless set).
+        LinkAttr &la =
+            slotAt(link_slots_, static_cast<std::size_t>(stall_link_));
+        if (c == AttrComponent::Alloc)
+            la.alloc += t;
+        else
+            la.exposed += t;
+        la.stall_events += events;
     }
 }
 
@@ -213,6 +236,13 @@ AttributionEngine::chargeRecompute(Tick t)
 void
 AttributionEngine::noteMigration(bool promote, std::uint64_t bytes)
 {
+    noteMigration(0, promote, bytes);
+}
+
+void
+AttributionEngine::noteMigration(unsigned link, bool promote,
+                                 std::uint64_t bytes)
+{
     if (!in_step_)
         return;
     maps_stale_ = true;
@@ -224,12 +254,15 @@ AttributionEngine::noteMigration(bool promote, std::uint64_t bytes)
         slotAt(layer_slots_, static_cast<std::size_t>(layer_ + 1));
     AttrBucket &interval =
         slotAt(interval_slots_, static_cast<std::size_t>(interval_ + 1));
+    LinkAttr &la = slotAt(link_slots_, static_cast<std::size_t>(link));
     if (promote) {
         layer.promoted_bytes += bytes;
         interval.promoted_bytes += bytes;
+        la.promoted_bytes += bytes;
     } else {
         layer.demoted_bytes += bytes;
         interval.demoted_bytes += bytes;
+        la.demoted_bytes += bytes;
     }
 }
 
@@ -335,8 +368,11 @@ AttributionEngine::clear()
     alloc_tensor_ = kAttrNoTensor;
     in_alloc_ = false;
     in_step_ = false;
+    stall_link_ = 0;
     current_ = AttrBucket{};
+    exposed_cum_ = 0;
     steps_.clear();
+    link_slots_.clear();
     layer_slots_.clear();
     interval_slots_.clear();
     tensor_slots_.clear();

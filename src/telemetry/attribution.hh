@@ -92,6 +92,27 @@ struct TensorAttr {
     }
 };
 
+/**
+ * Stall time and migration volume charged to one migration link of the
+ * tier chain (link i connects tiers i and i+1; a two-tier system has
+ * exactly link 0).  The per-link exposed+alloc totals sum tick-exactly
+ * to the engine's overall exposed-migration total — endStep() enforces
+ * it alongside the step identities.
+ */
+struct LinkAttr {
+    Tick exposed = 0;            ///< access-path stalls on this link
+    Tick alloc = 0;              ///< allocation-path stalls on this link
+    std::uint64_t stall_events = 0;
+    std::uint64_t promoted_bytes = 0; ///< toward-fast bytes on this link
+    std::uint64_t demoted_bytes = 0;  ///< toward-slow bytes on this link
+
+    Tick
+    exposedMigration() const
+    {
+        return exposed + alloc;
+    }
+};
+
 /** One step's attribution plus the StepStats totals it must match. */
 struct StepAttribution {
     int step = 0;
@@ -143,6 +164,15 @@ class AttributionEngine
     void beginAlloc(std::uint32_t tensor);
     void endAlloc();
 
+    /**
+     * Migration link whose completion the executor is about to stall
+     * on (the final leg of the blocking transfer).  Exposed/alloc
+     * charges accrue against this link until it changes.  Two-tier
+     * systems never need to call this — everything lands on link 0.
+     */
+    void setStallLink(unsigned link) { stall_link_ = link; }
+    unsigned stallLink() const { return stall_link_; }
+
     // --- Charges (every simulated-clock advance in a step) -------------
 
     void chargeExecution(Tick t);
@@ -151,8 +181,11 @@ class AttributionEngine
     void chargeFault(Tick t);
     void chargeRecompute(Tick t);
 
-    /** A migration batch was scheduled (memory-system hook). */
+    /** A migration batch was scheduled on link 0 (two-tier hook). */
     void noteMigration(bool promote, std::uint64_t bytes);
+
+    /** One leg of a migration batch was scheduled on @p link. */
+    void noteMigration(unsigned link, bool promote, std::uint64_t bytes);
 
     // --- Results --------------------------------------------------------
 
@@ -176,6 +209,10 @@ class AttributionEngine
         refreshMaps();
         return by_tensor_;
     }
+
+    /** Per-link totals, indexed by link id (slot i = link i).  Links
+     *  that never stalled nor moved bytes stay zero. */
+    const std::vector<LinkAttr> &byLink() const { return link_slots_; }
 
     /** Whole-run component totals. */
     AttrBucket totals() const;
@@ -216,12 +253,16 @@ class AttributionEngine
     int interval_ = -1;
     std::uint32_t access_tensor_ = kAttrNoTensor;
     std::uint32_t alloc_tensor_ = kAttrNoTensor;
+    unsigned stall_link_ = 0;
     bool in_alloc_ = false;
     bool in_step_ = false;
 
     AttrBucket current_;
+    /** Cumulative attributed exposed+alloc (link-sum invariant). */
+    Tick exposed_cum_ = 0;
 
     std::vector<StepAttribution> steps_;
+    std::vector<LinkAttr> link_slots_;
 
     // Dense charge slots: index = key + 1, so the "no context" keys
     // (layer/interval -1, tensor kAttrNoTensor via uint32 wrap-around)

@@ -24,6 +24,8 @@ auditReasonName(AuditReason r)
         return "kReplanDivergence";
       case AuditReason::kSloBurnAlert:
         return "kSloBurnAlert";
+      case AuditReason::kPrefetchStage:
+        return "kPrefetchStage";
     }
     return "?";
 }
@@ -32,7 +34,8 @@ bool
 auditReasonIsPromote(AuditReason r)
 {
     return r == AuditReason::kPrefetchNextInterval ||
-           r == AuditReason::kPrefetchDemand;
+           r == AuditReason::kPrefetchDemand ||
+           r == AuditReason::kPrefetchStage;
 }
 
 bool

@@ -47,9 +47,12 @@ enum class AuditReason : std::uint8_t {
      *  (tensor = none, bytes = burn rate in 1/1000ths, step = the
      *  job step that crossed the threshold). */
     kSloBurnAlert,
+    /** Tensor staged one leg toward fast through a middle tier, ahead
+     *  of the interval whose prefetch will finish the promotion. */
+    kPrefetchStage,
 };
 
-constexpr std::size_t kNumAuditReasons = 7;
+constexpr std::size_t kNumAuditReasons = 8;
 
 /** Stable identifier of @p r (the "kCamelCase" spelling). */
 const char *auditReasonName(AuditReason r);

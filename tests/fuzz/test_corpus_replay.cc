@@ -79,6 +79,7 @@ TEST(CorpusReplay, SerializeRoundTrips)
         EXPECT_EQ(fc.inject_capacity, back.inject_capacity);
         EXPECT_EQ(fc.inject_traffic, back.inject_traffic);
         EXPECT_EQ(fc.planner, back.planner);
+        EXPECT_EQ(fc.tiers, back.tiers);
     }
 }
 
@@ -101,6 +102,47 @@ TEST(CorpusReplay, PlannerKeyDefaultsAndRoundTrips)
     EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\n"
                                  "model=synthetic:1\nplanner=ilp\n"),
                  ConfigError);
+}
+
+TEST(CorpusReplay, TiersKeyDefaultsAndRoundTrips)
+{
+    // Corpus entries written before the N-tier hierarchy carry no
+    // `tiers=` line; they must replay on the classic two-tier system
+    // they shrank under.  New serializations always emit the key, and
+    // chain lengths outside [1, mem::kMaxTiers] are rejected.
+    FuzzCase legacy =
+        FuzzCase::parse("# sentinelrepro v1\nmodel=synthetic:1\n");
+    EXPECT_EQ(legacy.tiers, 2);
+
+    FuzzCase fc = FuzzCase::random(3);
+    fc.tiers = 3;
+    FuzzCase back = FuzzCase::parse(fc.serialize());
+    EXPECT_EQ(back.tiers, 3);
+    EXPECT_NE(fc.serialize().find("tiers=3"), std::string::npos);
+
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\n"
+                                 "model=synthetic:1\ntiers=0\n"),
+                 ConfigError);
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\n"
+                                 "model=synthetic:1\ntiers=9\n"),
+                 ConfigError);
+}
+
+TEST(CorpusReplay, LlmModelNamesAreValidated)
+{
+    // The llm: family joins the corpus grammar: well-formed names
+    // parse, malformed presets or overrides are rejected up front
+    // rather than exploding mid-replay.
+    FuzzCase fc = FuzzCase::parse(
+        "# sentinelrepro v1\nmodel=llm:tiny:l=2,seq=64\n");
+    EXPECT_EQ(fc.model, "llm:tiny:l=2,seq=64");
+
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\n"
+                                 "model=llm:colossal\n"),
+                 ConfigError);
+    EXPECT_THROW(FuzzCase::parse("# sentinelrepro v1\n"
+                                 "model=llm:tiny:hd=100,heads=3\n"),
+                 ConfigError); // hidden not divisible by heads
 }
 
 TEST(CorpusReplay, MalformedFilesAreRejected)

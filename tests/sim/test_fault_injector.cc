@@ -99,6 +99,37 @@ TEST(FaultInjector, JitterIsDeterministicAndBounded)
     EXPECT_TRUE(differs);
 }
 
+TEST(FaultSpec, ShrinkTierKeySelectsTheTargetTier)
+{
+    FaultSpec s =
+        FaultSpec::parse("shrink:step=2,factor=0.5,tier=1");
+    ASSERT_EQ(s.events.size(), 1u);
+    EXPECT_EQ(s.events[0].kind, FaultKind::CapacityShrink);
+    EXPECT_EQ(s.events[0].tier, 1u);
+    // Default stays the fast tier, and out-of-chain indices are typos.
+    EXPECT_EQ(FaultSpec::parse("shrink:step=2,factor=0.5")
+                  .events[0]
+                  .tier,
+              0u);
+    EXPECT_ANY_THROW(
+        FaultSpec::parse("shrink:step=2,factor=0.5,tier=8"));
+}
+
+TEST(FaultInjector, ShrinkFoldsPerTier)
+{
+    FaultInjector fi(FaultSpec::parse(
+        "shrink:step=2,factor=0.5,tier=1;shrink:step=4,factor=0.5,tier=1"));
+    fi.beginStep(1);
+    EXPECT_DOUBLE_EQ(fi.capacityScale(1), 1.0);
+    fi.beginStep(2);
+    EXPECT_DOUBLE_EQ(fi.capacityScale(1), 0.5);
+    // A mid-tier fault never bleeds into the fast slot (or vice versa).
+    EXPECT_DOUBLE_EQ(fi.capacityScale(0), 1.0);
+    EXPECT_DOUBLE_EQ(fi.fastCapacityScale(), 1.0);
+    fi.beginStep(4);
+    EXPECT_DOUBLE_EQ(fi.capacityScale(1), 0.25); // both live: multiply
+}
+
 TEST(FaultInjector, InactiveBeforeFirstEvent)
 {
     FaultInjector fi(FaultSpec::parse(

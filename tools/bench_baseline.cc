@@ -202,6 +202,39 @@ collect(bool wall)
     return out;
 }
 
+/**
+ * One three-tier cell, simulated metrics only: the cells are bit-
+ * deterministic like the two-tier set, but wall clock and allocation
+ * counts add nothing a two-tier cell doesn't already gate, so the
+ * N-tier tripwire stays cheap enough for every build flavor.
+ */
+void
+addNtierCell(std::vector<Sample> &out, const std::string &model,
+             const std::string &policy)
+{
+    harness::ExperimentConfig cfg = cellConfig(model);
+    cfg.tiers = 3;
+    harness::Metrics m = harness::runExperiment(cfg, policy);
+    SENTINEL_ASSERT(m.supported, "ntier cell %s/%s unsupported",
+                    model.c_str(), policy.c_str());
+    std::string p = "sim.ntier3." + model + "." + policy + ".";
+    out.push_back({ p + "step_time_ms", m.step_time_ms, 0.25, 0.05 });
+    out.push_back(
+        { p + "throughput", m.throughput, 0.25, 0.0, /*higher=*/true });
+    out.push_back({ p + "exposed_ms", m.exposed_ms, 0.25, 0.05 });
+    out.push_back({ p + "migrated_mb", m.migrated_mb(), 0.25, 1.0 });
+    out.push_back({ p + "peak_fast_mb", m.peak_fast_mb, 0.25, 1.0 });
+}
+
+std::vector<Sample>
+collectNtier()
+{
+    std::vector<Sample> out;
+    addNtierCell(out, "resnet32", "sentinel");
+    addNtierCell(out, "llm:tiny", "sentinel");
+    return out;
+}
+
 void
 writeBaseline(const std::vector<Sample> &samples, const std::string &path)
 {
@@ -292,11 +325,14 @@ void
 usage()
 {
     std::printf(
-        "bench_baseline [--out FILE] [--check] [--baseline FILE]\n\n"
+        "bench_baseline [--out FILE] [--check] [--baseline FILE]\n"
+        "               [--ntier]\n\n"
         "default: run the baseline cells and write FILE (default\n"
         "BENCH_baseline.json); --check compares against the committed\n"
         "baseline instead and exits non-zero on regression.  Sanitizer\n"
-        "builds skip the wall-clock metrics in both modes.\n");
+        "builds skip the wall-clock metrics in both modes.  --ntier\n"
+        "swaps in the three-tier cell set (simulated metrics only,\n"
+        "baselined separately in BENCH_baseline_ntier.json).\n");
 }
 
 } // namespace
@@ -305,8 +341,9 @@ int
 main(int argc, char **argv)
 {
     bool do_check = false;
-    std::string out = "BENCH_baseline.json";
-    std::string baseline = "BENCH_baseline.json";
+    bool ntier = false;
+    std::string out;
+    std::string baseline;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto value = [&](const char *what) -> std::string {
@@ -316,6 +353,8 @@ main(int argc, char **argv)
         };
         if (a == "--check") {
             do_check = true;
+        } else if (a == "--ntier") {
+            ntier = true;
         } else if (a == "--out") {
             out = value("--out");
         } else if (a == "--baseline") {
@@ -325,10 +364,17 @@ main(int argc, char **argv)
             return a == "--help" ? 0 : 1;
         }
     }
+    std::string def =
+        ntier ? "BENCH_baseline_ntier.json" : "BENCH_baseline.json";
+    if (out.empty())
+        out = def;
+    if (baseline.empty())
+        baseline = def;
 
-    if (BENCH_SANITIZED)
+    if (BENCH_SANITIZED && !ntier)
         std::printf("sanitizer build: wall-clock metrics skipped\n");
-    std::vector<Sample> samples = collect(/*wall=*/!BENCH_SANITIZED);
+    std::vector<Sample> samples =
+        ntier ? collectNtier() : collect(/*wall=*/!BENCH_SANITIZED);
 
     if (do_check)
         return check(samples, baseline);

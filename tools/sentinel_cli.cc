@@ -141,6 +141,11 @@ configFrom(const Args &args)
     int mem_mb = args.getInt("mem-mb", 0);
     if (mem_mb > 0)
         cfg.fast_bytes = static_cast<std::uint64_t>(mem_mb) << 20;
+    cfg.tiers = args.getInt("tiers", 2);
+    int mid_mb = args.getInt("mid-capacity", 0);
+    if (mid_mb > 0)
+        cfg.mid_bytes = static_cast<std::uint64_t>(mid_mb) << 20;
+    cfg.mid_bw = args.getDouble("mid-bw", 0.0) * 1e9; // GB/s -> B/s
     cfg.steps = args.getInt("steps", 9);
     cfg.warmup = args.getInt("warmup", 6);
     cfg.sentinel.forced_mil = args.getInt("mil", 0);
@@ -911,6 +916,9 @@ usage()
         "            [--fraction F | --mem-mb M] [--steps S] [--mil K]\n"
         "            [--planner greedy|interval] (sentinel co-alloc "
         "solver)\n"
+        "            [--tiers N] [--mid-capacity MB] [--mid-bw GB/s]\n"
+        "            (N-tier chain; 3+ inserts middle tiers between\n"
+        "             fast and slow, staged-prefetch path)\n"
         "            [--trace-out FILE.json] [--metrics-out FILE.csv]\n"
         "            (run is the default command when the first arg\n"
         "             starts with --)\n"
@@ -961,7 +969,8 @@ usage()
         "training run of any command, e.g.\n"
         "  --chaos 'bw:step=6,factor=0.5;stall:step=8,ms=2'\n"
         "clauses: bw:step=,factor=[,ch=promote|demote|both]\n"
-        "         stall:step=,ms=|us=[,ch=...]   shrink:step=,factor=\n"
+        "         stall:step=,ms=|us=[,ch=...]\n"
+        "         shrink:step=,factor=[,tier=T]\n"
         "         jitter:step=,amp=              drift:step=,factor=\n\n"
         "telemetry: --trace-out writes a Chrome-trace JSON (load it in\n"
         "chrome://tracing or https://ui.perfetto.dev); --metrics-out\n"

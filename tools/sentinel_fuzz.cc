@@ -60,6 +60,7 @@ struct Options {
     std::string mode = "policy"; ///< "policy" or "server"
     int colo_jobs = 2;           ///< jobs per server-mode co-location
     std::string planner = "greedy"; ///< sentinel layout solver
+    int tiers = 0; ///< force the chain length (0 = let the case draw)
 };
 
 int
@@ -72,7 +73,7 @@ usage()
         "                     [--inject traffic=F] [--no-determinism]\n"
         "                     [--no-shrink] [--keep-going]\n"
         "                     [--mode policy|server] [--colo-jobs N]\n"
-        "                     [--planner greedy|interval]\n"
+        "                     [--planner greedy|interval] [--tiers N]\n"
         "       sentinel_fuzz --replay FILE.sentinelrepro [--jobs J]\n");
     return 1;
 }
@@ -146,6 +147,11 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.planner = v;
+        } else if (a == "--tiers") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.tiers = std::atoi(v);
         } else if (a == "--no-determinism") {
             o.determinism = false;
         } else if (a == "--no-shrink") {
@@ -156,7 +162,7 @@ parseArgs(int argc, char **argv, Options &o)
             return false;
         }
     }
-    return o.iters > 0 && o.jobs > 0 && o.colo_jobs > 0 &&
+    return o.iters > 0 && o.jobs > 0 && o.colo_jobs > 0 && o.tiers >= 0 &&
            (o.mode == "policy" || o.mode == "server") &&
            (o.planner == "greedy" || o.planner == "interval");
 }
@@ -245,6 +251,8 @@ fuzzMode(const Options &o)
         std::uint64_t cs = caseSeed(o.seed, i);
         FuzzCase fc = FuzzCase::random(cs);
         fc.planner = o.planner;
+        if (o.tiers > 0)
+            fc.tiers = o.tiers;
         fc.inject_capacity = o.inject_capacity;
         fc.inject_traffic = o.inject_traffic;
 
